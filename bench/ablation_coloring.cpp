@@ -1,0 +1,65 @@
+/// Ablation A5: how far is Figure 12's greedy heuristic from optimal?
+/// A bipartite edge colouring (König) schedules any pattern in exactly
+/// Delta steps — the hard lower bound. This bench compares step counts
+/// and simulated execution times of greedy vs the colouring scheduler
+/// (and pairwise, the paper's runner-up) across densities, putting a
+/// number on §4.5's observation that greedy "may require more number of
+/// steps" above 50% density.
+
+#include <cstdio>
+
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/coloring.hpp"
+#include "cm5/sched/executor.hpp"
+#include "common/bench_common.hpp"
+
+namespace {
+
+cm5::util::SimDuration time_schedule(const cm5::sched::CommPattern& pattern,
+                                     const cm5::sched::CommSchedule& schedule) {
+  cm5::machine::Cm5Machine m(
+      cm5::machine::MachineParams::cm5_defaults(pattern.nprocs()));
+  cm5::sched::ExecutorOptions options;
+  options.barrier_per_step = true;
+  return m
+      .run([&](cm5::machine::Node& node) {
+        cm5::sched::execute_schedule(node, schedule, options);
+      })
+      .makespan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cm5;
+  using sched::Scheduler;
+
+  bench::print_banner("Ablation A5",
+                      "greedy (Fig. 12) vs optimal edge-colouring scheduler");
+
+  const std::int32_t nprocs = 32;
+  util::TextTable table({"density", "lower bound", "greedy steps",
+                         "colouring steps", "greedy (ms)", "colouring (ms)",
+                         "pairwise (ms)"});
+  for (const double density : {0.10, 0.25, 0.50, 0.75, 0.95}) {
+    const auto pattern = patterns::exact_density(nprocs, density, 256, 0xC01);
+    const auto greedy = sched::build_greedy(pattern);
+    const auto coloring = sched::build_coloring(pattern);
+    const auto pairwise = sched::build_pairwise(pattern);
+    table.add_row(
+        {util::TextTable::fmt(density * 100.0, 0) + "%",
+         std::to_string(sched::schedule_step_lower_bound(pattern)),
+         std::to_string(greedy.num_busy_steps()),
+         std::to_string(coloring.num_busy_steps()),
+         bench::ms(time_schedule(pattern, greedy)),
+         bench::ms(time_schedule(pattern, coloring)),
+         bench::ms(time_schedule(pattern, pairwise))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected: colouring always hits the lower bound; greedy matches it\n"
+      "at low density and exceeds it as density grows — with a matching\n"
+      "gap in simulated time under step-synchronized execution.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Ablation A4: Figures 2-4's exchanges serialize their two directions
+/// (blocking send, then blocking receive). CMMD also offered a
+/// full-duplex CMMD_swap; this bench re-runs the complete-exchange
+/// algorithms with it. REX benefits most — its per-step messages are
+/// n*N/2 bytes, so halving the transfer phase matters — which quantifies
+/// one reason the paper's measured REX did better at scale than a
+/// strictly-serialized model predicts (see EXPERIMENTS.md E2).
+
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+namespace {
+
+cm5::util::SimDuration time_variant(std::int32_t nprocs, std::int64_t bytes,
+                                    int algorithm, bool duplex) {
+  using namespace cm5::sched;
+  cm5::machine::Cm5Machine m(
+      cm5::machine::MachineParams::cm5_defaults(nprocs));
+  return m
+      .run([&](cm5::machine::Node& node) {
+        switch (algorithm) {
+          case 0:
+            duplex ? run_pairwise_exchange_swap(node, bytes)
+                   : run_pairwise_exchange(node, bytes);
+            break;
+          case 1:
+            duplex ? run_recursive_exchange_swap(node, bytes)
+                   : run_recursive_exchange(node, bytes);
+            break;
+          default:
+            duplex ? run_balanced_exchange_swap(node, bytes)
+                   : run_balanced_exchange(node, bytes);
+            break;
+        }
+      })
+      .makespan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cm5;
+
+  bench::print_banner("Ablation A4",
+                      "serialized (Fig. 2-4) vs full-duplex (CMMD_swap) exchanges");
+
+  const char* names[] = {"Pairwise", "Recursive", "Balanced"};
+  util::TextTable table({"procs", "msg bytes", "algorithm", "serialized (ms)",
+                         "full duplex (ms)", "speedup"});
+  for (const std::int32_t nprocs : {32, 64}) {
+    for (const std::int64_t bytes : {256LL, 1920LL}) {
+      for (int alg = 0; alg < 3; ++alg) {
+        const auto serial = time_variant(nprocs, bytes, alg, false);
+        const auto duplex = time_variant(nprocs, bytes, alg, true);
+        table.add_row({std::to_string(nprocs), std::to_string(bytes),
+                       names[alg], bench::ms(serial), bench::ms(duplex),
+                       util::TextTable::fmt(static_cast<double>(serial) /
+                                                static_cast<double>(duplex),
+                                            2) +
+                           "x"});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected: every algorithm speeds up; Recursive gains the most at\n"
+      "large sizes (its transfers dominate), yet still trails Pairwise/\n"
+      "Balanced in this size range.\n");
+  return 0;
+}

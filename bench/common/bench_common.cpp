@@ -1,0 +1,57 @@
+#include "common/bench_common.hpp"
+
+#include <cstdio>
+
+namespace cm5::bench {
+
+void print_banner(const std::string& artifact, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+  std::printf("Simulated CM-5 (paper §2): 20-byte packets (16 user bytes),\n");
+  std::printf("88 us zero-byte message, 20/10/5 MB/s per-node fat-tree\n");
+  std::printf("profile, 4 us control-network ops, synchronous (rendezvous)\n");
+  std::printf("CMMD messaging. Times below are *simulated* machine times.\n");
+  std::printf("==============================================================\n");
+}
+
+util::SimDuration time_complete_exchange(std::int32_t nprocs,
+                                         sched::ExchangeAlgorithm algorithm,
+                                         std::int64_t bytes) {
+  machine::Cm5Machine m(machine::MachineParams::cm5_defaults(nprocs));
+  return m
+      .run([&](machine::Node& node) {
+        sched::complete_exchange(node, algorithm, bytes);
+      })
+      .makespan;
+}
+
+util::SimDuration time_broadcast(std::int32_t nprocs,
+                                 sched::BroadcastAlgorithm algorithm,
+                                 std::int64_t bytes) {
+  machine::Cm5Machine m(machine::MachineParams::cm5_defaults(nprocs));
+  return m
+      .run([&](machine::Node& node) {
+        sched::broadcast(node, algorithm, 0, bytes);
+      })
+      .makespan;
+}
+
+util::SimDuration time_scheduled_pattern(const sched::CommPattern& pattern,
+                                         sched::Scheduler scheduler,
+                                         bool step_barriers) {
+  machine::Cm5Machine m(
+      machine::MachineParams::cm5_defaults(pattern.nprocs()));
+  sched::ExecutorOptions options;
+  options.barrier_per_step = step_barriers;
+  return sched::run_scheduled_pattern(m, scheduler, pattern, options).makespan;
+}
+
+std::string ms(util::SimDuration d) {
+  return util::TextTable::fmt(util::to_ms(d), 3);
+}
+
+std::string secs(util::SimDuration d) {
+  return util::TextTable::fmt(util::to_seconds(d), 3);
+}
+
+}  // namespace cm5::bench

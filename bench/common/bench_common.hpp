@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/broadcast.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/sched/executor.hpp"
+#include "cm5/util/table.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file bench_common.hpp
+/// Shared helpers for the reproduction benches: timing wrappers and the
+/// header every bench prints so its output is self-describing.
+
+namespace cm5::bench {
+
+/// Prints the standard bench banner: what paper artifact this
+/// regenerates and the machine configuration in use.
+void print_banner(const std::string& artifact, const std::string& what);
+
+/// Time (simulated) of one complete exchange of `bytes` per pair.
+util::SimDuration time_complete_exchange(std::int32_t nprocs,
+                                         sched::ExchangeAlgorithm algorithm,
+                                         std::int64_t bytes);
+
+/// Time (simulated) of one broadcast of `bytes` from node 0.
+util::SimDuration time_broadcast(std::int32_t nprocs,
+                                 sched::BroadcastAlgorithm algorithm,
+                                 std::int64_t bytes);
+
+/// Time (simulated) of executing `scheduler`'s schedule for `pattern`.
+/// `step_barriers` matches the paper's step-synchronized runtime (§4);
+/// the A3 ablation turns it off.
+util::SimDuration time_scheduled_pattern(const sched::CommPattern& pattern,
+                                         sched::Scheduler scheduler,
+                                         bool step_barriers = true);
+
+/// Formats a simulated duration in ms with 3 decimals ("1.766").
+std::string ms(util::SimDuration d);
+
+/// Formats a simulated duration in seconds with 3 decimals ("14.780").
+std::string secs(util::SimDuration d);
+
+}  // namespace cm5::bench

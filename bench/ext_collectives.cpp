@@ -1,0 +1,70 @@
+/// Extension bench: the collective operations beyond the paper's set —
+/// where each algorithmic choice pays off on the simulated CM-5.
+///
+///   * vector all-reduce: control network (one scalar combine at a time)
+///     vs data-network reduce-scatter + all-gather — crossover in vector
+///     length;
+///   * large-message broadcast: single-tree REB vs van de Geijn
+///     scatter + all-gather — crossover in message size.
+
+#include <cstdio>
+
+#include "cm5/sched/broadcast.hpp"
+#include "cm5/sched/collectives.hpp"
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace cm5;
+
+  bench::print_banner("Extension", "collectives beyond the paper's set");
+
+  const std::int32_t nprocs = 32;
+
+  std::printf("\nVector all-reduce on %d nodes (ms):\n", nprocs);
+  util::TextTable reduce({"vector length", "control network",
+                          "data network (reduce-scatter+all-gather)"});
+  for (const std::int64_t len : {16LL, 128LL, 1024LL, 4096LL, 16384LL}) {
+    machine::Cm5Machine m1(machine::MachineParams::cm5_defaults(nprocs));
+    const auto ctl = m1.run([&](machine::Node& node) {
+      sched::control_network_vector_reduce(node, len);
+    });
+    machine::Cm5Machine m2(machine::MachineParams::cm5_defaults(nprocs));
+    const auto dnet = m2.run([&](machine::Node& node) {
+      std::vector<double> v(static_cast<std::size_t>(len), 1.0);
+      sched::all_reduce_sum(node, v);
+    });
+    reduce.add_row({std::to_string(len), bench::ms(ctl.makespan),
+                    bench::ms(dnet.makespan)});
+  }
+  std::fputs(reduce.render().c_str(), stdout);
+
+  std::printf("\nBroadcast on %d nodes (ms):\n", nprocs);
+  util::TextTable bcast({"msg bytes", "REB (single tree)",
+                         "van de Geijn (scatter+all-gather)",
+                         "pipelined chain (64 segments)"});
+  for (const std::int64_t bytes :
+       {1024LL, 8192LL, 65536LL, 262144LL, 1048576LL}) {
+    machine::Cm5Machine m1(machine::MachineParams::cm5_defaults(nprocs));
+    const auto reb = m1.run([&](machine::Node& node) {
+      sched::run_recursive_broadcast(node, 0, bytes);
+    });
+    machine::Cm5Machine m2(machine::MachineParams::cm5_defaults(nprocs));
+    const auto vdg = m2.run([&](machine::Node& node) {
+      sched::broadcast_scatter_allgather(node, 0, bytes);
+    });
+    machine::Cm5Machine m3(machine::MachineParams::cm5_defaults(nprocs));
+    const auto chain = m3.run([&](machine::Node& node) {
+      sched::run_pipelined_broadcast(node, 0, bytes, 64);
+    });
+    bcast.add_row({std::to_string(bytes), bench::ms(reb.makespan),
+                   bench::ms(vdg.makespan), bench::ms(chain.makespan)});
+  }
+  std::fputs(bcast.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected: the control network wins short reductions (its 4 us\n"
+      "combine beats any message exchange) and loses long ones; van de\n"
+      "Geijn overtakes REB for large messages, and the pipelined chain —\n"
+      "bandwidth-optimal but latency-heavy — wins in the megabyte range.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// Extension bench: the same scheduling algorithms on three machine
+/// models — the paper's CM-5, a CM-5E-like successor (CMMD 3.x
+/// overheads), and an iPSC/860-like hypercube (the machine the paper's
+/// related work [1, 2] studies). Algorithm rankings are properties of
+/// the machine balance (overhead vs bandwidth vs thinning), not of the
+/// algorithms alone; this bench shows which conclusions transfer.
+
+#include <cstdio>
+
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/sched/executor.hpp"
+#include "common/bench_common.hpp"
+
+namespace {
+
+using cm5::machine::MachineParams;
+
+cm5::util::SimDuration exchange_on(const MachineParams& params,
+                                   cm5::sched::ExchangeAlgorithm alg,
+                                   std::int64_t bytes) {
+  cm5::machine::Cm5Machine m(params);
+  return m
+      .run([&](cm5::machine::Node& node) {
+        cm5::sched::complete_exchange(node, alg, bytes);
+      })
+      .makespan;
+}
+
+cm5::util::SimDuration irregular_on(const MachineParams& params,
+                                    const cm5::sched::CommPattern& pattern,
+                                    cm5::sched::Scheduler scheduler) {
+  cm5::machine::Cm5Machine m(params);
+  cm5::sched::ExecutorOptions options;
+  options.barrier_per_step = true;
+  return cm5::sched::run_scheduled_pattern(m, scheduler, pattern, options)
+      .makespan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cm5;
+  using sched::ExchangeAlgorithm;
+  using sched::Scheduler;
+
+  bench::print_banner("Extension",
+                      "algorithm rankings across machine models (32 nodes)");
+
+  struct MachineDef {
+    const char* name;
+    MachineParams params;
+  };
+  const MachineDef machines[] = {
+      {"CM-5 (paper)", MachineParams::cm5_defaults(32)},
+      {"CM-5E-like", MachineParams::cm5e_like(32)},
+      {"iPSC/860-like", MachineParams::ipsc860_like(32)},
+  };
+
+  std::printf("\nComplete exchange, 512 B per pair (ms):\n");
+  util::TextTable ex({"machine", "Linear", "Pairwise", "Recursive",
+                      "Balanced", "BEX gain over PEX"});
+  for (const MachineDef& m : machines) {
+    const auto lex = exchange_on(m.params, ExchangeAlgorithm::Linear, 512);
+    const auto pex = exchange_on(m.params, ExchangeAlgorithm::Pairwise, 512);
+    const auto rex = exchange_on(m.params, ExchangeAlgorithm::Recursive, 512);
+    const auto bex = exchange_on(m.params, ExchangeAlgorithm::Balanced, 512);
+    ex.add_row({m.name, bench::ms(lex), bench::ms(pex), bench::ms(rex),
+                bench::ms(bex),
+                util::TextTable::fmt((static_cast<double>(pex) /
+                                          static_cast<double>(bex) -
+                                      1.0) *
+                                         100.0,
+                                     1) +
+                    "%"});
+  }
+  std::fputs(ex.render().c_str(), stdout);
+
+  std::printf("\nIrregular pattern (25%% density, 256 B), step-synchronized"
+              " (ms):\n");
+  util::TextTable irr({"machine", "Linear", "Pairwise", "Balanced", "Greedy"});
+  const auto pattern = patterns::exact_density(32, 0.25, 256, 0xE3);
+  for (const MachineDef& m : machines) {
+    std::vector<std::string> row{m.name};
+    for (const Scheduler s : {Scheduler::Linear, Scheduler::Pairwise,
+                              Scheduler::Balanced, Scheduler::Greedy}) {
+      row.push_back(bench::ms(irregular_on(m.params, pattern, s)));
+    }
+    irr.add_row(std::move(row));
+  }
+  std::fputs(irr.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected: BEX's edge over PEX exists only where the tree thins\n"
+      "(CM-5/CM-5E; the hypercube-like machine has no root bottleneck);\n"
+      "greedy's win at low density is machine-independent (it comes from\n"
+      "step count, not topology); everything is slower on the iPSC's\n"
+      "2.8 MB/s links despite its faster processors.\n");
+  return 0;
+}

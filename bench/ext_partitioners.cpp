@@ -1,0 +1,68 @@
+/// Extension bench: how the mesh partitioner shapes the Table 12
+/// communication patterns. The paper inherited its partitions from the
+/// applications; this bench compares three partitioners on the same
+/// meshes — naive index blocks, recursive coordinate bisection, and
+/// greedy graph growing — reporting the halo pattern each produces
+/// (density, average message size) and the greedy-scheduled exchange
+/// time on the simulated CM-5.
+
+#include <cstdio>
+
+#include "cm5/mesh/delaunay.hpp"
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/halo.hpp"
+#include "cm5/mesh/partition.hpp"
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace cm5;
+
+  bench::print_banner("Extension",
+                      "partitioner quality vs halo-exchange cost, 32 procs");
+
+  const std::int32_t nprocs = 32;
+  util::TextTable table({"mesh", "partitioner", "density", "avg msg (B)",
+                         "total halo (KB)", "greedy exchange (ms)"});
+  for (const std::int32_t target : {2048, 9216}) {
+    // The annulus generator for the paper's sizes; a genuine Delaunay
+    // mesh of the same size shows the partitioners on fully
+    // unstructured connectivity.
+    const mesh::TriMesh m =
+        target == 2048 ? mesh::random_delaunay_mesh(target, 0xA1F01)
+                       : mesh::airfoil_with_target(target, 0xA1F01);
+    struct Entry {
+      const char* name;
+      std::vector<mesh::PartId> part;
+    };
+    const Entry entries[] = {
+        {"block", mesh::block_partition(m.num_vertices(), nprocs)},
+        {"rcb", mesh::rcb_vertex_partition(m, nprocs)},
+        {"graph-grow", mesh::graph_grow_partition(m, nprocs)},
+    };
+    for (const Entry& e : entries) {
+      const mesh::HaloPlan halo = mesh::build_vertex_halo(m, e.part, nprocs);
+      const auto pattern = halo.pattern(32);
+      const auto t =
+          bench::time_scheduled_pattern(pattern, sched::Scheduler::Greedy);
+      table.add_row(
+          {std::to_string(m.num_vertices()) + (target == 2048 ? " v (Delaunay)" : " v (annulus)"), e.name,
+           util::TextTable::fmt(pattern.density() * 100.0, 0) + "%",
+           util::TextTable::fmt(pattern.avg_message_bytes(), 0),
+           util::TextTable::fmt(
+               static_cast<double>(pattern.total_bytes()) / 1024.0, 1),
+           bench::ms(t)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected: RCB and graph growing produce compact parts with small\n"
+      "halos; naive index blocks on the ring-ordered annulus stay local\n"
+      "but move several times the bytes. Note the nuance: graph growing\n"
+      "has the *smallest* halos yet the *slowest* exchange — its parts\n"
+      "touch more neighbours (higher pattern degree), which costs schedule\n"
+      "steps, and on a machine with 88 us per message the step count can\n"
+      "matter more than the byte count. Partition quality on the CM-5 is\n"
+      "neighbour count first, bytes second.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// Reproduces paper Figure 5: "Complete Exchange Algorithms on 32 nodes"
+/// — communication time of LEX, PEX, REX and BEX on a 32-node partition
+/// as the per-pair message size varies from 0 to 2048 bytes.
+///
+/// Paper shape to verify: LEX is far worse than the rest (synchronous
+/// sends serialize at each step's receiver); for small messages PEX, REX
+/// and BEX are nearly indistinguishable; for large messages BEX < PEX <
+/// REX (REX pays n*N/2 combined messages plus reshuffle).
+
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace cm5;
+  using sched::ExchangeAlgorithm;
+
+  bench::print_banner("Figure 5",
+                      "complete exchange on 32 nodes vs message size");
+
+  const std::int32_t nprocs = 32;
+  util::TextTable table({"msg bytes", "Linear (ms)", "Pairwise (ms)",
+                         "Recursive (ms)", "Balanced (ms)"});
+  for (const std::int64_t bytes :
+       {0LL, 64LL, 128LL, 256LL, 512LL, 1024LL, 1536LL, 2048LL}) {
+    std::vector<std::string> row{std::to_string(bytes)};
+    for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
+      row.push_back(bench::ms(bench::time_complete_exchange(nprocs, alg, bytes)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected shape (paper): Linear >> others at every size; at large\n"
+      "sizes Balanced < Pairwise < Recursive.\n");
+  return 0;
+}

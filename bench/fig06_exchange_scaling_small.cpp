@@ -1,0 +1,46 @@
+/// Reproduces paper Figure 6: "Complete Exchange Algorithms on Varying
+/// Multiprocessor Sizes (message sizes = 0, 256 Bytes)" — PEX, REX and
+/// BEX on 32..256 nodes (the paper drops LEX from the scaling study).
+///
+/// Paper shape: at 0 bytes REX wins everywhere (lg N steps vs N-1); at
+/// 256 bytes BEX is best and REX closes on PEX as N grows. Known
+/// deviation (EXPERIMENTS.md E2): in the flow model REX does not
+/// actually overtake PEX at 256 B — REX moves (lg N)/2 x the data volume,
+/// and with the paper's own 88 us/message overhead that cannot be paid
+/// back; see the byte-count analysis there.
+
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace cm5;
+  using sched::ExchangeAlgorithm;
+
+  bench::print_banner(
+      "Figure 6", "complete exchange vs machine size (0 and 256 bytes)");
+
+  for (const std::int64_t bytes : {0LL, 256LL}) {
+    std::printf("\nmessage size = %lld bytes\n",
+                static_cast<long long>(bytes));
+    util::TextTable table(
+        {"procs", "Pairwise (ms)", "Recursive (ms)", "Balanced (ms)"});
+    for (const std::int32_t nprocs : {32, 64, 128, 256}) {
+      table.add_row(
+          {std::to_string(nprocs),
+           bench::ms(bench::time_complete_exchange(
+               nprocs, ExchangeAlgorithm::Pairwise, bytes)),
+           bench::ms(bench::time_complete_exchange(
+               nprocs, ExchangeAlgorithm::Recursive, bytes)),
+           bench::ms(bench::time_complete_exchange(
+               nprocs, ExchangeAlgorithm::Balanced, bytes))});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): 0 B -> Recursive best at every machine\n"
+      "size; 256 B -> Balanced best (Recursive's large-N crossover over\n"
+      "Pairwise is NOT reproduced by the flow model; see EXPERIMENTS.md).\n");
+  return 0;
+}

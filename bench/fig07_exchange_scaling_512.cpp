@@ -1,0 +1,36 @@
+/// Reproduces paper Figure 7: "Complete Exchange Algorithms on Varying
+/// Multiprocessor Sizes (message size = 512 Bytes)".
+///
+/// Paper shape: at small machine sizes BEX and PEX beat REX; the paper
+/// reports REX best at large sizes (not reproduced by the flow model —
+/// EXPERIMENTS.md E3 has the analysis).
+
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace cm5;
+  using sched::ExchangeAlgorithm;
+
+  bench::print_banner("Figure 7",
+                      "complete exchange vs machine size (512 bytes)");
+
+  util::TextTable table(
+      {"procs", "Pairwise (ms)", "Recursive (ms)", "Balanced (ms)"});
+  for (const std::int32_t nprocs : {32, 64, 128, 256}) {
+    table.add_row({std::to_string(nprocs),
+                   bench::ms(bench::time_complete_exchange(
+                       nprocs, ExchangeAlgorithm::Pairwise, 512)),
+                   bench::ms(bench::time_complete_exchange(
+                       nprocs, ExchangeAlgorithm::Recursive, 512)),
+                   bench::ms(bench::time_complete_exchange(
+                       nprocs, ExchangeAlgorithm::Balanced, 512))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected shape (paper): Balanced/Pairwise < Recursive at small\n"
+      "machine sizes. (Paper's large-N Recursive win: see EXPERIMENTS.md.)\n");
+  return 0;
+}

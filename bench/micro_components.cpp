@@ -1,0 +1,98 @@
+/// Microbenchmarks (google-benchmark) of the simulator's own components:
+/// schedule construction cost (the paper amortizes it over iterations,
+/// §4.5 — these numbers justify that), the max-min rate solver, the DES
+/// kernel's message throughput, and the FFT kernel.
+
+#include <benchmark/benchmark.h>
+
+#include "cm5/fft/fft1d.hpp"
+#include "cm5/machine/machine.hpp"
+#include "cm5/net/maxmin.hpp"
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/builders.hpp"
+#include "cm5/util/rng.hpp"
+
+namespace {
+
+using namespace cm5;
+
+void BM_BuildGreedySchedule(benchmark::State& state) {
+  const auto nprocs = static_cast<std::int32_t>(state.range(0));
+  const auto pattern = patterns::exact_density(nprocs, 0.4, 256, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::build_greedy(pattern));
+  }
+  state.SetLabel(std::to_string(pattern.num_messages()) + " messages");
+}
+BENCHMARK(BM_BuildGreedySchedule)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BuildPairwiseSchedule(benchmark::State& state) {
+  const auto nprocs = static_cast<std::int32_t>(state.range(0));
+  const auto pattern = patterns::exact_density(nprocs, 0.4, 256, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::build_pairwise(pattern));
+  }
+}
+BENCHMARK(BM_BuildPairwiseSchedule)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MaxMinSolver(benchmark::State& state) {
+  const auto num_flows = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_links = 600;
+  util::Rng rng(5);
+  std::vector<double> caps(num_links);
+  for (auto& c : caps) c = 1e6 * (1.0 + rng.next_double() * 9.0);
+  std::vector<std::vector<net::LinkId>> paths(num_flows);
+  for (auto& p : paths) {
+    for (int k = 0; k < 8; ++k) {
+      p.push_back(static_cast<net::LinkId>(rng.next_below(num_links)));
+    }
+  }
+  std::vector<net::FlowRoute> routes;
+  routes.reserve(num_flows);
+  for (const auto& p : paths) routes.push_back(net::FlowRoute{p});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::solve_max_min(routes, caps));
+  }
+}
+BENCHMARK(BM_MaxMinSolver)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_KernelMessageThroughput(benchmark::State& state) {
+  // Host-time cost of simulating one rendezvous message (ping-pong).
+  const auto nprocs = 4;
+  machine::Cm5Machine machine(machine::MachineParams::cm5_defaults(nprocs));
+  const std::int64_t rounds = 200;
+  for (auto _ : state) {
+    machine.run([&](machine::Node& node) {
+      if (node.self() == 0) {
+        for (std::int64_t i = 0; i < rounds; ++i) {
+          node.send_block(1, 64);
+          (void)node.receive_block(1);
+        }
+      } else if (node.self() == 1) {
+        for (std::int64_t i = 0; i < rounds; ++i) {
+          (void)node.receive_block(0);
+          node.send_block(0, 64);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+}
+BENCHMARK(BM_KernelMessageThroughput);
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<fft::Complex> data(n);
+  for (auto& x : data) x = fft::Complex(rng.next_double(), rng.next_double());
+  for (auto _ : state) {
+    fft::fft_inplace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1d)->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/// Reproduces paper Table 5: "Performance of Scheduling Algorithms on 2D
+/// FFT (Time in Secs.)" — the distributed 2-D FFT (local row FFTs,
+/// complete exchange as the transpose, local column FFTs) for array
+/// sizes 256^2 .. 2048^2 on 32 and 256 processors, one column per
+/// complete-exchange algorithm.
+///
+/// The paper's numbers are printed alongside ours; the shapes to check:
+/// Linear is the worst everywhere and catastrophically so on 256 procs
+/// for small arrays (4.3 s vs 0.076 s); Balanced is best or tied for the
+/// largest arrays.
+
+#include <cstdio>
+
+#include "cm5/fft/fft2d.hpp"
+#include "common/bench_common.hpp"
+
+namespace {
+
+double fft_seconds(std::int32_t nprocs, cm5::sched::ExchangeAlgorithm alg,
+                   std::int32_t n) {
+  cm5::machine::Cm5Machine m(
+      cm5::machine::MachineParams::cm5_defaults(nprocs));
+  const auto r = m.run([&](cm5::machine::Node& node) {
+    cm5::fft::fft2d_timed(node, alg, n);
+  });
+  return cm5::util::to_seconds(r.makespan);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cm5;
+  using sched::ExchangeAlgorithm;
+
+  bench::print_banner("Table 5", "2-D FFT with each complete-exchange algorithm");
+
+  // Paper Table 5 values (seconds): [procs][array][algorithm LEX,PEX,REX,BEX]
+  struct PaperRow {
+    std::int32_t n;
+    double values[4];
+  };
+  const PaperRow paper32[] = {{256, {0.215, 0.152, 0.112, 0.114}},
+                              {512, {0.845, 0.470, 0.467, 0.470}},
+                              {1024, {3.135, 2.007, 2.480, 2.005}},
+                              {2048, {14.780, 9.032, 9.245, 8.509}}};
+  const PaperRow paper256[] = {{256, {4.340, 0.076, 0.077, 0.076}},
+                               {512, {4.750, 0.120, 0.120, 0.120}},
+                               {1024, {5.968, 0.314, 0.313, 0.312}},
+                               {2048, {18.087, 1.738, 2.160, 1.668}}};
+
+  for (const std::int32_t nprocs : {32, 256}) {
+    std::printf("\nNo. Procs = %d (seconds; paper value in parentheses)\n",
+                nprocs);
+    util::TextTable table({"array", "Linear", "Pairwise", "Recursive",
+                           "Balanced"});
+    const PaperRow* paper = (nprocs == 32) ? paper32 : paper256;
+    for (int row = 0; row < 4; ++row) {
+      const std::int32_t n = paper[row].n;
+      std::vector<std::string> cells{std::to_string(n) + "x" +
+                                     std::to_string(n)};
+      int alg_index = 0;
+      for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
+        const double seconds = fft_seconds(nprocs, alg, n);
+        cells.push_back(util::TextTable::fmt(seconds, 3) + " (" +
+                        util::TextTable::fmt(paper[row].values[alg_index], 3) +
+                        ")");
+        ++alg_index;
+      }
+      table.add_row(std::move(cells));
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): Linear worst everywhere, catastrophic on\n"
+      "256 procs; Pairwise/Recursive/Balanced close, Balanced best or tied\n"
+      "for 2048x2048.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/mesh/halo.hpp"
+#include "cm5/mesh/mesh.hpp"
+#include "cm5/sched/builders.hpp"
+#include "cm5/sched/schedule.hpp"
+
+/// \file euler2d.hpp
+/// 2-D compressible Euler equations on an unstructured triangular mesh —
+/// the paper's second real irregular workload (Table 12, "Euler 545/2K/
+/// 3K/9K", after Mavriplis' unstructured Euler solver [12]).
+///
+/// Discretization: cell-centred first-order finite volume with the
+/// Rusanov (local Lax-Friedrichs) flux and reflective (slip-wall)
+/// boundaries, advanced by forward Euler. Each time step of the
+/// distributed solver performs exactly one halo exchange of the 4-double
+/// conserved state of every partition-boundary cell — the communication
+/// pattern Table 12 times.
+
+namespace cm5::euler {
+
+/// Conserved variables per unit area: density, momentum, total energy.
+struct Cons {
+  double rho = 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  double e = 0.0;
+};
+
+/// Ratio of specific heats for air.
+inline constexpr double kGamma = 1.4;
+
+/// Builds a conserved state from primitives (density, velocity, pressure).
+Cons from_primitive(double rho, double u, double v, double p,
+                    double gamma = kGamma);
+
+/// Pressure of a conserved state.
+double pressure(const Cons& c, double gamma = kGamma);
+
+/// Sequential reference solver.
+class EulerSolver {
+ public:
+  /// The mesh reference must outlive the solver.
+  explicit EulerSolver(const mesh::TriMesh& mesh, double gamma = kGamma);
+
+  std::int32_t num_cells() const noexcept { return mesh_->num_triangles(); }
+  std::span<const Cons> state() const noexcept { return cells_; }
+  void set_state(std::span<const Cons> cells);
+  /// Sets every cell to the same state.
+  void set_uniform(const Cons& c);
+
+  /// Advances one forward-Euler step of size dt.
+  void step(double dt);
+
+  /// Advances one second-order (Heun / two-stage Runge-Kutta) step —
+  /// an extension over the paper-era first-order integrator. Two flux
+  /// evaluations per step; still conservative on reflective walls.
+  void step_rk2(double dt);
+
+  /// Largest stable time step at the given CFL number (based on the
+  /// current state's wave speeds and the mesh's cell sizes).
+  double stable_dt(double cfl) const;
+
+  /// Conserved totals over the domain (integrals of rho / E); with
+  /// reflective walls mass and energy are conserved exactly.
+  double total_mass() const;
+  double total_energy() const;
+
+ private:
+  friend class DistributedEuler;
+  /// Net flux divergence of cell t given a full cell-state array.
+  Cons residual(std::span<const Cons> cells, mesh::TriId t) const;
+
+  const mesh::TriMesh* mesh_;
+  double gamma_;
+  std::vector<Cons> cells_;
+  std::vector<Cons> next_;
+  std::vector<Cons> stage_;  ///< scratch for the two-stage integrator
+  std::vector<double> area_;
+  // Outward edge normals scaled by edge length, 3 per triangle.
+  std::vector<std::array<double, 6>> edge_normal_;
+};
+
+/// Distributed solver: cells are partitioned over the machine's nodes;
+/// the full-length state array is replicated but only owned entries (and
+/// freshly exchanged ghosts) are meaningful on each node.
+class DistributedEuler {
+ public:
+  /// All nodes construct with identical arguments. The mesh, partition
+  /// and halo references must outlive the solver.
+  DistributedEuler(machine::Node& node, const mesh::TriMesh& mesh,
+                   std::span<const mesh::PartId> cell_part,
+                   const mesh::HaloPlan& halo, sched::Scheduler scheduler,
+                   std::span<const Cons> initial, double gamma = kGamma);
+
+  /// One forward-Euler step: halo exchange, then update owned cells.
+  /// Compute time is charged to the machine's compute model.
+  void step(double dt);
+
+  /// One Heun (RK2) step: two halo exchanges, two flux evaluations.
+  /// Bit-identical to EulerSolver::step_rk2 on the owned cells.
+  void step_rk2(double dt);
+
+  /// Globally agreed stable dt (control-network max reduction).
+  double stable_dt(double cfl);
+
+  /// Full-length state; only entries owned by this node are current.
+  std::span<const Cons> state() const noexcept { return solver_.cells_; }
+
+  /// Globally reduced conserved totals (control network).
+  double total_mass();
+  double total_energy();
+
+ private:
+  void exchange_ghosts();
+
+  machine::Node* node_;
+  EulerSolver solver_;
+  std::span<const mesh::PartId> cell_part_;
+  const mesh::HaloPlan* halo_;
+  std::vector<std::int32_t> owned_;
+  sched::CommSchedule schedule_;
+};
+
+}  // namespace cm5::euler

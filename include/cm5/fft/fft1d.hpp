@@ -1,0 +1,36 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file fft1d.hpp
+/// Sequential complex FFT building blocks for the distributed 2-D FFT
+/// application of paper §3.5 (Table 5).
+
+namespace cm5::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a
+/// power of two. `inverse` applies the conjugate transform *and* the 1/N
+/// scaling, so fft(fft(x), inverse) == x.
+void fft_inplace(std::span<Complex> data, bool inverse = false);
+
+/// Reference O(N^2) DFT used to validate fft_inplace in tests.
+std::vector<Complex> dft_reference(std::span<const Complex> data,
+                                   bool inverse = false);
+
+/// Floating-point operation count of one radix-2 FFT of length `n` —
+/// the standard 5 n lg n figure, used to charge simulated compute time.
+double fft_flops(std::int64_t n);
+
+/// Sequential 2-D FFT of a row-major `rows` x `cols` matrix (both powers
+/// of two): length-`cols` FFTs over rows, then length-`rows` FFTs over
+/// columns. The reference the distributed implementation is tested
+/// against.
+void fft2d_inplace(std::span<Complex> data, std::int32_t rows,
+                   std::int32_t cols, bool inverse = false);
+
+}  // namespace cm5::fft

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm5/fft/fft1d.hpp"
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+
+/// \file fft2d.hpp
+/// Distributed 2-D FFT (paper §3.5, Table 5).
+///
+/// "The 2D array is distributed along rows among processors. Each
+/// processor initially performs 1D FFT on its local data and performs a
+/// complete exchange using any one of the algorithms described. Each
+/// processor then performs 1D FFT on new data."
+///
+/// The complete exchange realizes the matrix transpose: processor p owns
+/// rows [p*R, (p+1)*R) of an N x N array (R = N/P); the block bound for
+/// processor d is the R x R submatrix at columns [d*R, (d+1)*R). After
+/// the exchange each processor holds columns [p*R, (p+1)*R) and runs
+/// length-N FFTs over them.
+
+namespace cm5::fft {
+
+using machine::Node;
+using sched::ExchangeAlgorithm;
+
+/// Runs the *timed* (phantom-payload) 2-D FFT of an `n` x `n` array on
+/// the calling node: charges the two local FFT phases to the compute
+/// model and performs the complete exchange with `algorithm`. Every node
+/// of the machine must call this. `n` must be a power of two and
+/// divisible by nprocs.
+void fft2d_timed(Node& node, ExchangeAlgorithm algorithm, std::int32_t n);
+
+/// Runs the distributed 2-D FFT on real data.
+///
+/// `local_rows` holds this node's R = n/P rows (row-major, n complex
+/// values per row). On return it holds this node's R *columns* of the
+/// transformed array — i.e. the transform in transposed layout, exactly
+/// what the paper's pipeline produces (it does not transpose back).
+/// Element (r, c) of the result array is held by processor c/R at row
+/// (c mod R), position r.
+void fft2d_distributed(Node& node, ExchangeAlgorithm algorithm,
+                       std::int32_t n, std::vector<Complex>& local_rows,
+                       bool inverse = false);
+
+}  // namespace cm5::fft

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cm5/machine/params.hpp"
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/kernel.hpp"
+#include "cm5/sim/message.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file machine.hpp
+/// The simulated CM-5: a partition of nodes with CMMD-flavoured messaging.
+///
+/// This is the layer node programs are written against. It owns the cost
+/// model (overheads, packetization, control-network charges) and delegates
+/// event ordering to the cm5::sim kernel.
+
+namespace cm5::machine {
+
+using net::NodeId;
+using sim::kAnyNode;
+using sim::kAnyTag;
+using sim::Message;
+
+class Cm5Machine;
+
+/// Per-node interface handed to node programs. Mirrors the CMMD calls the
+/// paper uses: blocking (synchronous) send/receive, plus control-network
+/// global operations, plus explicit compute-time charging.
+class Node {
+ public:
+  NodeId self() const noexcept { return handle_.id(); }
+  std::int32_t nprocs() const noexcept { return handle_.nprocs(); }
+  util::SimTime now() const { return handle_.now(); }
+  const MachineParams& params() const noexcept { return *params_; }
+
+  // --- point-to-point (data network) ---------------------------------------
+
+  /// Blocking send of `bytes` user bytes with no payload (phantom message;
+  /// only timing is simulated). Returns when the transfer completed —
+  /// CMMD 1.x synchronous semantics, the paper's central constraint.
+  void send_block(NodeId dst, std::int64_t bytes, std::int32_t tag = 0);
+
+  /// Blocking send carrying real data (used by the verifying applications).
+  void send_block_data(NodeId dst, std::span<const std::byte> data,
+                       std::int32_t tag = 0);
+
+  /// Blocking receive; src/tag may be wildcards (kAnyNode / kAnyTag).
+  Message receive_block(NodeId src = kAnyNode, std::int32_t tag = kAnyTag);
+
+  /// Full-duplex exchange (CMMD_swap): sends `bytes` to `peer` while
+  /// receiving the peer's message of the same call; both directions
+  /// move simultaneously, unlike the serialized send/receive pair of
+  /// Figure 2. Both sides must call swap_block with the same tag.
+  Message swap_block(NodeId peer, std::int64_t bytes, std::int32_t tag = 0);
+
+  /// Full-duplex exchange carrying real data.
+  Message swap_block_data(NodeId peer, std::span<const std::byte> data,
+                          std::int32_t tag = 0);
+
+  /// Non-blocking send (extension; see DESIGN.md A1 ablation). The paper
+  /// notes CMMD 1.x lacks this and predicts LEX would improve with it.
+  void send_async(NodeId dst, std::int64_t bytes, std::int32_t tag = 0);
+  void send_async_data(NodeId dst, std::span<const std::byte> data,
+                       std::int32_t tag = 0);
+  /// Blocks until all async sends from this node completed.
+  void wait_sends();
+
+  // --- compute model --------------------------------------------------------
+
+  /// Charges `d` of local computation.
+  void compute(util::SimDuration d) { handle_.advance(d); }
+  /// Charges time for `flops` floating-point operations at params().mflops.
+  void compute_flops(double flops);
+  /// Charges time for copying `bytes` at params().memcpy_bw (pack/unpack).
+  void compute_copy_bytes(std::int64_t bytes);
+
+  // --- control network ------------------------------------------------------
+
+  /// Global barrier; all nodes resume together.
+  void barrier();
+  /// Global sum; every node receives the total.
+  double reduce_sum(double x);
+  std::int64_t reduce_sum_i64(std::int64_t x);
+  /// Global max; every node receives the maximum.
+  double reduce_max(double x);
+
+  /// Timing-only model of reducing a `length`-element vector through the
+  /// control network: the hardware combines one word at a time, so the
+  /// cost is length sequential scalar combines. (Real data reductions of
+  /// long vectors should use the data network — see
+  /// cm5::sched::all_reduce_sum.)
+  void reduce_phantom_vector(std::int64_t length);
+
+  /// CMMD system broadcast (control network; all nodes must participate).
+  /// Root's data is returned on every node.
+  std::vector<std::byte> broadcast_data(NodeId root,
+                                        std::span<const std::byte> data);
+  /// Phantom variant: only `bytes` is used, for timing.
+  void broadcast_phantom(NodeId root, std::int64_t bytes);
+
+ private:
+  friend class Cm5Machine;
+  Node(sim::NodeHandle& handle, const MachineParams& params)
+      : handle_(handle), params_(&params) {}
+
+  sim::NodeHandle& handle_;
+  const MachineParams* params_;
+};
+
+/// A node program at machine level.
+using Program = std::function<void(Node&)>;
+
+/// A simulated CM-5 partition. Construct once, run node programs on it.
+class Cm5Machine {
+ public:
+  explicit Cm5Machine(MachineParams params);
+
+  /// Runs `program` on all nodes to completion; returns timing/traffic.
+  sim::RunResult run(const Program& program);
+
+  /// Like run(), streaming every simulated event into `sink`
+  /// (see cm5::sim::TraceRecorder for a convenient collector).
+  sim::RunResult run_traced(const Program& program, sim::TraceSink sink);
+
+  const MachineParams& params() const noexcept { return params_; }
+  const net::FatTreeTopology& topology() const noexcept { return topo_; }
+
+ private:
+  MachineParams params_;
+  net::FatTreeTopology topo_;
+};
+
+}  // namespace cm5::machine

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/net/wire.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file params.hpp
+/// Calibration constants of the simulated CM-5 (paper §2 and DESIGN.md §6).
+
+namespace cm5::machine {
+
+/// Everything the simulation charges time for, in one place.
+/// Benches and tests use cm5_defaults() and never hard-code constants, so
+/// ablations can vary a single field.
+struct MachineParams {
+  /// Data-network shape and per-level bandwidth profile.
+  net::FatTreeConfig tree = net::FatTreeConfig::cm5(32);
+
+  /// Packetization (20-byte packets, 16 user bytes — paper §2).
+  net::WireFormat wire{};
+
+  // --- point-to-point software/hardware costs -----------------------------
+  /// Sender-side CPU overhead per message (CMMD_send_block entry).
+  util::SimDuration send_overhead = util::from_us(30);
+  /// Receiver-side CPU overhead per message (match + copy-out).
+  util::SimDuration recv_overhead = util::from_us(30);
+  /// Network latency per message (first packet in flight).
+  /// send_overhead + recv_overhead + net_latency + one packet's wire time
+  /// = 88 us, the paper's zero-byte message cost.
+  util::SimDuration net_latency = util::from_us(27);
+
+  // --- control network -----------------------------------------------------
+  /// Latency of one global operation (paper §2: 2-5 us; we use 4).
+  util::SimDuration ctl_latency = util::from_us(4);
+  /// Effective user-data bandwidth of the CMMD system broadcast, which
+  /// pushes payload through the control network in small synchronized
+  /// chunks. Calibrated so the REB-vs-system crossovers land where
+  /// Figs. 10/11 put them (~1 KB at 32 nodes, ~2 KB at 256).
+  double ctl_broadcast_bw = 1.25e6;
+  /// Fixed software cost of a system broadcast call.
+  util::SimDuration ctl_broadcast_overhead = util::from_us(15);
+
+  // --- node compute model (33 MHz SPARC, 1992) -----------------------------
+  /// Sustained floating-point rate for compute_flops(). The SPARC-1 node
+  /// peaks at a few MFLOPS; FFT/solver kernels of the era sustained
+  /// roughly 1.5 (calibrated against the Table 5 magnitudes).
+  double mflops = 1.5;
+  /// Memory-copy bandwidth for compute_copy_bytes() — what REX's
+  /// pack/unpack reshuffle costs (paper §3.3). A 33 MHz SPARC-1 copies
+  /// word-aligned buffers at roughly this rate.
+  double memcpy_bw = 25e6;
+
+  /// Number of processing nodes (mirrors tree.num_nodes).
+  std::int32_t nprocs() const noexcept { return tree.num_nodes; }
+
+  /// The CM-5 described in paper §2, with `nprocs` nodes.
+  static MachineParams cm5_defaults(std::int32_t nprocs);
+
+  /// The 1994 CM-5E with CMMD 3.x: the same network, roughly half the
+  /// software overhead (~45 us zero-byte messages) and a faster
+  /// SuperSPARC node. For "what would the paper's rankings look like two
+  /// years later" studies (bench ext_machines).
+  static MachineParams cm5e_like(std::int32_t nprocs);
+
+  /// An Intel iPSC/860-like machine (the paper's main comparison target
+  /// in its related work [1, 2]): ~160 us message latency, ~2.8 MB/s
+  /// per-link bandwidth, no tree thinning. The hypercube topology is
+  /// approximated by a full-bandwidth tree — a reasonable stand-in
+  /// because the iPSC's bisection per node does not thin the way the
+  /// CM-5's fat tree does. Documented substitution; see DESIGN.md.
+  static MachineParams ipsc860_like(std::int32_t nprocs);
+
+  /// Wire bytes for a user message (packetized).
+  std::int64_t wire_bytes(std::int64_t user_bytes) const noexcept {
+    return wire.wire_bytes(user_bytes);
+  }
+};
+
+}  // namespace cm5::machine

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cm5/mesh/mesh.hpp"
+
+/// \file generate.hpp
+/// Synthetic unstructured-mesh generators.
+///
+/// The paper's Table 12 workloads come from Mavriplis airfoil meshes
+/// (545-9K vertices) that are not redistributable; these generators
+/// produce planar triangulations with the same vertex counts and the
+/// same structural character (bounded vertex degree, graded resolution
+/// near an inner boundary, irregular connectivity), which is all the
+/// communication-pattern extraction consumes.
+
+namespace cm5::mesh {
+
+/// A jittered structured triangulation: an nx x ny vertex grid where
+/// every vertex is displaced by up to ±jitter/2 in each axis and every
+/// quad is split along a pseudo-randomly chosen diagonal. jitter must
+/// stay below ~0.3 to keep all triangles positively oriented.
+/// Deterministic in `seed`.
+TriMesh perturbed_grid(std::int32_t nx, std::int32_t ny, double jitter,
+                       std::uint64_t seed);
+
+/// An O-mesh annulus around an elliptic "airfoil": `rings + 1` vertex
+/// rings of `segments` vertices each, geometrically graded toward the
+/// inner boundary (like a far-field airfoil mesh), with pseudo-random
+/// diagonal choices for irregular connectivity. Vertex count is
+/// (rings + 1) * segments. Deterministic in `seed`.
+TriMesh airfoil_annulus(std::int32_t rings, std::int32_t segments,
+                        std::uint64_t seed);
+
+/// Builds an airfoil_annulus with approximately `target_vertices`
+/// vertices (aspect ratio ~4 segments per ring step, matching O-mesh
+/// practice). The paper's Table 12 sizes (545, 2K, 3K, 9K, 16K) are
+/// produced this way; the actual count is reported by the mesh itself.
+TriMesh airfoil_with_target(std::int32_t target_vertices, std::uint64_t seed);
+
+}  // namespace cm5::mesh

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file mesh.hpp
+/// Unstructured triangular meshes — the substrate for the paper's real
+/// irregular workloads (§4.5, Table 12): a conjugate-gradient solver and
+/// an unstructured-mesh Euler solver. The paper used Mavriplis airfoil
+/// meshes (545 to 9K vertices); we generate synthetic planar meshes of
+/// the same sizes (see generate.hpp and DESIGN.md §2 for why that
+/// preserves the communication behaviour).
+
+namespace cm5::mesh {
+
+using VertexId = std::int32_t;
+using TriId = std::int32_t;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Triangle {
+  std::array<VertexId, 3> v{};
+};
+
+/// An immutable 2-D triangular mesh with precomputed adjacency.
+///
+/// Construction validates the mesh: vertex indices in range, no
+/// degenerate (zero-area) triangles, consistent counter-clockwise
+/// orientation, and every edge shared by at most two triangles.
+class TriMesh {
+ public:
+  TriMesh(std::vector<Point> vertices, std::vector<Triangle> triangles);
+
+  std::int32_t num_vertices() const noexcept {
+    return static_cast<std::int32_t>(vertices_.size());
+  }
+  std::int32_t num_triangles() const noexcept {
+    return static_cast<std::int32_t>(triangles_.size());
+  }
+  std::int32_t num_edges() const noexcept { return num_edges_; }
+  /// Edges on the boundary (used by exactly one triangle).
+  std::int32_t num_boundary_edges() const noexcept { return num_boundary_edges_; }
+
+  const Point& vertex(VertexId v) const { return vertices_[check_v(v)]; }
+  const Triangle& triangle(TriId t) const { return triangles_[check_t(t)]; }
+
+  /// Vertices adjacent to `v` (connected by an edge), sorted ascending.
+  std::span<const VertexId> vertex_neighbors(VertexId v) const;
+
+  /// The triangle across each edge of `t` (edge i is opposite vertex i),
+  /// or -1 when that edge is on the boundary.
+  const std::array<TriId, 3>& tri_neighbors(TriId t) const {
+    return tri_neighbors_[check_t(t)];
+  }
+
+  /// Signed area of triangle t (positive: counter-clockwise).
+  double signed_area(TriId t) const;
+
+  /// Centroid of triangle t.
+  Point centroid(TriId t) const;
+
+  /// Euler characteristic V - E + F (counting only triangle faces).
+  /// A planar triangulated disk gives 1; a disk with `h` holes, 1 - h.
+  std::int32_t euler_characteristic() const {
+    return num_vertices() - num_edges() + num_triangles();
+  }
+
+ private:
+  std::size_t check_v(VertexId v) const;
+  std::size_t check_t(TriId t) const;
+  void build_adjacency();
+
+  std::vector<Point> vertices_;
+  std::vector<Triangle> triangles_;
+  std::vector<std::array<TriId, 3>> tri_neighbors_;
+  // CSR-style vertex adjacency.
+  std::vector<std::int32_t> vertex_adj_offset_;
+  std::vector<VertexId> vertex_adj_;
+  std::int32_t num_edges_ = 0;
+  std::int32_t num_boundary_edges_ = 0;
+};
+
+}  // namespace cm5::mesh

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cm5/mesh/mesh.hpp"
+
+/// \file partition.hpp
+/// Mesh partitioners. The paper partitions its unstructured meshes over
+/// 32 processors and extracts the resulting boundary-exchange pattern;
+/// we provide naive block partitioning and recursive coordinate
+/// bisection (the standard geometric partitioner of the era — e.g.
+/// Berger & Bokhari 1987).
+
+namespace cm5::mesh {
+
+using PartId = std::int32_t;
+
+/// Assigns item i to part i * nparts / n — contiguous index blocks.
+/// Cheap and cache-friendly but ignores geometry (poor halo quality);
+/// kept as the baseline partitioner.
+std::vector<PartId> block_partition(std::int32_t num_items,
+                                    std::int32_t nparts);
+
+/// Recursive coordinate bisection over 2-D points: recursively splits
+/// the point set at the median of its wider coordinate axis, dividing
+/// the target part count proportionally. Works for any nparts >= 1;
+/// part sizes differ by at most one when nparts divides evenly.
+std::vector<PartId> rcb_partition(std::span<const Point> points,
+                                  std::int32_t nparts);
+
+/// RCB over mesh vertices.
+std::vector<PartId> rcb_vertex_partition(const TriMesh& mesh,
+                                         std::int32_t nparts);
+
+/// RCB over triangle centroids (for cell-centred solvers).
+std::vector<PartId> rcb_cell_partition(const TriMesh& mesh,
+                                       std::int32_t nparts);
+
+/// Greedy graph-growing partitioner over mesh vertices: parts are grown
+/// one at a time by breadth-first search from a peripheral seed until
+/// each reaches its size quota (Farhat's frontier method). Uses only
+/// connectivity — no coordinates — so it also works for graphs with no
+/// meaningful geometry; on smooth planar meshes its halos are close to
+/// RCB's. Parts are balanced to within one vertex.
+std::vector<PartId> graph_grow_partition(const TriMesh& mesh,
+                                         std::int32_t nparts);
+
+/// Sizes of each part (histogram of `part`).
+std::vector<std::int32_t> part_sizes(std::span<const PartId> part,
+                                     std::int32_t nparts);
+
+}  // namespace cm5::mesh

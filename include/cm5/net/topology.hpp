@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file topology.hpp
+/// The CM-5 data-network topology: a 4-ary fat tree with bandwidth
+/// thinning near the leaves.
+///
+/// Paper §2: nodes are grouped in clusters of 4; peak per-node bandwidth
+/// is 20 MB/s inside a cluster and the network guarantees a system-wide
+/// floor of 5 MB/s per node. The real machine achieves this with a fat
+/// tree whose first two switch levels have fewer parent links than child
+/// links (thinning 2:1 at each of the first two levels, full bandwidth
+/// above), giving the well-known 20/10/5 MB/s per-node profile at
+/// nearest-common-ancestor heights 1/2/≥3.
+///
+/// We model the network at subtree granularity: every subtree of 4^l
+/// consecutive nodes has one aggregate uplink and one aggregate downlink
+/// to its parent. Aggregate capacities are chosen so the per-node
+/// guarantees above hold exactly when all nodes in a subtree communicate
+/// outward simultaneously. This flow-level abstraction deliberately drops
+/// per-packet random routing (see DESIGN.md §4): at the time scales the
+/// paper measures, random routing's observable effect *is* the aggregate
+/// subtree capacity.
+
+namespace cm5::net {
+
+/// Index of a simulated processing node, 0-based, contiguous.
+using NodeId = std::int32_t;
+
+/// Index of a directed link in the LinkTable.
+using LinkId = std::int32_t;
+
+/// Static description of the fat tree's shape and capacities.
+struct FatTreeConfig {
+  /// Number of processing nodes. Any value >= 1; CM-5 partitions were
+  /// powers of two (32..1024), and benches use those.
+  std::int32_t num_nodes = 32;
+
+  /// Fan-in of each switch level. The CM-5 data network is 4-ary.
+  std::int32_t arity = 4;
+
+  /// Guaranteed per-node bandwidth (bytes/second) when the
+  /// nearest-common-ancestor of the communicating pair sits at height h
+  /// (h = 1 means same cluster of `arity`). Element [0] is height 1.
+  /// Heights beyond the vector reuse the last element (no further
+  /// thinning above the listed levels — true of the CM-5 above level 2).
+  std::vector<double> per_node_bw_at_height = {20e6, 10e6, 5e6};
+
+  /// Returns the CM-5 configuration from paper §2 for a partition size.
+  static FatTreeConfig cm5(std::int32_t num_nodes);
+};
+
+/// One directed link with its aggregate capacity.
+struct Link {
+  double capacity = 0.0;  ///< bytes per second
+};
+
+/// Precomputed fat-tree structure: link table and routing.
+///
+/// Links, per node n: inject(n) (node -> leaf switch) and eject(n)
+/// (leaf switch -> node), both at the height-1 per-node bandwidth.
+/// Links, per level-l subtree s (l >= 1, only subtrees that have a
+/// parent): up(l, s) and down(l, s) with aggregate capacity
+/// `min(subtree_size, num_nodes - subtree_start) * per_node_bw(l + 1)`.
+class FatTreeTopology {
+ public:
+  explicit FatTreeTopology(FatTreeConfig config);
+
+  const FatTreeConfig& config() const noexcept { return config_; }
+  std::int32_t num_nodes() const noexcept { return config_.num_nodes; }
+
+  /// Number of switch levels above the nodes: smallest L with
+  /// arity^L >= num_nodes (at least 1 so singleton machines still route).
+  std::int32_t levels() const noexcept { return levels_; }
+
+  /// Height of the nearest common ancestor of a and b: 1 if they share a
+  /// leaf switch (cluster of `arity`), up to levels() at the root.
+  /// Requires a != b.
+  std::int32_t nca_height(NodeId a, NodeId b) const;
+
+  /// Per-node guaranteed bandwidth for a pair with NCA at `height`.
+  double per_node_bw(std::int32_t height) const;
+
+  /// Total number of directed links.
+  std::int32_t num_links() const noexcept { return static_cast<std::int32_t>(links_.size()); }
+
+  /// Capacity lookup.
+  const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  /// The route (sequence of directed links) for a message src -> dst:
+  /// inject(src), up-links of src's subtrees below the NCA, down-links of
+  /// dst's subtrees below the NCA, eject(dst). Requires src != dst.
+  const std::vector<LinkId>& route(NodeId src, NodeId dst) const;
+
+  /// Named link accessors (used by tests and the stats module).
+  LinkId inject_link(NodeId n) const;
+  LinkId eject_link(NodeId n) const;
+  /// Uplink of the level-l subtree containing node n (1 <= l < levels()).
+  LinkId up_link(std::int32_t level, NodeId n) const;
+  /// Downlink of the level-l subtree containing node n.
+  LinkId down_link(std::int32_t level, NodeId n) const;
+
+  /// Level of a link: 0 for inject/eject, l for subtree links — used for
+  /// per-level traffic statistics.
+  std::int32_t link_level(LinkId id) const;
+
+ private:
+  std::int32_t subtree_index(std::int32_t level, NodeId n) const;
+
+  FatTreeConfig config_;
+  std::int32_t levels_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::int32_t> link_levels_;
+  // Link layout: [inject x N][eject x N][per level l=1..levels-1: up x
+  // ceil(N/arity^l), then down x ceil(N/arity^l)].
+  std::vector<std::int32_t> level_offset_;  // first link id of level l's ups
+  std::vector<std::int32_t> level_count_;   // number of subtrees at level l
+  // Route cache, indexed src * N + dst (empty vector on the diagonal).
+  mutable std::vector<std::vector<LinkId>> route_cache_;
+};
+
+}  // namespace cm5::net

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file wire.hpp
+/// CM-5 data-network wire format.
+///
+/// Paper §2: "A data message is broken into a collection of packets. The
+/// packet size is 20 bytes, of which 16 bytes are for user data and the
+/// remaining 4 bytes contain control information."
+
+namespace cm5::net {
+
+/// Packetization parameters.
+struct WireFormat {
+  std::int32_t packet_bytes = 20;   ///< total bytes per packet on the wire
+  std::int32_t payload_bytes = 16;  ///< user bytes carried per packet
+
+  /// Bytes that actually cross the network for a `user_bytes` message.
+  /// Zero-byte messages still cost one packet (the rendezvous/header
+  /// traffic exists even for empty payloads).
+  std::int64_t wire_bytes(std::int64_t user_bytes) const noexcept {
+    if (user_bytes <= 0) return packet_bytes;
+    const std::int64_t packets =
+        (user_bytes + payload_bytes - 1) / payload_bytes;
+    return packets * packet_bytes;
+  }
+
+  /// Peak user-data throughput as a fraction of raw link bandwidth
+  /// (16/20 = 0.8 for the CM-5).
+  double efficiency() const noexcept {
+    return static_cast<double>(payload_bytes) / static_cast<double>(packet_bytes);
+  }
+};
+
+}  // namespace cm5::net

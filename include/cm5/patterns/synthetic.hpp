@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cm5/sched/pattern.hpp"
+
+/// \file synthetic.hpp
+/// Synthetic irregular communication patterns (paper §4.5): "We have
+/// created synthetic communication patterns with different communication
+/// densities of 10%, 25%, 50% and 75% of complete exchange."
+
+namespace cm5::patterns {
+
+/// Generates a random pattern in which each of the N*(N-1) possible
+/// messages exists independently with probability `density`, and every
+/// existing message carries `bytes` bytes. Deterministic in `seed`.
+sched::CommPattern random_density(std::int32_t nprocs, double density,
+                                  std::int64_t bytes, std::uint64_t seed);
+
+/// Like random_density, but with *exactly* round(density * N * (N-1))
+/// messages (a uniform sample without replacement) — keeps the measured
+/// density on target for small machines where the binomial variance of
+/// random_density would blur the Table 11 columns.
+sched::CommPattern exact_density(std::int32_t nprocs, double density,
+                                 std::int64_t bytes, std::uint64_t seed);
+
+/// A nearest-neighbour ring pattern with `halo` neighbours on each side
+/// (regular but sparse — used by tests and the pattern explorer).
+sched::CommPattern ring(std::int32_t nprocs, std::int32_t halo,
+                        std::int64_t bytes);
+
+/// A transpose-style permutation pattern: i sends only to (i + shift) mod N.
+sched::CommPattern shift(std::int32_t nprocs, std::int32_t amount,
+                         std::int64_t bytes);
+
+}  // namespace cm5::patterns

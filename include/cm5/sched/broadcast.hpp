@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+
+/// \file broadcast.hpp
+/// One-to-all broadcast algorithms (paper §3.6): Linear Broadcast (LIB),
+/// Recursive Broadcast (REB), and the CMMD system broadcast baseline.
+///
+/// LIB/REB run on the data network with point-to-point messages; the
+/// system broadcast uses the control network and requires the whole
+/// partition to participate (which is exactly why the paper proposes REB
+/// for *selective* broadcasts to processor subsets).
+
+namespace cm5::sched {
+
+using machine::Node;
+using machine::NodeId;
+
+enum class BroadcastAlgorithm { Linear, Recursive, System };
+
+const char* broadcast_name(BroadcastAlgorithm algorithm);
+
+inline constexpr BroadcastAlgorithm kAllBroadcastAlgorithms[] = {
+    BroadcastAlgorithm::Linear, BroadcastAlgorithm::Recursive,
+    BroadcastAlgorithm::System};
+
+// --- timing runs (phantom payloads) ----------------------------------------
+
+/// LIB: the root sends the message to each other processor in turn;
+/// N-1 blocking sends.
+void run_linear_broadcast(Node& node, NodeId root, std::int64_t bytes);
+
+/// REB (Figure 9): lg N rounds of recursive doubling; in round j the
+/// 2^(j-1) processors that already hold the message each forward it
+/// half the remaining distance. Requires a power-of-two machine.
+void run_recursive_broadcast(Node& node, NodeId root, std::int64_t bytes);
+
+/// The CMMD system broadcast on the control network (flat in N).
+void run_system_broadcast(Node& node, NodeId root, std::int64_t bytes);
+
+/// Dispatches on `algorithm`.
+void broadcast(Node& node, BroadcastAlgorithm algorithm, NodeId root,
+               std::int64_t bytes);
+
+/// Extension: pipelined chain broadcast. The message is cut into
+/// `segments` chunks and pushed along the chain root -> root+1 -> ...;
+/// every node forwards chunk k while chunk k+1 travels behind it. For
+/// large messages this approaches link-bandwidth optimality (each byte
+/// crosses each node once), beating both REB (lg N full copies) and the
+/// van de Geijn scatter+all-gather. Costs (N + segments) pipeline stages
+/// of per-message overhead, so it loses badly for small messages.
+void run_pipelined_broadcast(Node& node, NodeId root, std::int64_t bytes,
+                             std::int32_t segments);
+
+// --- data-carrying variants -------------------------------------------------
+
+/// REB carrying real data; returns the root's payload on every node
+/// (the root gets its own data back).
+std::vector<std::byte> recursive_broadcast_data(Node& node, NodeId root,
+                                                std::span<const std::byte> data);
+
+/// LIB carrying real data.
+std::vector<std::byte> linear_broadcast_data(Node& node, NodeId root,
+                                             std::span<const std::byte> data);
+
+}  // namespace cm5::sched

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "cm5/sched/pattern.hpp"
+#include "cm5/sched/schedule.hpp"
+
+/// \file builders.hpp
+/// Schedule construction algorithms (paper §3 and §4).
+///
+/// The same four builders serve both regimes the paper studies:
+///   - applied to CommPattern::complete_exchange they produce the regular
+///     algorithms LEX (linear), PEX (pairwise), BEX (balanced);
+///   - applied to an irregular pattern they are the runtime schedulers
+///     LS, PS, BS, and GS (greedy).
+///
+/// REX (recursive exchange) is not schedule-driven — it combines messages
+/// store-and-forward style — and lives in complete_exchange.hpp.
+
+namespace cm5::sched {
+
+/// Linear scheduling (LEX / LS, §3.1 and §4.1). Step i: every processor
+/// j with pattern[j][i] > 0 sends to processor i. N steps; receives at a
+/// step's target are serialized by the synchronous messaging, which is
+/// why the paper finds this algorithm uniformly worst.
+CommSchedule build_linear(const CommPattern& pattern);
+
+/// Pairwise scheduling (PEX / PS, §3.2 and §4.2). Step j (1 <= j < N)
+/// pairs processor i with i XOR j; the pair exchanges whatever the
+/// pattern requires (possibly one-way, possibly nothing). Requires N to
+/// be a power of two.
+CommSchedule build_pairwise(const CommPattern& pattern);
+
+/// Balanced scheduling (BEX / BS, §3.4 and §4.3). Pairwise applied to
+/// virtual processor numbers (virtual = physical + 1 mod N), which
+/// staggers every cluster across two physical clusters and thereby
+/// spreads root-crossing traffic across all steps. Requires N to be a
+/// power of two.
+CommSchedule build_balanced(const CommPattern& pattern);
+
+/// Greedy scheduling (GS, §4.4, Figure 12). Each step, processors in
+/// id order claim their next pending destination whose receive slot is
+/// still free this step; if the destination also has a pending message
+/// back, the pair is scheduled as an exchange. Produces the minimum
+/// step count of the four algorithms at low densities.
+CommSchedule build_greedy(const CommPattern& pattern);
+
+/// Identifiers for the four schedule builders, used by benches/examples.
+enum class Scheduler { Linear, Pairwise, Balanced, Greedy };
+
+/// Dispatches to the builder for `scheduler`.
+CommSchedule build_schedule(Scheduler scheduler, const CommPattern& pattern);
+
+/// Human-readable name ("Linear", "Pairwise", ...).
+const char* scheduler_name(Scheduler scheduler);
+
+}  // namespace cm5::sched

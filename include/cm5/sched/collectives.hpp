@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+
+/// \file collectives.hpp
+/// Additional collective operations built on the CMMD point-to-point
+/// layer — extensions beyond the paper's complete exchange and
+/// broadcast, rounding the library out to the collective set that later
+/// message-passing systems (and eventually MPI) standardized. Each has a
+/// phantom (timing) form and, where data flows matter, a data-carrying
+/// form used by tests.
+///
+/// All tree/doubling algorithms assume a power-of-two machine, like the
+/// paper's REX/REB, and use the paper's Figure 2 convention (the lower
+/// physical number receives first) for their exchanges.
+
+namespace cm5::sched {
+
+using machine::Node;
+using machine::NodeId;
+
+// --- all-gather (recursive doubling) ----------------------------------------
+
+/// Timing form: every node contributes `bytes`; after lg N doubling
+/// steps every node holds all N contributions. Step k exchanges
+/// 2^k * bytes with partner (self XOR 2^k).
+void all_gather(Node& node, std::int64_t bytes);
+
+/// Data form: returns all nodes' contributions, indexed by node id.
+std::vector<std::vector<std::byte>> all_gather_data(
+    Node& node, std::span<const std::byte> mine);
+
+// --- reduction over the data network ----------------------------------------
+
+/// Element-wise global sum of `values` across nodes, computed by
+/// recursive doubling on the *data* network (lg N exchanges of the full
+/// vector plus local adds). The control network (Node::reduce_sum) only
+/// combines scalars; for long vectors this data-network form wins —
+/// bench `ext_collectives` locates the crossover.
+void all_reduce_sum(Node& node, std::span<double> values);
+
+/// Timing-only form of the control-network alternative: `length`
+/// sequential scalar combines.
+void control_network_vector_reduce(Node& node, std::int64_t length);
+
+// --- gather / scatter (binomial trees) --------------------------------------
+
+/// Timing form: every non-root contributes `bytes`; the root ends up
+/// holding all of them. Binomial tree: lg N rounds, message sizes grow
+/// toward the root.
+void gather(Node& node, NodeId root, std::int64_t bytes);
+
+/// Data form: on the root, returns all contributions indexed by node id
+/// (the root's own included); on other nodes, returns an empty vector.
+std::vector<std::vector<std::byte>> gather_data(
+    Node& node, NodeId root, std::span<const std::byte> mine);
+
+/// Timing form: the root sends a distinct `bytes` block to every node;
+/// reverse binomial tree.
+void scatter(Node& node, NodeId root, std::int64_t bytes);
+
+/// Data form: `blocks` is significant on the root only (one block per
+/// node, equal sizes); returns this node's block.
+std::vector<std::byte> scatter_data(
+    Node& node, NodeId root,
+    const std::vector<std::vector<std::byte>>& blocks);
+
+// --- large-message broadcast (van de Geijn) ----------------------------------
+
+/// Scatter + all-gather broadcast: the root scatters 1/N-size chunks,
+/// then an all-gather reassembles the full message everywhere. Moves
+/// ~2x the minimum volume per node but in 1/N-size pipelined pieces —
+/// beats the single-tree REB for large messages on thin trees.
+/// `bytes` must be divisible by nprocs. Timing form.
+void broadcast_scatter_allgather(Node& node, NodeId root, std::int64_t bytes);
+
+}  // namespace cm5::sched

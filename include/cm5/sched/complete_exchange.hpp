@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+
+/// \file complete_exchange.hpp
+/// The paper's four complete-exchange (all-to-all personalized)
+/// algorithms (§3.1-§3.4), as node programs faithful to Figures 2-4.
+///
+/// LEX, PEX and BEX move one message per destination; REX combines
+/// messages store-and-forward style over lg N steps, paying pack/unpack
+/// reshuffle costs (charged to the compute model) and transmitting
+/// n*N/2 bytes per step.
+
+namespace cm5::sched {
+
+using machine::Node;
+using machine::NodeId;
+
+/// The four algorithms of paper §3.
+enum class ExchangeAlgorithm { Linear, Pairwise, Recursive, Balanced };
+
+/// "Linear", "Pairwise", "Recursive", "Balanced".
+const char* exchange_name(ExchangeAlgorithm algorithm);
+
+/// All four, in the paper's order.
+inline constexpr ExchangeAlgorithm kAllExchangeAlgorithms[] = {
+    ExchangeAlgorithm::Linear, ExchangeAlgorithm::Pairwise,
+    ExchangeAlgorithm::Recursive, ExchangeAlgorithm::Balanced};
+
+// --- timing runs (phantom payloads) ----------------------------------------
+
+/// Linear exchange (§3.1, Table 1): N steps; in step i every other
+/// processor sends its message to processor i. With blocking rendezvous
+/// the sends serialize at the receiver — the paper's worst performer.
+void run_linear_exchange(Node& node, std::int64_t bytes);
+
+/// Pairwise exchange (§3.2, Figure 2): N-1 steps; step j pairs each
+/// processor with (self XOR j); the lower number receives first.
+/// Requires a power-of-two machine.
+void run_pairwise_exchange(Node& node, std::int64_t bytes);
+
+/// Recursive exchange (§3.3, Figure 3): lg N steps of combined messages
+/// of n*N/2 bytes, with pack/unpack reshuffle charged per step.
+/// Requires a power-of-two machine.
+void run_recursive_exchange(Node& node, std::int64_t bytes);
+
+/// Balanced exchange (§3.4, Figure 4): pairwise exchange on virtual
+/// processor numbers (virtual = physical + 1 mod N), which spreads
+/// root-crossing exchanges across all steps instead of concentrating
+/// them. Requires a power-of-two machine.
+void run_balanced_exchange(Node& node, std::int64_t bytes);
+
+/// Dispatches on `algorithm`.
+void complete_exchange(Node& node, ExchangeAlgorithm algorithm,
+                       std::int64_t bytes);
+
+/// §3.1 ablation: linear exchange with the non-blocking sends the paper
+/// wishes it had ("If asynchronous communication is allowed, processors
+/// need not wait for their messages to be received...").
+void run_linear_exchange_async(Node& node, std::int64_t bytes);
+
+/// Extension (A4 ablation): the same algorithms using the full-duplex
+/// CMMD_swap primitive, so the two directions of every exchange overlap
+/// instead of serializing as in Figures 2-4. REX benefits the most — its
+/// per-step transfers are the largest.
+void run_pairwise_exchange_swap(Node& node, std::int64_t bytes);
+void run_balanced_exchange_swap(Node& node, std::int64_t bytes);
+void run_recursive_exchange_swap(Node& node, std::int64_t bytes);
+
+// --- data-carrying all-to-all ----------------------------------------------
+
+/// Redistributes real data: on entry blocks[d] holds this node's bytes
+/// destined for node d (blocks[self] is kept as-is); on return blocks[s]
+/// holds the bytes node s sent to this node. All off-diagonal blocks must
+/// have equal size (a complete exchange). Every node must pass the same
+/// algorithm.
+void all_to_all(Node& node, ExchangeAlgorithm algorithm,
+                std::vector<std::vector<std::byte>>& blocks);
+
+}  // namespace cm5::sched

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "cm5/machine/params.hpp"
+#include "cm5/net/topology.hpp"
+#include "cm5/sched/builders.hpp"
+#include "cm5/sched/schedule.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file estimate.hpp
+/// Analytic schedule cost estimation and runtime scheduler selection —
+/// the operational form of the paper's §5 conclusions ("the greedy
+/// algorithm performs the best when the communication density is less
+/// than 50%; the balanced exchange algorithm performs the best when the
+/// communication density is higher...").
+///
+/// A runtime system that captures a communication pattern (paper §4)
+/// must *choose* a scheduler before executing it. Two policies:
+///
+///   * recommend_scheduler_paper_rule — the paper's density threshold;
+///   * recommend_scheduler_estimated  — evaluate an analytic cost model
+///     on every candidate schedule and pick the cheapest. The model is
+///     deliberately simple (O(total ops), no event simulation): per
+///     step, each processor's operations serialize; each message costs
+///     overhead + latency + wire bytes at the saturated per-node rate of
+///     its NCA height; the step costs the maximum over processors (the
+///     paper's runtime is step-synchronized).
+
+namespace cm5::sched {
+
+/// Analytic estimate of the step-synchronized execution time of
+/// `schedule` on a machine described by `params` (whose tree must match
+/// `schedule.nprocs()`). Not exact — contention is approximated by the
+/// saturated per-node bandwidth at each message's tree height — but
+/// cheap, monotone in the schedule's work, and accurate enough to rank
+/// schedulers (see the estimate tests and ext_overhead_sensitivity).
+util::SimDuration estimate_schedule_time(const CommSchedule& schedule,
+                                         const machine::MachineParams& params);
+
+/// The paper's §5 rule: Greedy below 50% density, Balanced at or above.
+/// (Linear is never recommended; the paper shows it uniformly worst.)
+Scheduler recommend_scheduler_paper_rule(const CommPattern& pattern);
+
+/// Builds all applicable schedules, estimates each, returns the argmin.
+/// On non-power-of-two machines only Linear and Greedy are candidates.
+Scheduler recommend_scheduler_estimated(const CommPattern& pattern,
+                                        const machine::MachineParams& params);
+
+}  // namespace cm5::sched

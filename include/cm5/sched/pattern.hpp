@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+
+/// \file pattern.hpp
+/// Communication patterns (paper §4): "A communication pattern is
+/// represented as a two-dimensional array called 'Pattern'. The element
+/// Pattern[i][j] indicates the number of bytes to be sent from processor
+/// i to processor j."
+
+namespace cm5::sched {
+
+using net::NodeId;
+
+/// An N x N matrix of message sizes; entry (i, j) is the number of bytes
+/// processor i must send to processor j. The diagonal is always zero.
+class CommPattern {
+ public:
+  /// Creates an all-zero pattern for `nprocs` processors.
+  explicit CommPattern(std::int32_t nprocs);
+
+  std::int32_t nprocs() const noexcept { return nprocs_; }
+
+  /// Bytes from src to dst. Requires valid ids; (i, i) is always 0.
+  std::int64_t at(NodeId src, NodeId dst) const;
+
+  /// Sets the bytes from src to dst. Requires src != dst, bytes >= 0.
+  void set(NodeId src, NodeId dst, std::int64_t bytes);
+
+  /// Number of nonzero (src, dst) entries — "communication operations".
+  std::int64_t num_messages() const noexcept { return num_messages_; }
+
+  /// Sum of all entries.
+  std::int64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Fraction of off-diagonal entries that are nonzero, in [0, 1] —
+  /// the paper's "communication density ... of complete exchange".
+  double density() const noexcept;
+
+  /// Average bytes per nonzero entry (Table 12's "avg bytes"); 0 if empty.
+  double avg_message_bytes() const noexcept;
+
+  /// True if at(i, j) == at(j, i) for all pairs.
+  bool is_symmetric() const;
+
+  /// The complete-exchange pattern: every pair exchanges `bytes`.
+  static CommPattern complete_exchange(std::int32_t nprocs,
+                                       std::int64_t bytes);
+
+  /// The 8-processor irregular pattern 'P' of paper Table 6 (1 byte per
+  /// marked entry; scale with `bytes_per_message`).
+  static CommPattern paper_pattern_p(std::int64_t bytes_per_message = 1);
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const;
+
+  std::int32_t nprocs_;
+  std::vector<std::int64_t> bytes_;
+  std::int64_t num_messages_ = 0;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace cm5::sched

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sched/schedule.hpp"
+
+/// \file report.hpp
+/// One-stop schedule diagnostics: everything the paper's §3-4 arguments
+/// reason about (step counts, message/byte volume, per-step load, root
+/// crossings) computed for an arbitrary schedule and rendered as text —
+/// the analysis a runtime would log when choosing a scheduler.
+
+namespace cm5::sched {
+
+struct ScheduleReport {
+  std::int32_t nprocs = 0;
+  std::int32_t steps = 0;
+  std::int32_t busy_steps = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bytes = 0;
+
+  /// Largest number of messages any processor handles inside one step
+  /// (its in-step serialization; 2 for exchanges, higher for LS
+  /// receivers).
+  std::int32_t max_ops_per_proc_step = 0;
+
+  /// Busy processors per busy step, averaged — the paper's idle-processor
+  /// argument in one number (LS scores ~2/N, pairwise-style ~1).
+  double avg_busy_fraction = 0.0;
+
+  /// Byte-load imbalance: max over processors of total bytes sent,
+  /// divided by the mean (1.0 = perfectly balanced senders).
+  double send_imbalance = 0.0;
+
+  /// Messages crossing the fat tree's top level, per step.
+  StepTrafficStats root_crossings;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Computes every metric in one pass over the schedule.
+ScheduleReport analyze_schedule(const CommSchedule& schedule,
+                                const net::FatTreeTopology& topo);
+
+}  // namespace cm5::sched

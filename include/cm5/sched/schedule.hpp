@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sched/pattern.hpp"
+
+/// \file schedule.hpp
+/// Communication schedules: who talks to whom at each step.
+///
+/// A schedule assigns every message of a CommPattern to a step. Within a
+/// step each processor executes its operations in a canonical order (see
+/// executor.hpp) so that synchronous rendezvous messaging cannot deadlock.
+
+namespace cm5::sched {
+
+/// One communication operation from one processor's point of view.
+struct Op {
+  enum class Kind : std::uint8_t {
+    Send,      ///< one-way send to `peer`
+    Recv,      ///< one-way receive from `peer`
+    Exchange,  ///< bidirectional: send `send_bytes`, receive `recv_bytes`
+  };
+  Kind kind = Kind::Send;
+  NodeId peer = 0;
+  std::int64_t send_bytes = 0;  ///< meaningful for Send / Exchange
+  std::int64_t recv_bytes = 0;  ///< meaningful for Recv / Exchange
+};
+
+/// A full communication schedule for `nprocs` processors.
+class CommSchedule {
+ public:
+  explicit CommSchedule(std::int32_t nprocs);
+
+  std::int32_t nprocs() const noexcept { return nprocs_; }
+
+  /// Number of steps (possibly including empty steps; see builders).
+  std::int32_t num_steps() const noexcept {
+    return static_cast<std::int32_t>(steps_.size());
+  }
+
+  /// Number of steps in which at least one operation happens — the count
+  /// the paper reports ("the entire communication is done in 6 steps").
+  std::int32_t num_busy_steps() const;
+
+  /// Appends an empty step and returns its index.
+  std::int32_t add_step();
+
+  /// Records a one-way message src -> dst of `bytes` in `step`.
+  /// Adds a Send op to src and a matching Recv op to dst.
+  void add_send(std::int32_t step, NodeId src, NodeId dst, std::int64_t bytes);
+
+  /// Records a bidirectional exchange in `step`.
+  void add_exchange(std::int32_t step, NodeId a, NodeId b,
+                    std::int64_t a_to_b_bytes, std::int64_t b_to_a_bytes);
+
+  /// Operations of `proc` at `step`, in insertion order.
+  const std::vector<Op>& ops(std::int32_t step, NodeId proc) const;
+
+  /// Total messages across all steps (exchanges count as two).
+  std::int64_t num_messages() const;
+
+  /// Verifies that executing this schedule delivers exactly `pattern`:
+  /// every (src, dst, bytes) entry is covered once, nothing extra, and
+  /// every Send has its Recv in the same step. Throws CheckError with a
+  /// description on violation.
+  void validate_against(const CommPattern& pattern) const;
+
+  /// Drops empty steps at the tail (steps that scheduled nothing).
+  void trim_trailing_empty_steps();
+
+  /// Renders a compact human-readable table ("0<->1  2->3 ...") — the
+  /// format of the paper's Tables 7-10.
+  std::string to_string() const;
+
+ private:
+  std::int32_t nprocs_;
+  // steps_[step][proc] = ops
+  std::vector<std::vector<std::vector<Op>>> steps_;
+};
+
+/// Per-step traffic metrics of a schedule against a topology — used to
+/// verify the paper's §3.4 claim that BEX spreads root crossings evenly
+/// while PEX concentrates them.
+struct StepTrafficStats {
+  /// For each step, the number of messages whose route crosses the
+  /// fat-tree level at `height` or above (e.g. the root).
+  std::vector<std::int32_t> crossings_per_step;
+  std::int32_t max_crossings = 0;
+  std::int32_t total_crossings = 0;
+  /// Number of steps where every message in the step crosses.
+  std::int32_t fully_crossing_steps = 0;
+};
+
+/// Counts messages per step whose endpoints have NCA height >= `height`.
+StepTrafficStats analyze_crossings(const CommSchedule& schedule,
+                                   const net::FatTreeTopology& topo,
+                                   std::int32_t height);
+
+}  // namespace cm5::sched

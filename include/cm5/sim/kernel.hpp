@@ -1,0 +1,306 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cm5/net/fluid_network.hpp"
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/message.hpp"
+#include "cm5/sim/trace.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file kernel.hpp
+/// Conservative sequential discrete-event kernel with direct execution.
+///
+/// Each simulated node runs its program on a dedicated OS thread, but the
+/// kernel enforces that exactly one thread executes simulated work at a
+/// time and always resumes the entity with the smallest virtual time
+/// (ties: pending events first, then lowest node id). This makes runs
+/// exactly deterministic and lets node programs be ordinary sequential
+/// C++ — the "direct execution" style of simulators like Wisconsin Wind
+/// Tunnel — while virtual time is tracked per node.
+///
+/// Synchronization model (matches CMMD 1.x on the 1992 CM-5, paper §2/§3):
+/// `post_send` is a blocking rendezvous — the sender does not resume until
+/// the matching receive was posted *and* the transfer completed. This is
+/// the "synchronous communication constraint" whose consequences the
+/// paper measures. `post_send_async` (an extension, used by the ablation
+/// benches) returns as soon as the message is handed to the network layer.
+
+namespace cm5::sim {
+
+/// Thrown from every blocked node when the simulation can no longer make
+/// progress (all nodes blocked, no events pending).
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown from nodes when the run is aborted because another node failed.
+class AbortError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-node accounting, reported in RunResult.
+struct NodeCounters {
+  std::int64_t sends = 0;
+  std::int64_t receives = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t global_ops = 0;
+  util::SimDuration compute_time = 0;  ///< time charged via advance()
+};
+
+/// Result of Kernel::run().
+struct RunResult {
+  /// Virtual time at which each node's program returned.
+  std::vector<util::SimTime> finish_time;
+  /// max(finish_time): the makespan the paper's tables report.
+  util::SimTime makespan = 0;
+  std::vector<NodeCounters> node_counters;
+  net::NetworkStats network;
+};
+
+class Kernel;
+
+/// Handle a node program uses to interact with the simulation.
+/// Valid only inside the program invocation it was passed to.
+class NodeHandle {
+ public:
+  /// This node's rank in [0, nprocs).
+  NodeId id() const noexcept { return id_; }
+  /// Number of nodes in the partition.
+  std::int32_t nprocs() const noexcept;
+  /// This node's current virtual time.
+  util::SimTime now() const;
+
+  /// Charges `d` of local computation time to this node's clock.
+  void advance(util::SimDuration d);
+
+  /// Blocking (rendezvous) send; returns when the transfer completed.
+  /// `wire_bytes` is what crosses the network (packetized size);
+  /// `latency` is the per-message network latency. The caller (machine
+  /// layer) owns overhead/packetization policy.
+  void post_send(NodeId dst, std::int32_t tag, std::int64_t user_bytes,
+                 std::int64_t wire_bytes, util::SimDuration latency,
+                 std::vector<std::byte> payload);
+
+  /// Non-blocking send: returns immediately after hand-off; the transfer
+  /// proceeds (and completes) on its own once the receiver matches it.
+  void post_send_async(NodeId dst, std::int32_t tag, std::int64_t user_bytes,
+                       std::int64_t wire_bytes, util::SimDuration latency,
+                       std::vector<std::byte> payload);
+
+  /// Blocks until every async send this node posted has completed.
+  void wait_async_sends();
+
+  /// Blocking receive, matching (src, tag); kAnyNode / kAnyTag wildcard.
+  Message post_receive(NodeId src, std::int32_t tag);
+
+  /// Full-duplex exchange (CMMD_swap): blocks until the peer posts the
+  /// matching swap, then both directions transfer *simultaneously*;
+  /// returns the peer's message once both transfers complete. Both sides
+  /// must use the same tag. Contrast with the send/receive sequence of
+  /// Figure 2, which serializes the two directions.
+  Message post_swap(NodeId peer, std::int32_t tag, std::int64_t user_bytes,
+                    std::int64_t wire_bytes, util::SimDuration latency,
+                    std::vector<std::byte> payload);
+
+  /// Generic synchronous global operation (the control network).
+  /// Blocks until every node has called it; all nodes resume at
+  /// max(arrival times) + duration. Returns the concatenation of all
+  /// nodes' contributions in node order (so reductions sum the pieces,
+  /// broadcasts have only the root contribute). Every global op across
+  /// nodes must execute in the same order — mismatches deadlock.
+  std::vector<std::byte> global_op(std::span<const std::byte> contribution,
+                                   util::SimDuration duration);
+
+ private:
+  friend class Kernel;
+  NodeHandle(Kernel* kernel, NodeId id) : kernel_(kernel), id_(id) {}
+  Kernel* kernel_;
+  NodeId id_;
+};
+
+/// A node program: runs once per node with that node's handle.
+using NodeProgram = std::function<void(NodeHandle&)>;
+
+/// The discrete-event kernel. One instance per run() call is typical;
+/// the object is reusable sequentially but not concurrently.
+class Kernel {
+ public:
+  /// The topology reference must outlive the kernel.
+  explicit Kernel(const net::FatTreeTopology& topo);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Runs `program` on every node of the topology to completion and
+  /// returns timing/traffic results. Rethrows the first node error;
+  /// throws DeadlockError (with a per-node diagnostic) on deadlock.
+  RunResult run(const NodeProgram& program);
+
+  /// Installs (or clears, with nullptr) a trace sink for subsequent
+  /// runs. The sink is invoked under the kernel lock in virtual-time
+  /// order; it must not call back into the kernel.
+  void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+ private:
+  friend class NodeHandle;
+
+  enum class NodeStatus : std::uint8_t { Runnable, Blocked, Done };
+
+  struct PendingSend {
+    NodeId src;
+    std::int32_t tag;
+    std::int64_t user_bytes;
+    std::int64_t wire_bytes;
+    util::SimDuration latency;
+    std::vector<std::byte> payload;
+    util::SimTime post_time;
+    bool async;
+    std::int64_t seq;  ///< matching order among equal (src,dst,tag)
+  };
+
+  struct PendingRecv {
+    NodeId src_filter;
+    std::int32_t tag_filter;
+    util::SimTime post_time;
+  };
+
+  enum class TransferKind : std::uint8_t {
+    Sync,   ///< blocking send: sender wakes at completion
+    Async,  ///< non-blocking send: only async accounting on the sender
+    Swap,   ///< one direction of a full-duplex exchange
+  };
+
+  struct Transfer {
+    NodeId src;
+    NodeId dst;
+    std::int64_t user_bytes;
+    std::int32_t tag;
+    std::vector<std::byte> payload;
+    TransferKind kind;
+  };
+
+  struct PendingSwap {
+    NodeId poster;
+    NodeId peer;
+    std::int32_t tag;
+    std::int64_t user_bytes;
+    std::int64_t wire_bytes;
+    util::SimDuration latency;
+    std::vector<std::byte> payload;
+    util::SimTime post_time;
+  };
+
+  struct QueuedEvent {
+    util::SimTime time;
+    std::int64_t seq;
+    // A queued event is always a delayed flow start (latency phase done).
+    std::int64_t transfer_id;
+    std::int64_t wire_bytes;
+    NodeId src;
+    NodeId dst;
+    bool operator>(const QueuedEvent& other) const noexcept {
+      return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+  };
+
+  struct NodeState {
+    util::SimTime clock = 0;
+    NodeStatus status = NodeStatus::Runnable;
+    bool has_token = false;
+    std::condition_variable cv;
+    std::string blocked_on;  ///< diagnostic for deadlock reports
+    // Receive rendezvous slot.
+    bool recv_ready = false;
+    Message inbox;
+    std::optional<PendingRecv> posted_recv;
+    // Async-send accounting.
+    std::int64_t async_in_flight = 0;
+    bool waiting_async_drain = false;
+    // Full-duplex swap accounting: transfers (own outgoing + incoming)
+    // still in flight; the node wakes when this returns to zero.
+    std::int32_t swap_remaining = 0;
+    NodeCounters counters;
+  };
+
+  // --- all methods below require mutex_ held ---
+  void schedule_next(std::unique_lock<std::mutex>& lock);
+  void wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me);
+  void yield(std::unique_lock<std::mutex>& lock, NodeId me);
+  void start_transfer(util::SimTime match_time, PendingSend&& send, NodeId dst);
+  void start_raw_transfer(util::SimTime match_time, NodeId src, NodeId dst,
+                          std::int32_t tag, std::int64_t user_bytes,
+                          std::int64_t wire_bytes, util::SimDuration latency,
+                          std::vector<std::byte> payload, TransferKind kind);
+  void process_flow_start(const QueuedEvent& ev);
+  void process_completions(util::SimTime t);
+  void wake_node(NodeId id, util::SimTime t);
+  void check_abort(NodeId me) const;
+  [[noreturn]] void raise_deadlock(NodeId me);
+  std::string deadlock_report() const;
+  void node_main(const NodeProgram& program, NodeId id);
+  void emit(TraceEvent::Kind kind, util::SimTime time, NodeId node,
+            NodeId peer = -1, std::int64_t bytes = 0, std::int32_t tag = 0);
+
+  const net::FatTreeTopology& topo_;
+  std::unique_ptr<net::FluidNetwork> fluid_;
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::int32_t done_count_ = 0;
+  std::condition_variable run_done_cv_;
+  bool run_finished_ = false;
+
+  // Unmatched sends per destination node.
+  std::vector<std::deque<PendingSend>> send_queues_;
+  // Unmatched full-duplex swap posts.
+  std::vector<PendingSwap> pending_swaps_;
+
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                      std::greater<QueuedEvent>>
+      event_queue_;
+  std::int64_t event_seq_ = 0;
+  std::int64_t send_seq_ = 0;
+
+  // In-flight transfers: transfer id -> Transfer (id also keys flows).
+  std::vector<std::optional<Transfer>> transfers_;
+  // flow id (from fluid network) -> transfer id
+  std::vector<std::int64_t> flow_to_transfer_;
+
+  // Global-op (control network) state.
+  struct GlobalOpState {
+    std::int32_t arrivals = 0;
+    util::SimTime max_arrival = 0;
+    util::SimDuration duration = 0;
+    std::vector<std::vector<std::byte>> contributions;
+    std::vector<bool> waiting;
+    std::vector<std::byte> result;
+    std::int64_t generation = 0;
+    std::int32_t to_collect = 0;  ///< wakers not yet resumed
+  } gop_;
+
+  TraceSink trace_;
+
+  // Error handling.
+  bool abort_ = false;
+  bool deadlock_ = false;
+  std::string deadlock_message_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cm5::sim

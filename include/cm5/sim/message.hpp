@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+
+/// \file message.hpp
+/// Message representation for the simulated message-passing layer.
+
+namespace cm5::sim {
+
+using net::NodeId;
+
+/// Matches any source node in a receive.
+inline constexpr NodeId kAnyNode = -1;
+
+/// Matches any tag in a receive.
+inline constexpr std::int32_t kAnyTag = -1;
+
+/// A delivered message.
+///
+/// `size` is the user-visible byte count used for timing. `data` either
+/// holds exactly `size` bytes (a *real* payload — applications that
+/// verify numerical results use these) or is empty (a *phantom* payload —
+/// scheduling benches move only sizes, which is dramatically cheaper when
+/// simulating hundreds of nodes).
+struct Message {
+  NodeId src = kAnyNode;
+  std::int32_t tag = 0;
+  std::int64_t size = 0;
+  std::vector<std::byte> data;
+
+  bool is_phantom() const noexcept { return data.empty() && size > 0; }
+};
+
+}  // namespace cm5::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file trace.hpp
+/// Event tracing for simulated runs.
+///
+/// A trace sink receives one event per simulated action (message posted,
+/// transfer started/completed, compute, global op). Events arrive in
+/// *execution* order: per node the times are non-decreasing, but a node
+/// may emit an action before another node's earlier-time action runs
+/// (direct execution lets nodes run locally ahead until they block).
+/// TraceRecorder::sorted() gives the virtual-time ordering. Sinks run
+/// inside the kernel under its lock: they must be fast and must not
+/// call back into the simulation.
+
+namespace cm5::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Compute,           ///< node charged local compute time (`bytes` unused)
+    SendPosted,        ///< blocking or async send posted toward `peer`
+    RecvPosted,        ///< receive posted (peer may be kAnyNode)
+    SwapPosted,        ///< full-duplex swap posted toward `peer`
+    TransferStart,     ///< message entered the data network (node = src)
+    TransferComplete,  ///< message fully delivered (node = src)
+    GlobalOpEnter,     ///< node arrived at a control-network operation
+    GlobalOpComplete,  ///< all nodes released (node = last arriver)
+    NodeDone,          ///< node program returned
+  };
+
+  Kind kind{};
+  util::SimTime time = 0;     ///< when the event happened (virtual)
+  net::NodeId node = -1;      ///< acting node
+  net::NodeId peer = -1;      ///< counterpart, when meaningful
+  std::int64_t bytes = 0;     ///< user bytes (or compute duration in ns)
+  std::int32_t tag = 0;
+};
+
+/// Receives events as they happen.
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+/// "t=88.000 us  node 3  send -> 5  (256 B, tag 2)" style rendering.
+std::string to_string(const TraceEvent& event);
+
+/// Convenience sink: records all events in order and offers simple
+/// queries; used by tests and the pattern-explorer's --trace mode.
+class TraceRecorder {
+ public:
+  /// The sink to hand to the kernel. The recorder must outlive the run.
+  TraceSink sink();
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Events stably sorted by virtual time.
+  std::vector<TraceEvent> sorted() const;
+
+  /// Number of events of one kind.
+  std::int64_t count(TraceEvent::Kind kind) const;
+
+  /// Events involving one node (as actor or peer), in order.
+  std::vector<TraceEvent> for_node(net::NodeId node) const;
+
+  /// Renders up to `max_lines` events as text lines.
+  std::string render(std::size_t max_lines = 100) const;
+
+  /// Renders an ASCII timeline: one row per node, `width` time buckets
+  /// from t=0 to the last event. Bucket glyphs: '#' mostly compute,
+  /// '=' mostly in-transfer, '.' idle/blocked. Crude but very effective
+  /// for *seeing* LEX's serialization vs PEX's parallel steps.
+  std::string timeline(std::int32_t nprocs, std::size_t width = 72) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cm5::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/mesh/halo.hpp"
+#include "cm5/sched/builders.hpp"
+#include "cm5/sparse/csr.hpp"
+
+/// \file cg.hpp
+/// Conjugate-gradient solver — the paper's first real irregular workload
+/// (Table 12, "Conj. Grad. 16K"). The distributed variant partitions
+/// matrix rows over the simulated CM-5's nodes; every matrix-vector
+/// product triggers the halo exchange whose pattern Table 12 times, and
+/// every dot product is a control-network reduction.
+
+namespace cm5::sparse {
+
+struct CgResult {
+  std::int32_t iterations = 0;
+  double residual_norm = 0.0;
+  std::vector<double> x;
+  bool converged = false;
+};
+
+/// Sequential reference CG for SPD systems. Starts from x = 0, stops at
+/// ||r||_2 <= tol * ||b||_2 or max_iterations.
+CgResult cg_solve(const CsrMatrix& A, std::span<const double> b,
+                  std::int32_t max_iterations, double tol);
+
+/// Jacobi-preconditioned CG (extension): M = diag(A). The preconditioner
+/// application is purely local (no extra communication in the
+/// distributed form), so any iteration it saves is a free win on the
+/// simulated machine. Convergence test remains on ||r||_2.
+CgResult pcg_solve(const CsrMatrix& A, std::span<const double> b,
+                   std::int32_t max_iterations, double tol);
+
+/// Distributed CG, run inside a node program. Row r is owned by
+/// partition vertex_part[r]; ghost values are refreshed before every
+/// matvec by executing `scheduler`'s schedule for the halo pattern
+/// (sizeof(double) bytes per shared vertex). Every node receives the
+/// same full-length solution vector in the result (owned entries are
+/// exact; ghosts of other nodes are whatever the final exchange left —
+/// callers use owned entries only).
+///
+/// All nodes must call this with identical arguments. Compute time for
+/// the local matvec and vector updates is charged to the machine's
+/// compute model.
+CgResult cg_solve_distributed(machine::Node& node, const CsrMatrix& A,
+                              std::span<const double> b,
+                              std::span<const mesh::PartId> vertex_part,
+                              const mesh::HaloPlan& halo,
+                              sched::Scheduler scheduler,
+                              std::int32_t max_iterations, double tol);
+
+/// Distributed Jacobi-preconditioned CG. The preconditioner is applied
+/// to owned entries only (diag(A) is local), so the communication per
+/// iteration is identical to cg_solve_distributed — one halo exchange
+/// and three control-network reductions — while convergence improves on
+/// badly scaled systems.
+CgResult pcg_solve_distributed(machine::Node& node, const CsrMatrix& A,
+                               std::span<const double> b,
+                               std::span<const mesh::PartId> vertex_part,
+                               const mesh::HaloPlan& halo,
+                               sched::Scheduler scheduler,
+                               std::int32_t max_iterations, double tol);
+
+}  // namespace cm5::sparse

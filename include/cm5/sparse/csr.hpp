@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "cm5/mesh/mesh.hpp"
+
+/// \file csr.hpp
+/// Compressed-sparse-row matrices assembled from meshes — the substrate
+/// of the paper's conjugate-gradient workload (Table 12).
+
+namespace cm5::sparse {
+
+/// A square sparse matrix in CSR format.
+class CsrMatrix {
+ public:
+  /// Builds from triplets (duplicates summed). n is the dimension.
+  static CsrMatrix from_triplets(
+      std::int32_t n,
+      std::span<const std::tuple<std::int32_t, std::int32_t, double>> triplets);
+
+  /// The shifted graph Laplacian of a mesh: A = L + I with
+  /// L = D - Adj. Symmetric positive definite, one row per vertex,
+  /// sparsity = mesh connectivity — the classic nodal model problem.
+  static CsrMatrix mesh_laplacian(const mesh::TriMesh& mesh);
+
+  std::int32_t rows() const noexcept { return n_; }
+  std::int64_t nonzeros() const noexcept {
+    return static_cast<std::int64_t>(col_.size());
+  }
+
+  /// y = A x (full matrix).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y[r] = (A x)[r] for the given rows only; other entries of y are
+  /// untouched. The distributed CG uses this with each node's owned rows.
+  void multiply_rows(std::span<const std::int32_t> row_ids,
+                     std::span<const double> x, std::span<double> y) const;
+
+  /// Row access for tests.
+  std::span<const std::int32_t> row_cols(std::int32_t r) const;
+  std::span<const double> row_vals(std::int32_t r) const;
+
+  /// True if the matrix equals its transpose.
+  bool is_symmetric(double tol = 0.0) const;
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<std::int64_t> row_offset_;
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace cm5::sparse

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Invariant checking for library internals.
+///
+/// CM5_CHECK is always on (simulation correctness depends on these
+/// invariants and the cost is negligible next to the event kernel).
+/// Violations throw cm5::util::CheckError so tests can assert on them
+/// and applications can fail loudly instead of silently producing
+/// wrong timings.
+
+namespace cm5::util {
+
+/// Thrown when a CM5_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace cm5::util
+
+/// Verifies an invariant; throws cm5::util::CheckError on failure.
+#define CM5_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::cm5::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Verifies an invariant with an explanatory message.
+#define CM5_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) ::cm5::util::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// The simulator and the workload generators must be exactly reproducible
+/// across platforms and standard-library versions, so we carry our own
+/// generators instead of <random> engines/distributions (whose outputs are
+/// implementation-defined for distributions).
+
+namespace cm5::util {
+
+/// SplitMix64 — used for seeding and for cheap stateless hashing.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the main generator. Fast, tiny state, passes BigCrush.
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", 2018.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Returns a uniform integer in [0, bound) using Lemire's unbiased
+  /// multiply-shift rejection method. bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Returns a uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool next_bool(double p) noexcept;
+
+  /// Creates an independent generator stream; deterministic in (seed, key).
+  /// Useful for giving each simulated node / workload its own stream.
+  static Rng forked(std::uint64_t seed, std::uint64_t key) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace cm5::util

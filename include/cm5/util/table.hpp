@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Plain-text table rendering for benchmark output.
+///
+/// Every bench binary reprints its paper table/figure as an aligned ASCII
+/// table; this keeps the "paper vs measured" comparison greppable and
+/// diffable without plotting infrastructure.
+
+namespace cm5::util {
+
+/// Builds and renders a column-aligned text table.
+///
+/// Usage:
+///   TextTable t({"Algorithm", "256 B", "512 B"});
+///   t.add_row({"Pairwise", "1.766", "2.275"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line between data rows.
+  void add_separator();
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cm5::util

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file time.hpp
+/// Virtual-time representation used throughout the simulator.
+///
+/// Simulated time is an integer count of nanoseconds. An integer
+/// representation keeps the discrete-event kernel exactly deterministic
+/// (no accumulation-order sensitivity) while one nanosecond of resolution
+/// is far below anything the modelled machine can observe (the cheapest
+/// modelled operation, a control-network hop, costs microseconds).
+
+namespace cm5::util {
+
+/// Simulated time in nanoseconds since the start of a run.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds. Same representation as SimTime; a separate
+/// alias documents intent at call sites.
+using SimDuration = std::int64_t;
+
+/// A time far beyond any reachable simulation instant; used as "never".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+/// Converts whole microseconds to SimDuration.
+constexpr SimDuration from_us(std::int64_t us) noexcept { return us * 1000; }
+
+/// Converts whole milliseconds to SimDuration.
+constexpr SimDuration from_ms(std::int64_t ms) noexcept { return ms * 1'000'000; }
+
+/// Converts (possibly fractional) seconds to SimDuration, rounding to
+/// the nearest nanosecond. Negative inputs are clamped to zero: a model
+/// can never charge negative time.
+SimDuration from_seconds(double seconds) noexcept;
+
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-9;
+}
+
+/// Converts a duration to fractional milliseconds (for reporting).
+constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-6;
+}
+
+/// Converts a duration to fractional microseconds (for reporting).
+constexpr double to_us(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-3;
+}
+
+/// Computes the time to move `bytes` at `bytes_per_second`, rounded up to
+/// the next nanosecond so a nonzero transfer never takes zero time.
+/// A non-positive rate yields kTimeNever (the transfer can never finish).
+SimDuration transfer_time(double bytes, double bytes_per_second) noexcept;
+
+/// Formats a duration with an auto-selected unit (ns/us/ms/s), e.g. "1.766 ms".
+std::string format_duration(SimDuration d);
+
+}  // namespace cm5::util

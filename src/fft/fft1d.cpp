@@ -1,0 +1,105 @@
+#include "cm5/fft/fft1d.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::fft {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void bit_reverse_permute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  CM5_CHECK_MSG(is_power_of_two(n), "FFT length must be a power of two");
+  if (n == 1) return;
+
+  bit_reverse_permute(data);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t start = 0; start < n; start += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[start + k];
+        const Complex odd = data[start + k + len / 2] * w;
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& x : data) x *= scale;
+  }
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> data,
+                                   bool inverse) {
+  const std::size_t n = data.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * t % n) /
+                           static_cast<double>(n);
+      sum += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? sum / static_cast<double>(n) : sum;
+  }
+  return out;
+}
+
+double fft_flops(std::int64_t n) {
+  if (n <= 1) return 0.0;
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * std::log2(dn);
+}
+
+void fft2d_inplace(std::span<Complex> data, std::int32_t rows,
+                   std::int32_t cols, bool inverse) {
+  CM5_CHECK(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) ==
+            data.size());
+  for (std::int32_t r = 0; r < rows; ++r) {
+    fft_inplace(data.subspan(static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(cols),
+                             static_cast<std::size_t>(cols)),
+                inverse);
+  }
+  std::vector<Complex> column(static_cast<std::size_t>(rows));
+  for (std::int32_t c = 0; c < cols; ++c) {
+    for (std::int32_t r = 0; r < rows; ++r) {
+      column[static_cast<std::size_t>(r)] =
+          data[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+               static_cast<std::size_t>(c)];
+    }
+    fft_inplace(column, inverse);
+    for (std::int32_t r = 0; r < rows; ++r) {
+      data[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+           static_cast<std::size_t>(c)] = column[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+}  // namespace cm5::fft

@@ -1,0 +1,228 @@
+#include "cm5/machine/machine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::machine {
+
+MachineParams MachineParams::cm5_defaults(std::int32_t nprocs) {
+  MachineParams p;
+  p.tree = net::FatTreeConfig::cm5(nprocs);
+  return p;
+}
+
+MachineParams MachineParams::cm5e_like(std::int32_t nprocs) {
+  MachineParams p = cm5_defaults(nprocs);
+  // CMMD 3.x halved the messaging software path; SuperSPARC nodes are
+  // roughly 4x the scalar FP throughput.
+  p.send_overhead = util::from_us(15);
+  p.recv_overhead = util::from_us(15);
+  p.net_latency = util::from_us(14);
+  p.mflops = 6.0;
+  p.memcpy_bw = 60e6;
+  return p;
+}
+
+MachineParams MachineParams::ipsc860_like(std::int32_t nprocs) {
+  MachineParams p;
+  p.tree.num_nodes = nprocs;
+  // No thinning: the hypercube's per-node bisection share is flat.
+  p.tree.per_node_bw_at_height = {2.8e6};
+  // Bokhari's measurements: ~160 us for short messages, ~2.8 MB/s links.
+  p.send_overhead = util::from_us(60);
+  p.recv_overhead = util::from_us(60);
+  p.net_latency = util::from_us(40);
+  // No 20-byte packetization on the iPSC; model as 1:1 framing.
+  p.wire.packet_bytes = 100;
+  p.wire.payload_bytes = 100;
+  // The i860 node is much faster than the CM-5's SPARC at compute.
+  p.mflops = 8.0;
+  p.memcpy_bw = 40e6;
+  // No combining control network: global ops go through software trees,
+  // ~ a few hundred microseconds at these sizes.
+  p.ctl_latency = util::from_us(300);
+  p.ctl_broadcast_bw = 1.0e6;
+  p.ctl_broadcast_overhead = util::from_us(300);
+  return p;
+}
+
+// ---------------------------------------------------------------------- Node
+
+void Node::send_block(NodeId dst, std::int64_t bytes, std::int32_t tag) {
+  CM5_CHECK(bytes >= 0);
+  handle_.advance(params_->send_overhead);
+  handle_.post_send(dst, tag, bytes, params_->wire_bytes(bytes),
+                    params_->net_latency, {});
+}
+
+void Node::send_block_data(NodeId dst, std::span<const std::byte> data,
+                           std::int32_t tag) {
+  handle_.advance(params_->send_overhead);
+  handle_.post_send(dst, tag, static_cast<std::int64_t>(data.size()),
+                    params_->wire_bytes(static_cast<std::int64_t>(data.size())),
+                    params_->net_latency,
+                    std::vector<std::byte>(data.begin(), data.end()));
+}
+
+Message Node::receive_block(NodeId src, std::int32_t tag) {
+  Message msg = handle_.post_receive(src, tag);
+  handle_.advance(params_->recv_overhead);
+  return msg;
+}
+
+Message Node::swap_block(NodeId peer, std::int64_t bytes, std::int32_t tag) {
+  CM5_CHECK(bytes >= 0);
+  handle_.advance(params_->send_overhead);
+  Message msg = handle_.post_swap(peer, tag, bytes, params_->wire_bytes(bytes),
+                                  params_->net_latency, {});
+  handle_.advance(params_->recv_overhead);
+  return msg;
+}
+
+Message Node::swap_block_data(NodeId peer, std::span<const std::byte> data,
+                              std::int32_t tag) {
+  handle_.advance(params_->send_overhead);
+  Message msg = handle_.post_swap(
+      peer, tag, static_cast<std::int64_t>(data.size()),
+      params_->wire_bytes(static_cast<std::int64_t>(data.size())),
+      params_->net_latency,
+      std::vector<std::byte>(data.begin(), data.end()));
+  handle_.advance(params_->recv_overhead);
+  return msg;
+}
+
+void Node::send_async(NodeId dst, std::int64_t bytes, std::int32_t tag) {
+  CM5_CHECK(bytes >= 0);
+  handle_.advance(params_->send_overhead);
+  handle_.post_send_async(dst, tag, bytes, params_->wire_bytes(bytes),
+                          params_->net_latency, {});
+}
+
+void Node::send_async_data(NodeId dst, std::span<const std::byte> data,
+                           std::int32_t tag) {
+  handle_.advance(params_->send_overhead);
+  handle_.post_send_async(
+      dst, tag, static_cast<std::int64_t>(data.size()),
+      params_->wire_bytes(static_cast<std::int64_t>(data.size())),
+      params_->net_latency,
+      std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void Node::wait_sends() { handle_.wait_async_sends(); }
+
+void Node::compute_flops(double flops) {
+  CM5_CHECK(flops >= 0.0);
+  handle_.advance(util::from_seconds(flops / (params_->mflops * 1e6)));
+}
+
+void Node::compute_copy_bytes(std::int64_t bytes) {
+  CM5_CHECK(bytes >= 0);
+  handle_.advance(
+      util::transfer_time(static_cast<double>(bytes), params_->memcpy_bw));
+}
+
+void Node::barrier() { handle_.global_op({}, params_->ctl_latency); }
+
+double Node::reduce_sum(double x) {
+  std::array<std::byte, sizeof(double)> buf;
+  std::memcpy(buf.data(), &x, sizeof(double));
+  const std::vector<std::byte> all = handle_.global_op(buf, params_->ctl_latency);
+  CM5_CHECK(all.size() == sizeof(double) * static_cast<std::size_t>(nprocs()));
+  double total = 0.0;
+  for (std::int32_t i = 0; i < nprocs(); ++i) {
+    double v;
+    std::memcpy(&v, all.data() + static_cast<std::size_t>(i) * sizeof(double),
+                sizeof(double));
+    total += v;
+  }
+  return total;
+}
+
+std::int64_t Node::reduce_sum_i64(std::int64_t x) {
+  std::array<std::byte, sizeof(std::int64_t)> buf;
+  std::memcpy(buf.data(), &x, sizeof(std::int64_t));
+  const std::vector<std::byte> all = handle_.global_op(buf, params_->ctl_latency);
+  CM5_CHECK(all.size() ==
+            sizeof(std::int64_t) * static_cast<std::size_t>(nprocs()));
+  std::int64_t total = 0;
+  for (std::int32_t i = 0; i < nprocs(); ++i) {
+    std::int64_t v;
+    std::memcpy(&v,
+                all.data() + static_cast<std::size_t>(i) * sizeof(std::int64_t),
+                sizeof(std::int64_t));
+    total += v;
+  }
+  return total;
+}
+
+double Node::reduce_max(double x) {
+  std::array<std::byte, sizeof(double)> buf;
+  std::memcpy(buf.data(), &x, sizeof(double));
+  const std::vector<std::byte> all = handle_.global_op(buf, params_->ctl_latency);
+  CM5_CHECK(all.size() == sizeof(double) * static_cast<std::size_t>(nprocs()));
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::int32_t i = 0; i < nprocs(); ++i) {
+    double v;
+    std::memcpy(&v, all.data() + static_cast<std::size_t>(i) * sizeof(double),
+                sizeof(double));
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+void Node::reduce_phantom_vector(std::int64_t length) {
+  CM5_CHECK(length >= 1);
+  handle_.global_op({}, length * params_->ctl_latency);
+}
+
+std::vector<std::byte> Node::broadcast_data(NodeId root,
+                                            std::span<const std::byte> data) {
+  CM5_CHECK(root >= 0 && root < nprocs());
+  const auto bytes = static_cast<std::int64_t>(data.size());
+  const util::SimDuration cost =
+      params_->ctl_broadcast_overhead +
+      util::transfer_time(static_cast<double>(bytes), params_->ctl_broadcast_bw);
+  // Only the root contributes payload; the concatenation of all
+  // contributions is therefore exactly the root's data.
+  const std::span<const std::byte> contribution =
+      self() == root ? data : std::span<const std::byte>{};
+  return handle_.global_op(contribution, cost);
+}
+
+void Node::broadcast_phantom(NodeId root, std::int64_t bytes) {
+  CM5_CHECK(root >= 0 && root < nprocs());
+  CM5_CHECK(bytes >= 0);
+  const util::SimDuration cost =
+      params_->ctl_broadcast_overhead +
+      util::transfer_time(static_cast<double>(bytes), params_->ctl_broadcast_bw);
+  handle_.global_op({}, cost);
+}
+
+// ---------------------------------------------------------------- Cm5Machine
+
+Cm5Machine::Cm5Machine(MachineParams params)
+    : params_(params), topo_(params_.tree) {}
+
+sim::RunResult Cm5Machine::run(const Program& program) {
+  sim::Kernel kernel(topo_);
+  return kernel.run([this, &program](sim::NodeHandle& handle) {
+    Node node(handle, params_);
+    program(node);
+  });
+}
+
+sim::RunResult Cm5Machine::run_traced(const Program& program,
+                                      sim::TraceSink sink) {
+  sim::Kernel kernel(topo_);
+  kernel.set_trace(std::move(sink));
+  return kernel.run([this, &program](sim::NodeHandle& handle) {
+    Node node(handle, params_);
+    program(node);
+  });
+}
+
+}  // namespace cm5::machine

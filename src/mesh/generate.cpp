@@ -1,0 +1,125 @@
+#include "cm5/mesh/generate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "cm5/util/check.hpp"
+#include "cm5/util/rng.hpp"
+
+namespace cm5::mesh {
+
+TriMesh perturbed_grid(std::int32_t nx, std::int32_t ny, double jitter,
+                       std::uint64_t seed) {
+  CM5_CHECK(nx >= 2 && ny >= 2);
+  CM5_CHECK(jitter >= 0.0 && jitter < 0.3);
+  util::Rng rng = util::Rng::forked(seed, 0x6d657368);
+
+  std::vector<Point> vertices;
+  vertices.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  for (std::int32_t j = 0; j < ny; ++j) {
+    for (std::int32_t i = 0; i < nx; ++i) {
+      const double dx = (rng.next_double() - 0.5) * jitter;
+      const double dy = (rng.next_double() - 0.5) * jitter;
+      vertices.push_back(Point{static_cast<double>(i) + dx,
+                               static_cast<double>(j) + dy});
+    }
+  }
+
+  auto id = [nx](std::int32_t i, std::int32_t j) {
+    return static_cast<VertexId>(j * nx + i);
+  };
+  std::vector<Triangle> triangles;
+  triangles.reserve(static_cast<std::size_t>(2 * (nx - 1)) *
+                    static_cast<std::size_t>(ny - 1));
+  for (std::int32_t j = 0; j + 1 < ny; ++j) {
+    for (std::int32_t i = 0; i + 1 < nx; ++i) {
+      const VertexId a = id(i, j);
+      const VertexId b = id(i + 1, j);
+      const VertexId c = id(i + 1, j + 1);
+      const VertexId d = id(i, j + 1);
+      if (rng.next_bool(0.5)) {
+        triangles.push_back(Triangle{{a, b, c}});
+        triangles.push_back(Triangle{{a, c, d}});
+      } else {
+        triangles.push_back(Triangle{{a, b, d}});
+        triangles.push_back(Triangle{{b, c, d}});
+      }
+    }
+  }
+  return TriMesh(std::move(vertices), std::move(triangles));
+}
+
+TriMesh airfoil_annulus(std::int32_t rings, std::int32_t segments,
+                        std::uint64_t seed) {
+  CM5_CHECK(rings >= 1 && segments >= 3);
+  util::Rng rng = util::Rng::forked(seed, 0x616e6e75);
+
+  // Geometric grading: ring radii grow by a constant factor so the mesh
+  // is fine near the inner boundary (the "airfoil") and coarse at the
+  // far field — the character of an O-mesh.
+  const double inner = 1.0;
+  const double outer = 20.0;
+  const double growth =
+      std::pow(outer / inner, 1.0 / static_cast<double>(rings));
+
+  std::vector<Point> vertices;
+  vertices.reserve(static_cast<std::size_t>(rings + 1) *
+                   static_cast<std::size_t>(segments));
+  double radius = inner;
+  for (std::int32_t r = 0; r <= rings; ++r) {
+    for (std::int32_t k = 0; k < segments; ++k) {
+      const double theta = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(segments);
+      // Elliptic inner boundary (chord 2:1) morphing to a circle outside.
+      const double blend =
+          static_cast<double>(r) / static_cast<double>(rings);
+      const double squash = 0.5 + 0.5 * blend;
+      vertices.push_back(
+          Point{radius * std::cos(theta), radius * squash * std::sin(theta)});
+    }
+    radius *= growth;
+  }
+
+  auto id = [segments](std::int32_t r, std::int32_t k) {
+    return static_cast<VertexId>(r * segments + (k % segments));
+  };
+  std::vector<Triangle> triangles;
+  triangles.reserve(static_cast<std::size_t>(2 * rings) *
+                    static_cast<std::size_t>(segments));
+  for (std::int32_t r = 0; r < rings; ++r) {
+    for (std::int32_t k = 0; k < segments; ++k) {
+      const VertexId ik = id(r, k);
+      const VertexId ik1 = id(r, k + 1);
+      const VertexId ok = id(r + 1, k);
+      const VertexId ok1 = id(r + 1, k + 1);
+      // The quad in CCW order is (ik, ok, ok1, ik1): inner->outer at
+      // angle k, along the outer ring, back inward at angle k+1. Either
+      // diagonal splits it into two CCW triangles; choose pseudo-randomly
+      // for irregular connectivity.
+      if (rng.next_bool(0.5)) {
+        triangles.push_back(Triangle{{ik, ok, ok1}});
+        triangles.push_back(Triangle{{ik, ok1, ik1}});
+      } else {
+        triangles.push_back(Triangle{{ik, ok, ik1}});
+        triangles.push_back(Triangle{{ok, ok1, ik1}});
+      }
+    }
+  }
+  return TriMesh(std::move(vertices), std::move(triangles));
+}
+
+TriMesh airfoil_with_target(std::int32_t target_vertices, std::uint64_t seed) {
+  CM5_CHECK(target_vertices >= 16);
+  // (rings + 1) * segments ~ target, with segments ~ 4x the ring count —
+  // O-meshes have many more points along the surface than normal to it.
+  const auto rings = std::max<std::int32_t>(
+      2, static_cast<std::int32_t>(
+             std::lround(std::sqrt(static_cast<double>(target_vertices) / 4.0))) -
+             1);
+  const auto segments = std::max<std::int32_t>(
+      4, static_cast<std::int32_t>(std::lround(
+             static_cast<double>(target_vertices) / (rings + 1))));
+  return airfoil_annulus(rings, segments, seed);
+}
+
+}  // namespace cm5::mesh

@@ -1,0 +1,124 @@
+#include "cm5/mesh/mesh.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::mesh {
+
+TriMesh::TriMesh(std::vector<Point> vertices, std::vector<Triangle> triangles)
+    : vertices_(std::move(vertices)), triangles_(std::move(triangles)) {
+  CM5_CHECK_MSG(vertices_.size() >= 3, "a mesh needs at least 3 vertices");
+  CM5_CHECK_MSG(!triangles_.empty(), "a mesh needs at least one triangle");
+  for (const Triangle& t : triangles_) {
+    for (VertexId v : t.v) {
+      CM5_CHECK_MSG(v >= 0 && v < num_vertices(), "triangle vertex out of range");
+    }
+    CM5_CHECK_MSG(t.v[0] != t.v[1] && t.v[1] != t.v[2] && t.v[0] != t.v[2],
+                  "triangle with repeated vertices");
+  }
+  build_adjacency();
+  for (TriId t = 0; t < num_triangles(); ++t) {
+    CM5_CHECK_MSG(signed_area(t) > 1e-14,
+                  "triangle is degenerate or clockwise-oriented");
+  }
+}
+
+std::size_t TriMesh::check_v(VertexId v) const {
+  CM5_CHECK(v >= 0 && v < num_vertices());
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t TriMesh::check_t(TriId t) const {
+  CM5_CHECK(t >= 0 && t < num_triangles());
+  return static_cast<std::size_t>(t);
+}
+
+void TriMesh::build_adjacency() {
+  // Edge map: (lo, hi) -> triangles using the edge.
+  std::map<std::pair<VertexId, VertexId>, std::array<TriId, 2>> edges;
+  for (TriId t = 0; t < num_triangles(); ++t) {
+    const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+    for (int e = 0; e < 3; ++e) {
+      // Edge e is opposite vertex e.
+      const VertexId a = tri.v[static_cast<std::size_t>((e + 1) % 3)];
+      const VertexId b = tri.v[static_cast<std::size_t>((e + 2) % 3)];
+      const auto key = std::minmax(a, b);
+      auto [it, inserted] = edges.try_emplace(key, std::array<TriId, 2>{-1, -1});
+      if (inserted) {
+        it->second[0] = t;
+      } else {
+        CM5_CHECK_MSG(it->second[1] == -1,
+                      "edge shared by more than two triangles");
+        it->second[1] = t;
+      }
+    }
+  }
+
+  num_edges_ = static_cast<std::int32_t>(edges.size());
+  tri_neighbors_.assign(static_cast<std::size_t>(num_triangles()),
+                        {-1, -1, -1});
+  num_boundary_edges_ = 0;
+  for (const auto& [key, tris] : edges) {
+    if (tris[1] == -1) {
+      ++num_boundary_edges_;
+    }
+  }
+  for (TriId t = 0; t < num_triangles(); ++t) {
+    const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+    for (int e = 0; e < 3; ++e) {
+      const VertexId a = tri.v[static_cast<std::size_t>((e + 1) % 3)];
+      const VertexId b = tri.v[static_cast<std::size_t>((e + 2) % 3)];
+      const auto& tris = edges.at(std::minmax(a, b));
+      const TriId other = (tris[0] == t) ? tris[1] : tris[0];
+      tri_neighbors_[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)] =
+          other;
+    }
+  }
+
+  // CSR vertex adjacency from the edge set.
+  std::vector<std::vector<VertexId>> adj(static_cast<std::size_t>(num_vertices()));
+  for (const auto& [key, tris] : edges) {
+    adj[static_cast<std::size_t>(key.first)].push_back(key.second);
+    adj[static_cast<std::size_t>(key.second)].push_back(key.first);
+  }
+  vertex_adj_offset_.assign(static_cast<std::size_t>(num_vertices()) + 1, 0);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    auto& list = adj[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    vertex_adj_offset_[static_cast<std::size_t>(v) + 1] =
+        vertex_adj_offset_[static_cast<std::size_t>(v)] +
+        static_cast<std::int32_t>(list.size());
+  }
+  vertex_adj_.reserve(static_cast<std::size_t>(2 * num_edges_));
+  for (const auto& list : adj) {
+    vertex_adj_.insert(vertex_adj_.end(), list.begin(), list.end());
+  }
+}
+
+std::span<const VertexId> TriMesh::vertex_neighbors(VertexId v) const {
+  const std::size_t i = check_v(v);
+  const auto begin = static_cast<std::size_t>(vertex_adj_offset_[i]);
+  const auto end = static_cast<std::size_t>(vertex_adj_offset_[i + 1]);
+  return std::span(vertex_adj_).subspan(begin, end - begin);
+}
+
+double TriMesh::signed_area(TriId t) const {
+  const Triangle& tri = triangles_[check_t(t)];
+  const Point& a = vertices_[static_cast<std::size_t>(tri.v[0])];
+  const Point& b = vertices_[static_cast<std::size_t>(tri.v[1])];
+  const Point& c = vertices_[static_cast<std::size_t>(tri.v[2])];
+  return 0.5 * ((b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y));
+}
+
+Point TriMesh::centroid(TriId t) const {
+  const Triangle& tri = triangles_[check_t(t)];
+  const Point& a = vertices_[static_cast<std::size_t>(tri.v[0])];
+  const Point& b = vertices_[static_cast<std::size_t>(tri.v[1])];
+  const Point& c = vertices_[static_cast<std::size_t>(tri.v[2])];
+  return Point{(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
+}
+
+}  // namespace cm5::mesh

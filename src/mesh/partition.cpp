@@ -1,0 +1,171 @@
+#include "cm5/mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::mesh {
+
+std::vector<PartId> block_partition(std::int32_t num_items,
+                                    std::int32_t nparts) {
+  CM5_CHECK(num_items >= 1 && nparts >= 1);
+  std::vector<PartId> part(static_cast<std::size_t>(num_items));
+  for (std::int32_t i = 0; i < num_items; ++i) {
+    part[static_cast<std::size_t>(i)] = static_cast<PartId>(
+        static_cast<std::int64_t>(i) * nparts / num_items);
+  }
+  return part;
+}
+
+namespace {
+
+/// Recursively assigns parts [first_part, first_part + nparts) to the
+/// index range [begin, end) of `order`, splitting at the median of the
+/// wider axis.
+void rcb_recurse(std::span<const Point> points, std::vector<std::int32_t>& order,
+                 std::size_t begin, std::size_t end, PartId first_part,
+                 std::int32_t nparts, std::vector<PartId>& part) {
+  if (nparts == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      part[static_cast<std::size_t>(order[i])] = first_part;
+    }
+    return;
+  }
+  // Bounding box of this subset decides the split axis.
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Point& p = points[static_cast<std::size_t>(order[i])];
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+
+  const std::int32_t left_parts = nparts / 2;
+  const std::int32_t right_parts = nparts - left_parts;
+  // Proportional split point so unequal part counts get unequal shares.
+  const std::size_t count = end - begin;
+  const std::size_t left_count =
+      count * static_cast<std::size_t>(left_parts) /
+      static_cast<std::size_t>(nparts);
+  const auto mid = order.begin() + static_cast<std::ptrdiff_t>(begin + left_count);
+  std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(begin), mid,
+                   order.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::int32_t a, std::int32_t b) {
+                     const Point& pa = points[static_cast<std::size_t>(a)];
+                     const Point& pb = points[static_cast<std::size_t>(b)];
+                     // Tie-break on the other axis then index so the
+                     // split is deterministic for duplicated coordinates.
+                     if (split_x) {
+                       return std::tie(pa.x, pa.y, a) < std::tie(pb.x, pb.y, b);
+                     }
+                     return std::tie(pa.y, pa.x, a) < std::tie(pb.y, pb.x, b);
+                   });
+  rcb_recurse(points, order, begin, begin + left_count, first_part, left_parts,
+              part);
+  rcb_recurse(points, order, begin + left_count, end,
+              first_part + left_parts, right_parts, part);
+}
+
+}  // namespace
+
+std::vector<PartId> rcb_partition(std::span<const Point> points,
+                                  std::int32_t nparts) {
+  CM5_CHECK(nparts >= 1);
+  CM5_CHECK(points.size() >= static_cast<std::size_t>(nparts));
+  std::vector<std::int32_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<PartId> part(points.size(), -1);
+  rcb_recurse(points, order, 0, points.size(), 0, nparts, part);
+  return part;
+}
+
+std::vector<PartId> rcb_vertex_partition(const TriMesh& mesh,
+                                         std::int32_t nparts) {
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(mesh.num_vertices()));
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    points.push_back(mesh.vertex(v));
+  }
+  return rcb_partition(points, nparts);
+}
+
+std::vector<PartId> rcb_cell_partition(const TriMesh& mesh,
+                                       std::int32_t nparts) {
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(mesh.num_triangles()));
+  for (TriId t = 0; t < mesh.num_triangles(); ++t) {
+    points.push_back(mesh.centroid(t));
+  }
+  return rcb_partition(points, nparts);
+}
+
+std::vector<PartId> graph_grow_partition(const TriMesh& mesh,
+                                         std::int32_t nparts) {
+  const std::int32_t n = mesh.num_vertices();
+  CM5_CHECK(nparts >= 1 && nparts <= n);
+  std::vector<PartId> part(static_cast<std::size_t>(n), -1);
+  std::int32_t assigned = 0;
+
+  // A vertex with minimal degree makes a good peripheral seed.
+  auto pick_seed = [&]() {
+    VertexId best = -1;
+    std::size_t best_degree = static_cast<std::size_t>(n) + 1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (part[static_cast<std::size_t>(v)] != -1) continue;
+      const std::size_t degree = mesh.vertex_neighbors(v).size();
+      if (degree < best_degree) {
+        best = v;
+        best_degree = degree;
+      }
+    }
+    return best;
+  };
+
+  std::vector<VertexId> frontier;
+  for (PartId p = 0; p < nparts; ++p) {
+    // Quota keeps part sizes within one of each other.
+    const std::int32_t quota =
+        (n - assigned) / (nparts - p) + (((n - assigned) % (nparts - p)) > 0);
+    std::int32_t grown = 0;
+    frontier.clear();
+    std::size_t head = 0;
+    while (grown < quota) {
+      VertexId v = -1;
+      // FIFO breadth-first growth; when the frontier dries up (part of
+      // the unassigned region got disconnected) reseed.
+      while (head < frontier.size()) {
+        const VertexId candidate = frontier[head++];
+        if (part[static_cast<std::size_t>(candidate)] == -1) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v == -1) v = pick_seed();
+      CM5_CHECK_MSG(v != -1, "ran out of vertices before quota");
+      part[static_cast<std::size_t>(v)] = p;
+      ++grown;
+      ++assigned;
+      for (const VertexId u : mesh.vertex_neighbors(v)) {
+        if (part[static_cast<std::size_t>(u)] == -1) frontier.push_back(u);
+      }
+    }
+  }
+  CM5_CHECK(assigned == n);
+  return part;
+}
+
+std::vector<std::int32_t> part_sizes(std::span<const PartId> part,
+                                     std::int32_t nparts) {
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (PartId p : part) {
+    CM5_CHECK(p >= 0 && p < nparts);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+}  // namespace cm5::mesh

@@ -1,0 +1,128 @@
+#include "cm5/net/fluid_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cm5/net/maxmin.hpp"
+#include "cm5/util/check.hpp"
+
+namespace cm5::net {
+namespace {
+
+/// Residual below which a flow counts as complete; far below one packet.
+constexpr double kDoneEpsilonBytes = 1e-6;
+
+}  // namespace
+
+FluidNetwork::FluidNetwork(const FatTreeTopology& topo) : topo_(topo) {
+  stats_.bytes_by_level.assign(static_cast<std::size_t>(topo_.levels()) + 1, 0.0);
+  stats_.bytes_by_link.assign(static_cast<std::size_t>(topo_.num_links()), 0.0);
+  stats_.link_busy_seconds.assign(static_cast<std::size_t>(topo_.num_links()),
+                                  0.0);
+  link_load_.assign(static_cast<std::size_t>(topo_.num_links()), 0.0);
+}
+
+void FluidNetwork::progress_to(util::SimTime t) {
+  const double dt = util::to_seconds(t - now_);
+  if (dt > 0.0) {
+    if (rates_dirty_) resolve_rates();
+    for (Active& f : active_) {
+      f.bytes_remaining = std::max(0.0, f.bytes_remaining - f.rate * dt);
+    }
+    for (std::size_t l = 0; l < link_load_.size(); ++l) {
+      if (link_load_[l] <= 0.0) continue;
+      const double cap = topo_.link(static_cast<LinkId>(l)).capacity;
+      stats_.link_busy_seconds[l] +=
+          dt * std::min(1.0, cap > 0.0 ? link_load_[l] / cap : 1.0);
+    }
+  }
+  now_ = t;
+}
+
+FlowId FluidNetwork::start_flow(util::SimTime now, NodeId src, NodeId dst,
+                                double wire_bytes) {
+  CM5_CHECK_MSG(now >= now_, "time must not go backwards");
+  CM5_CHECK_MSG(src != dst, "flows to self never touch the network");
+  CM5_CHECK(wire_bytes >= 0.0);
+
+  // Progress existing flows to `now` (without harvesting completions;
+  // the kernel harvests them via advance_to, which it is contractually
+  // obliged to call for any completion earlier than `now`).
+  progress_to(now);
+
+  const FlowId id = next_id_++;
+  active_.push_back(Active{id, src, dst, wire_bytes, 0.0});
+  rates_dirty_ = true;
+  ++stats_.flows_started;
+  for (LinkId l : topo_.route(src, dst)) {
+    stats_.bytes_by_link[static_cast<std::size_t>(l)] += wire_bytes;
+    stats_.bytes_by_level[static_cast<std::size_t>(topo_.link_level(l))] +=
+        wire_bytes;
+  }
+  return id;
+}
+
+void FluidNetwork::resolve_rates() {
+  if (!rates_dirty_) return;
+  std::vector<FlowRoute> routes;
+  routes.reserve(active_.size());
+  std::vector<double> caps(static_cast<std::size_t>(topo_.num_links()));
+  for (std::int32_t l = 0; l < topo_.num_links(); ++l) {
+    caps[static_cast<std::size_t>(l)] = topo_.link(l).capacity;
+  }
+  for (const Active& f : active_) {
+    routes.push_back(FlowRoute{topo_.route(f.src, f.dst)});
+  }
+  const std::vector<double> rates = solve_max_min(routes, caps);
+  std::fill(link_load_.begin(), link_load_.end(), 0.0);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    active_[i].rate = rates[i];
+    for (LinkId l : topo_.route(active_[i].src, active_[i].dst)) {
+      link_load_[static_cast<std::size_t>(l)] += rates[i];
+    }
+  }
+  rates_dirty_ = false;
+  ++stats_.rate_solves;
+}
+
+std::optional<util::SimTime> FluidNetwork::next_event() {
+  if (active_.empty()) return std::nullopt;
+  resolve_rates();
+  util::SimTime best = util::kTimeNever;
+  for (const Active& f : active_) {
+    util::SimTime t;
+    if (f.bytes_remaining <= kDoneEpsilonBytes) {
+      t = now_;
+    } else if (f.rate <= 0.0) {
+      t = util::kTimeNever;  // fully blocked link; cannot finish
+    } else {
+      t = now_ + util::transfer_time(f.bytes_remaining, f.rate);
+    }
+    best = std::min(best, t);
+  }
+  if (best == util::kTimeNever) return std::nullopt;
+  return best;
+}
+
+std::vector<FlowId> FluidNetwork::advance_to(util::SimTime t) {
+  CM5_CHECK_MSG(t >= now_, "time must not go backwards");
+  resolve_rates();
+  progress_to(t);
+
+  std::vector<FlowId> done;
+  for (const Active& f : active_) {
+    if (f.bytes_remaining <= kDoneEpsilonBytes) done.push_back(f.id);
+  }
+  if (!done.empty()) {
+    std::erase_if(active_, [](const Active& f) {
+      return f.bytes_remaining <= kDoneEpsilonBytes;
+    });
+    std::sort(done.begin(), done.end());
+    stats_.flows_completed += static_cast<std::int64_t>(done.size());
+    rates_dirty_ = true;
+  }
+  return done;
+}
+
+}  // namespace cm5::net

@@ -1,0 +1,136 @@
+#include "cm5/net/topology.hpp"
+
+#include <algorithm>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::net {
+
+FatTreeConfig FatTreeConfig::cm5(std::int32_t num_nodes) {
+  FatTreeConfig cfg;
+  cfg.num_nodes = num_nodes;
+  return cfg;
+}
+
+FatTreeTopology::FatTreeTopology(FatTreeConfig config) : config_(config) {
+  CM5_CHECK_MSG(config_.num_nodes >= 1, "need at least one node");
+  CM5_CHECK_MSG(config_.arity >= 2, "fat-tree arity must be >= 2");
+  CM5_CHECK_MSG(!config_.per_node_bw_at_height.empty(),
+                "need at least one bandwidth level");
+  for (double bw : config_.per_node_bw_at_height) {
+    CM5_CHECK_MSG(bw > 0.0, "bandwidths must be positive");
+  }
+
+  const std::int32_t n = config_.num_nodes;
+  levels_ = 1;
+  std::int64_t span = config_.arity;
+  while (span < n) {
+    span *= config_.arity;
+    ++levels_;
+  }
+
+  // inject / eject links.
+  const double leaf_bw = per_node_bw(1);
+  links_.resize(static_cast<std::size_t>(2 * n), Link{leaf_bw});
+  link_levels_.resize(static_cast<std::size_t>(2 * n), 0);
+
+  // Subtree up/down links for levels 1 .. levels_-1 (the level-`levels_`
+  // subtree is the whole machine and has no parent).
+  level_offset_.assign(static_cast<std::size_t>(levels_), 0);
+  level_count_.assign(static_cast<std::size_t>(levels_), 0);
+  std::int64_t size_l = config_.arity;
+  for (std::int32_t l = 1; l < levels_; ++l) {
+    const auto count = static_cast<std::int32_t>((n + size_l - 1) / size_l);
+    level_offset_[static_cast<std::size_t>(l)] = static_cast<std::int32_t>(links_.size());
+    level_count_[static_cast<std::size_t>(l)] = count;
+    const double bw_above = per_node_bw(l + 1);
+    for (std::int32_t s = 0; s < count; ++s) {
+      const std::int64_t start = static_cast<std::int64_t>(s) * size_l;
+      const std::int64_t members = std::min<std::int64_t>(size_l, n - start);
+      const double cap = static_cast<double>(members) * bw_above;
+      links_.push_back(Link{cap});  // up
+      links_.push_back(Link{cap});  // down
+      link_levels_.push_back(l);
+      link_levels_.push_back(l);
+    }
+    size_l *= config_.arity;
+  }
+
+  route_cache_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+}
+
+double FatTreeTopology::per_node_bw(std::int32_t height) const {
+  CM5_CHECK(height >= 1);
+  const auto& bands = config_.per_node_bw_at_height;
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(height - 1),
+                                         bands.size() - 1);
+  return bands[idx];
+}
+
+std::int32_t FatTreeTopology::nca_height(NodeId a, NodeId b) const {
+  CM5_CHECK(a != b);
+  CM5_CHECK(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes());
+  std::int32_t h = 1;
+  std::int64_t size_l = config_.arity;
+  while (a / size_l != b / size_l) {
+    size_l *= config_.arity;
+    ++h;
+  }
+  return h;
+}
+
+std::int32_t FatTreeTopology::subtree_index(std::int32_t level, NodeId n) const {
+  std::int64_t size_l = 1;
+  for (std::int32_t l = 0; l < level; ++l) size_l *= config_.arity;
+  return static_cast<std::int32_t>(n / size_l);
+}
+
+LinkId FatTreeTopology::inject_link(NodeId n) const {
+  CM5_CHECK(n >= 0 && n < num_nodes());
+  return n;
+}
+
+LinkId FatTreeTopology::eject_link(NodeId n) const {
+  CM5_CHECK(n >= 0 && n < num_nodes());
+  return num_nodes() + n;
+}
+
+LinkId FatTreeTopology::up_link(std::int32_t level, NodeId n) const {
+  CM5_CHECK(level >= 1 && level < levels_);
+  return level_offset_[static_cast<std::size_t>(level)] +
+         2 * subtree_index(level, n);
+}
+
+LinkId FatTreeTopology::down_link(std::int32_t level, NodeId n) const {
+  CM5_CHECK(level >= 1 && level < levels_);
+  return level_offset_[static_cast<std::size_t>(level)] +
+         2 * subtree_index(level, n) + 1;
+}
+
+std::int32_t FatTreeTopology::link_level(LinkId id) const {
+  CM5_CHECK(id >= 0 && id < num_links());
+  return link_levels_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LinkId>& FatTreeTopology::route(NodeId src, NodeId dst) const {
+  CM5_CHECK_MSG(src != dst, "no route from a node to itself");
+  CM5_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
+  auto& cached = route_cache_[static_cast<std::size_t>(src) *
+                                  static_cast<std::size_t>(num_nodes()) +
+                              static_cast<std::size_t>(dst)];
+  if (!cached.empty()) return cached;
+
+  const std::int32_t h = nca_height(src, dst);
+  std::vector<LinkId> path;
+  path.reserve(static_cast<std::size_t>(2 * h));
+  path.push_back(inject_link(src));
+  for (std::int32_t l = 1; l < h && l < levels_; ++l) path.push_back(up_link(l, src));
+  for (std::int32_t l = std::min(h - 1, levels_ - 1); l >= 1; --l) {
+    path.push_back(down_link(l, dst));
+  }
+  path.push_back(eject_link(dst));
+  cached = std::move(path);
+  return cached;
+}
+
+}  // namespace cm5::net

@@ -1,0 +1,80 @@
+#include "cm5/patterns/synthetic.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "cm5/util/check.hpp"
+#include "cm5/util/rng.hpp"
+
+namespace cm5::patterns {
+
+using sched::CommPattern;
+using net::NodeId;
+
+CommPattern random_density(std::int32_t nprocs, double density,
+                           std::int64_t bytes, std::uint64_t seed) {
+  CM5_CHECK(density >= 0.0 && density <= 1.0);
+  CM5_CHECK(bytes >= 1);
+  util::Rng rng(seed);
+  CommPattern p(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (NodeId j = 0; j < nprocs; ++j) {
+      if (i != j && rng.next_bool(density)) p.set(i, j, bytes);
+    }
+  }
+  return p;
+}
+
+CommPattern exact_density(std::int32_t nprocs, double density,
+                          std::int64_t bytes, std::uint64_t seed) {
+  CM5_CHECK(density >= 0.0 && density <= 1.0);
+  CM5_CHECK(bytes >= 1);
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  slots.reserve(static_cast<std::size_t>(nprocs) *
+                static_cast<std::size_t>(nprocs - 1));
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (NodeId j = 0; j < nprocs; ++j) {
+      if (i != j) slots.emplace_back(i, j);
+    }
+  }
+  const auto target = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(slots.size())));
+  // Partial Fisher-Yates: choose `target` slots uniformly.
+  util::Rng rng(seed);
+  CommPattern p(nprocs);
+  for (std::size_t k = 0; k < target; ++k) {
+    const std::size_t pick =
+        k + static_cast<std::size_t>(rng.next_below(slots.size() - k));
+    std::swap(slots[k], slots[pick]);
+    p.set(slots[k].first, slots[k].second, bytes);
+  }
+  return p;
+}
+
+CommPattern ring(std::int32_t nprocs, std::int32_t halo, std::int64_t bytes) {
+  CM5_CHECK(halo >= 1 && halo < nprocs);
+  CM5_CHECK(bytes >= 1);
+  CommPattern p(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (std::int32_t d = 1; d <= halo; ++d) {
+      p.set(i, static_cast<NodeId>((i + d) % nprocs), bytes);
+      p.set(i, static_cast<NodeId>((i - d + nprocs) % nprocs), bytes);
+    }
+  }
+  return p;
+}
+
+CommPattern shift(std::int32_t nprocs, std::int32_t amount,
+                  std::int64_t bytes) {
+  CM5_CHECK(amount % nprocs != 0);
+  CM5_CHECK(bytes >= 1);
+  CommPattern p(nprocs);
+  const std::int32_t a = ((amount % nprocs) + nprocs) % nprocs;
+  for (NodeId i = 0; i < nprocs; ++i) {
+    p.set(i, static_cast<NodeId>((i + a) % nprocs), bytes);
+  }
+  return p;
+}
+
+}  // namespace cm5::patterns

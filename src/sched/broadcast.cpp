@@ -1,0 +1,149 @@
+#include "cm5/sched/broadcast.hpp"
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+bool is_power_of_two(std::int32_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::int32_t log2_exact(std::int32_t n) {
+  std::int32_t l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+/// Shared REB skeleton: `forward` is called on a sender with the peer to
+/// send to; `accept` on a receiver with the peer to receive from.
+/// Both are expressed in physical ids; internally the tree is rooted by
+/// rotating ids so any root works.
+template <typename Forward, typename Accept>
+void reb_skeleton(Node& node, NodeId root, Forward&& forward,
+                  Accept&& accept) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(is_power_of_two(n),
+                "recursive broadcast needs a power-of-two machine");
+  CM5_CHECK(root >= 0 && root < n);
+  const std::int32_t rel = (node.self() - root + n) % n;
+  auto phys = [&](std::int32_t r) { return static_cast<NodeId>((r + root) % n); };
+  const std::int32_t rounds = log2_exact(n);
+  // Figure 9: in round j only processors at multiples of `distance`
+  // participate; even multiples already hold the message and forward it.
+  for (std::int32_t j = 1; j <= rounds; ++j) {
+    const std::int32_t distance = n >> j;
+    if (rel % distance != 0) continue;
+    if ((rel / distance) % 2 == 0) {
+      forward(phys(rel + distance), j);
+    } else {
+      accept(phys(rel - distance), j);
+    }
+  }
+}
+
+}  // namespace
+
+const char* broadcast_name(BroadcastAlgorithm algorithm) {
+  switch (algorithm) {
+    case BroadcastAlgorithm::Linear:
+      return "Linear";
+    case BroadcastAlgorithm::Recursive:
+      return "Recursive";
+    case BroadcastAlgorithm::System:
+      return "System";
+  }
+  return "?";
+}
+
+void run_linear_broadcast(Node& node, NodeId root, std::int64_t bytes) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK(root >= 0 && root < n);
+  if (node.self() == root) {
+    for (std::int32_t i = 1; i < n; ++i) {
+      node.send_block(static_cast<NodeId>((root + i) % n), bytes);
+    }
+  } else {
+    (void)node.receive_block(root);
+  }
+}
+
+void run_recursive_broadcast(Node& node, NodeId root, std::int64_t bytes) {
+  reb_skeleton(
+      node, root,
+      [&](NodeId peer, std::int32_t tag) { node.send_block(peer, bytes, tag); },
+      [&](NodeId peer, std::int32_t tag) {
+        (void)node.receive_block(peer, tag);
+      });
+}
+
+void run_system_broadcast(Node& node, NodeId root, std::int64_t bytes) {
+  node.broadcast_phantom(root, bytes);
+}
+
+void broadcast(Node& node, BroadcastAlgorithm algorithm, NodeId root,
+               std::int64_t bytes) {
+  switch (algorithm) {
+    case BroadcastAlgorithm::Linear:
+      run_linear_broadcast(node, root, bytes);
+      return;
+    case BroadcastAlgorithm::Recursive:
+      run_recursive_broadcast(node, root, bytes);
+      return;
+    case BroadcastAlgorithm::System:
+      run_system_broadcast(node, root, bytes);
+      return;
+  }
+  CM5_CHECK_MSG(false, "unknown broadcast algorithm");
+}
+
+void run_pipelined_broadcast(Node& node, NodeId root, std::int64_t bytes,
+                             std::int32_t segments) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK(root >= 0 && root < n);
+  CM5_CHECK(segments >= 1);
+  CM5_CHECK(bytes >= 0);
+  if (n == 1) return;
+  const std::int32_t rel = (node.self() - root + n) % n;
+  // Chunk sizes differ by at most one byte so the sizes sum exactly.
+  auto chunk_bytes = [&](std::int32_t k) {
+    const std::int64_t lo = bytes * k / segments;
+    const std::int64_t hi = bytes * (k + 1) / segments;
+    return hi - lo;
+  };
+  const NodeId prev = static_cast<NodeId>((node.self() - 1 + n) % n);
+  const NodeId next = static_cast<NodeId>((node.self() + 1) % n);
+  for (std::int32_t k = 0; k < segments; ++k) {
+    if (rel != 0) (void)node.receive_block(prev, k);
+    if (rel != n - 1) node.send_block(next, chunk_bytes(k), k);
+  }
+}
+
+std::vector<std::byte> recursive_broadcast_data(
+    Node& node, NodeId root, std::span<const std::byte> data) {
+  std::vector<std::byte> held;
+  if (node.self() == root) held.assign(data.begin(), data.end());
+  reb_skeleton(
+      node, root,
+      [&](NodeId peer, std::int32_t tag) {
+        node.send_block_data(peer, held, tag);
+      },
+      [&](NodeId peer, std::int32_t tag) {
+        held = node.receive_block(peer, tag).data;
+      });
+  return held;
+}
+
+std::vector<std::byte> linear_broadcast_data(Node& node, NodeId root,
+                                             std::span<const std::byte> data) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK(root >= 0 && root < n);
+  if (node.self() == root) {
+    std::vector<std::byte> held(data.begin(), data.end());
+    for (std::int32_t i = 1; i < n; ++i) {
+      node.send_block_data(static_cast<NodeId>((root + i) % n), held);
+    }
+    return held;
+  }
+  return node.receive_block(root).data;
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,114 @@
+#include "cm5/sched/coloring.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+
+std::int32_t schedule_step_lower_bound(const CommPattern& pattern) {
+  const std::int32_t n = pattern.nprocs();
+  std::int32_t max_degree = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    std::int32_t out = 0, in = 0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (pattern.at(i, j) > 0) ++out;
+      if (pattern.at(j, i) > 0) ++in;
+    }
+    max_degree = std::max({max_degree, out, in});
+  }
+  return max_degree;
+}
+
+CommSchedule build_coloring(const CommPattern& pattern) {
+  const std::int32_t n = pattern.nprocs();
+  const std::int32_t delta = schedule_step_lower_bound(pattern);
+  CommSchedule schedule(n);
+  if (delta == 0) return schedule;
+
+  // left_color[u][c] = receiver of u's colour-c message (or -1);
+  // right_color[v][c] = sender of v's colour-c message (or -1).
+  const auto colours = static_cast<std::size_t>(delta);
+  std::vector<std::vector<NodeId>> left_color(
+      static_cast<std::size_t>(n), std::vector<NodeId>(colours, -1));
+  std::vector<std::vector<NodeId>> right_color(
+      static_cast<std::size_t>(n), std::vector<NodeId>(colours, -1));
+
+  auto first_free = [&](const std::vector<NodeId>& slots) {
+    for (std::size_t c = 0; c < slots.size(); ++c) {
+      if (slots[c] == -1) return static_cast<std::int32_t>(c);
+    }
+    CM5_CHECK_MSG(false, "no free colour within the Delta palette");
+    return -1;
+  };
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || pattern.at(u, v) == 0) continue;
+      const std::int32_t a = first_free(left_color[static_cast<std::size_t>(u)]);
+      const std::int32_t b = first_free(right_color[static_cast<std::size_t>(v)]);
+      if (a != b) {
+        // Flip the a/b alternating Kempe chain starting at v so that
+        // colour a becomes free at v. The chain cannot reach u (a is
+        // free at u, and left nodes are entered via a-edges), so a
+        // stays free there.
+        std::vector<std::tuple<NodeId, NodeId, std::int32_t>> path;
+        NodeId right = v;
+        while (true) {
+          const NodeId l =
+              right_color[static_cast<std::size_t>(right)][static_cast<std::size_t>(a)];
+          if (l == -1) break;
+          path.emplace_back(l, right, a);
+          const NodeId r =
+              left_color[static_cast<std::size_t>(l)][static_cast<std::size_t>(b)];
+          if (r == -1) break;
+          path.emplace_back(l, r, b);
+          right = r;
+        }
+        for (const auto& [l, r, c] : path) {
+          left_color[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)] = -1;
+          right_color[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = -1;
+        }
+        for (const auto& [l, r, c] : path) {
+          const std::int32_t flipped = (c == a) ? b : a;
+          CM5_CHECK(left_color[static_cast<std::size_t>(l)]
+                              [static_cast<std::size_t>(flipped)] == -1);
+          CM5_CHECK(right_color[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(flipped)] == -1);
+          left_color[static_cast<std::size_t>(l)][static_cast<std::size_t>(flipped)] = r;
+          right_color[static_cast<std::size_t>(r)][static_cast<std::size_t>(flipped)] = l;
+        }
+        CM5_CHECK(right_color[static_cast<std::size_t>(v)][static_cast<std::size_t>(a)] == -1);
+      }
+      left_color[static_cast<std::size_t>(u)][static_cast<std::size_t>(a)] = v;
+      right_color[static_cast<std::size_t>(v)][static_cast<std::size_t>(a)] = u;
+    }
+  }
+
+  // Emit: one step per colour; merge opposite directions that landed in
+  // the same step into Exchange ops (the executor then runs them as a
+  // paired exchange rather than two one-way rendezvous).
+  for (std::int32_t c = 0; c < delta; ++c) {
+    const std::int32_t step = schedule.add_step();
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId v =
+          left_color[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)];
+      if (v == -1) continue;
+      const bool reverse_same_step =
+          left_color[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] == u;
+      if (reverse_same_step) {
+        if (u < v) {
+          schedule.add_exchange(step, u, v, pattern.at(u, v), pattern.at(v, u));
+        }
+      } else {
+        schedule.add_send(step, u, v, pattern.at(u, v));
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,369 @@
+#include "cm5/sched/complete_exchange.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+bool is_power_of_two(std::int32_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::int32_t log2_exact(std::int32_t n) {
+  std::int32_t l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+/// Uniform access to per-destination blocks: real vectors or phantom
+/// (size-only) messages, so each algorithm is written once. Outgoing and
+/// incoming storage are separate — an exchange receives into a slot
+/// before the matching send reads it, so in-place operation would send
+/// the freshly received data instead of the original.
+struct Blocks {
+  std::int64_t bytes = 0;  // uniform block size
+  const std::vector<std::vector<std::byte>>* out = nullptr;  // null => phantom
+  std::vector<std::vector<std::byte>>* in = nullptr;         // null => phantom
+
+  void send(Node& node, NodeId peer, std::int32_t tag) const {
+    if (out != nullptr) {
+      node.send_block_data(peer, (*out)[static_cast<std::size_t>(peer)], tag);
+    } else {
+      node.send_block(peer, bytes, tag);
+    }
+  }
+  void recv(Node& node, NodeId peer, std::int32_t tag) const {
+    machine::Message msg = node.receive_block(peer, tag);
+    CM5_CHECK_MSG(msg.size == bytes, "unexpected exchange message size");
+    if (in != nullptr) {
+      (*in)[static_cast<std::size_t>(peer)] = std::move(msg.data);
+    }
+  }
+  bool phantom() const noexcept { return in == nullptr; }
+};
+
+void linear_exchange_impl(Node& node, const Blocks& blocks) {
+  const std::int32_t n = node.nprocs();
+  const NodeId self = node.self();
+  // Table 1: in step `target`, processor `target` receives from everyone.
+  for (NodeId target = 0; target < n; ++target) {
+    if (target == self) {
+      for (NodeId src = 0; src < n; ++src) {
+        if (src != self) blocks.recv(node, src, target);
+      }
+    } else {
+      blocks.send(node, target, target);
+    }
+  }
+}
+
+void xor_exchange_impl(Node& node, const Blocks& blocks, bool balanced) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(is_power_of_two(n),
+                "pairwise/balanced exchange need a power-of-two machine");
+  const NodeId self = node.self();
+  // Figure 4's virtual numbering; identity mapping reproduces Figure 2.
+  const std::int32_t virt = balanced ? (self + 1) % n : self;
+  for (std::int32_t j = 1; j < n; ++j) {
+    std::int32_t peer = virt ^ j;
+    if (balanced) peer = (peer - 1 + n) % n;
+    // Figure 2: the lower *physical* number receives first.
+    if (self < peer) {
+      blocks.recv(node, peer, j);
+      blocks.send(node, peer, j);
+    } else {
+      blocks.send(node, peer, j);
+      blocks.recv(node, peer, j);
+    }
+  }
+}
+
+/// One in-flight unit of the store-and-forward recursive exchange.
+struct RexItem {
+  NodeId origin;
+  NodeId dst;
+  std::vector<std::byte> payload;  // empty in phantom mode
+};
+
+/// Serialized size of one item: origin + dst headers plus the payload.
+/// Store-and-forward needs the address information on the wire; the
+/// paper's n*N/2 counts only payload, so REX's messages here are
+/// (n+8)*N/2 — an 8-byte-per-item fidelity cost we accept in data mode.
+/// Phantom mode (used by all timing benches) counts payload only,
+/// matching the paper's accounting exactly.
+std::int64_t item_wire_size(std::int64_t payload_bytes, bool phantom) {
+  return phantom
+             ? payload_bytes
+             : payload_bytes + static_cast<std::int64_t>(2 * sizeof(std::int32_t));
+}
+
+void recursive_exchange_impl(Node& node, const Blocks& blocks) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(is_power_of_two(n),
+                "recursive exchange needs a power-of-two machine");
+  const NodeId self = node.self();
+  const bool phantom = blocks.phantom();
+  const std::int32_t steps = log2_exact(n);
+
+  if (phantom) {
+    // Complete-exchange invariant (§3.3): every node's bag holds N items
+    // throughout, and exactly half move at every step, so each message is
+    // n*N/2 bytes — the paper's formula. No per-item tracking needed.
+    const std::int64_t message_bytes = blocks.bytes * (n / 2);
+    for (std::int32_t i = 0; i < steps; ++i) {
+      const std::int32_t k = n >> i;
+      const std::int32_t bit = k / 2;
+      const NodeId peer = ((self % k) < bit) ? self + bit : self - bit;
+      // Figure 3: lower number packs and sends first; higher receives
+      // first. Pack before sending, unpack after receiving.
+      if (self < peer) {
+        node.compute_copy_bytes(message_bytes);
+        node.send_block(peer, message_bytes, i);
+        (void)node.receive_block(peer, i);
+        node.compute_copy_bytes(message_bytes);
+      } else {
+        (void)node.receive_block(peer, i);
+        node.compute_copy_bytes(message_bytes);
+        node.compute_copy_bytes(message_bytes);
+        node.send_block(peer, message_bytes, i);
+      }
+    }
+    return;
+  }
+
+  // The bag: everything currently stored here, keyed by final destination.
+  std::vector<RexItem> bag;
+  bag.reserve(static_cast<std::size_t>(n));
+  for (NodeId d = 0; d < n; ++d) {
+    if (d == self) continue;
+    RexItem item{self, d,
+                 std::move((*blocks.in)[static_cast<std::size_t>(d)])};
+    bag.push_back(std::move(item));
+  }
+
+  // Figure 3: k halves every step; partner differs in bit k/2 (high bit
+  // first). Items whose destination lies in the partner's half move.
+  for (std::int32_t i = 0; i < steps; ++i) {
+    const std::int32_t k = n >> i;
+    const std::int32_t bit = k / 2;
+    const NodeId peer = ((self % k) < bit) ? self + bit : self - bit;
+
+    std::vector<RexItem> keep, move;
+    for (RexItem& item : bag) {
+      if ((item.dst & bit) != (self & bit)) {
+        move.push_back(std::move(item));
+      } else {
+        keep.push_back(std::move(item));
+      }
+    }
+    bag = std::move(keep);
+
+    // Stable wire order so the receiver can deserialize.
+    std::sort(move.begin(), move.end(), [](const RexItem& a, const RexItem& b) {
+      return std::tie(a.origin, a.dst) < std::tie(b.origin, b.dst);
+    });
+    const std::int64_t out_bytes =
+        static_cast<std::int64_t>(move.size()) *
+        item_wire_size(blocks.bytes, /*phantom=*/false);
+
+    auto pack_and_send = [&] {
+      // Reshuffle cost (§3.3): gather the moving items into one buffer.
+      node.compute_copy_bytes(out_bytes);
+      std::vector<std::byte> buffer;
+      buffer.reserve(static_cast<std::size_t>(out_bytes));
+      for (const RexItem& item : move) {
+        std::int32_t header[2] = {item.origin, item.dst};
+        const auto* raw = reinterpret_cast<const std::byte*>(header);
+        buffer.insert(buffer.end(), raw, raw + sizeof header);
+        buffer.insert(buffer.end(), item.payload.begin(), item.payload.end());
+      }
+      node.send_block_data(peer, buffer, i);
+    };
+    auto recv_and_unpack = [&] {
+      const machine::Message msg = node.receive_block(peer, i);
+      node.compute_copy_bytes(msg.size);
+      std::size_t offset = 0;
+      while (offset < msg.data.size()) {
+        std::int32_t header[2];
+        std::memcpy(header, msg.data.data() + offset, sizeof header);
+        offset += sizeof header;
+        RexItem item{header[0], header[1], {}};
+        item.payload.assign(
+            msg.data.begin() + static_cast<std::ptrdiff_t>(offset),
+            msg.data.begin() + static_cast<std::ptrdiff_t>(
+                                   offset + static_cast<std::size_t>(blocks.bytes)));
+        offset += static_cast<std::size_t>(blocks.bytes);
+        bag.push_back(std::move(item));
+      }
+    };
+
+    // Figure 3: lower number packs and sends first; higher receives first.
+    if (self < peer) {
+      pack_and_send();
+      recv_and_unpack();
+    } else {
+      recv_and_unpack();
+      pack_and_send();
+    }
+  }
+
+  if (!phantom) {
+    for (RexItem& item : bag) {
+      CM5_CHECK_MSG(item.dst == self, "REX item ended at the wrong node");
+      (*blocks.in)[static_cast<std::size_t>(item.origin)] =
+          std::move(item.payload);
+    }
+  }
+}
+
+}  // namespace
+
+const char* exchange_name(ExchangeAlgorithm algorithm) {
+  switch (algorithm) {
+    case ExchangeAlgorithm::Linear:
+      return "Linear";
+    case ExchangeAlgorithm::Pairwise:
+      return "Pairwise";
+    case ExchangeAlgorithm::Recursive:
+      return "Recursive";
+    case ExchangeAlgorithm::Balanced:
+      return "Balanced";
+  }
+  return "?";
+}
+
+void run_linear_exchange(Node& node, std::int64_t bytes) {
+  linear_exchange_impl(node, Blocks{bytes, nullptr, nullptr});
+}
+
+void run_pairwise_exchange(Node& node, std::int64_t bytes) {
+  xor_exchange_impl(node, Blocks{bytes, nullptr, nullptr}, /*balanced=*/false);
+}
+
+void run_balanced_exchange(Node& node, std::int64_t bytes) {
+  xor_exchange_impl(node, Blocks{bytes, nullptr, nullptr}, /*balanced=*/true);
+}
+
+void run_recursive_exchange(Node& node, std::int64_t bytes) {
+  recursive_exchange_impl(node, Blocks{bytes, nullptr, nullptr});
+}
+
+void complete_exchange(Node& node, ExchangeAlgorithm algorithm,
+                       std::int64_t bytes) {
+  switch (algorithm) {
+    case ExchangeAlgorithm::Linear:
+      run_linear_exchange(node, bytes);
+      return;
+    case ExchangeAlgorithm::Pairwise:
+      run_pairwise_exchange(node, bytes);
+      return;
+    case ExchangeAlgorithm::Recursive:
+      run_recursive_exchange(node, bytes);
+      return;
+    case ExchangeAlgorithm::Balanced:
+      run_balanced_exchange(node, bytes);
+      return;
+  }
+  CM5_CHECK_MSG(false, "unknown exchange algorithm");
+}
+
+namespace {
+
+void xor_exchange_swap_impl(Node& node, std::int64_t bytes, bool balanced) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(is_power_of_two(n),
+                "pairwise/balanced exchange need a power-of-two machine");
+  const NodeId self = node.self();
+  const std::int32_t virt = balanced ? (self + 1) % n : self;
+  for (std::int32_t j = 1; j < n; ++j) {
+    std::int32_t peer = virt ^ j;
+    if (balanced) peer = (peer - 1 + n) % n;
+    (void)node.swap_block(peer, bytes, j);
+  }
+}
+
+}  // namespace
+
+void run_pairwise_exchange_swap(Node& node, std::int64_t bytes) {
+  xor_exchange_swap_impl(node, bytes, /*balanced=*/false);
+}
+
+void run_balanced_exchange_swap(Node& node, std::int64_t bytes) {
+  xor_exchange_swap_impl(node, bytes, /*balanced=*/true);
+}
+
+void run_recursive_exchange_swap(Node& node, std::int64_t bytes) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(is_power_of_two(n),
+                "recursive exchange needs a power-of-two machine");
+  const NodeId self = node.self();
+  const std::int32_t steps = log2_exact(n);
+  const std::int64_t message_bytes = bytes * (n / 2);
+  for (std::int32_t i = 0; i < steps; ++i) {
+    const std::int32_t k = n >> i;
+    const std::int32_t bit = k / 2;
+    const NodeId peer = ((self % k) < bit) ? self + bit : self - bit;
+    node.compute_copy_bytes(message_bytes);  // pack
+    (void)node.swap_block(peer, message_bytes, i);
+    node.compute_copy_bytes(message_bytes);  // unpack
+  }
+}
+
+void run_linear_exchange_async(Node& node, std::int64_t bytes) {
+  const std::int32_t n = node.nprocs();
+  const NodeId self = node.self();
+  for (NodeId target = 0; target < n; ++target) {
+    if (target == self) {
+      for (NodeId src = 0; src < n; ++src) {
+        if (src != self) (void)node.receive_block(src, target);
+      }
+    } else {
+      node.send_async(target, bytes, target);
+    }
+  }
+  node.wait_sends();
+}
+
+void all_to_all(Node& node, ExchangeAlgorithm algorithm,
+                std::vector<std::vector<std::byte>>& blocks) {
+  const std::int32_t n = node.nprocs();
+  CM5_CHECK_MSG(static_cast<std::int32_t>(blocks.size()) == n,
+                "need one block per node");
+  std::int64_t bytes = -1;
+  for (NodeId d = 0; d < n; ++d) {
+    if (d == node.self()) continue;
+    const auto size =
+        static_cast<std::int64_t>(blocks[static_cast<std::size_t>(d)].size());
+    if (bytes == -1) {
+      bytes = size;
+    } else {
+      CM5_CHECK_MSG(bytes == size,
+                    "all_to_all requires equal-size blocks (complete exchange)");
+    }
+  }
+  if (bytes < 0) bytes = 0;  // single-node machine
+
+  // Outgoing data is snapshotted: exchanges receive into `blocks` before
+  // their send reads the outgoing block (REX moves from `blocks` directly
+  // and ignores the snapshot).
+  const std::vector<std::vector<std::byte>> outgoing = blocks;
+  const Blocks access{bytes, &outgoing, &blocks};
+  switch (algorithm) {
+    case ExchangeAlgorithm::Linear:
+      linear_exchange_impl(node, access);
+      return;
+    case ExchangeAlgorithm::Pairwise:
+      xor_exchange_impl(node, access, /*balanced=*/false);
+      return;
+    case ExchangeAlgorithm::Recursive:
+      recursive_exchange_impl(node, access);
+      return;
+    case ExchangeAlgorithm::Balanced:
+      xor_exchange_impl(node, access, /*balanced=*/true);
+      return;
+  }
+  CM5_CHECK_MSG(false, "unknown exchange algorithm");
+}
+
+}  // namespace cm5::sched

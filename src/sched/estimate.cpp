@@ -1,0 +1,79 @@
+#include "cm5/sched/estimate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+
+util::SimDuration estimate_schedule_time(
+    const CommSchedule& schedule, const machine::MachineParams& params) {
+  CM5_CHECK_MSG(params.tree.num_nodes == schedule.nprocs(),
+                "params sized for a different machine");
+  const net::FatTreeTopology topo(params.tree);
+
+  // Cost of moving one message between two specific nodes, assuming the
+  // network is saturated at the message's NCA height (the schedule's
+  // whole step is in flight at once).
+  auto message_cost = [&](NodeId a, NodeId b, std::int64_t bytes) {
+    const std::int32_t height = topo.nca_height(a, b);
+    const double rate = topo.per_node_bw(height);
+    return params.send_overhead + params.net_latency + params.recv_overhead +
+           util::transfer_time(static_cast<double>(params.wire_bytes(bytes)),
+                               rate);
+  };
+
+  util::SimDuration total = 0;
+  for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
+    util::SimDuration step_time = 0;
+    for (NodeId p = 0; p < schedule.nprocs(); ++p) {
+      util::SimDuration proc_time = 0;
+      for (const Op& op : schedule.ops(step, p)) {
+        switch (op.kind) {
+          case Op::Kind::Send:
+            proc_time += message_cost(p, op.peer, op.send_bytes);
+            break;
+          case Op::Kind::Recv:
+            proc_time += message_cost(op.peer, p, op.recv_bytes);
+            break;
+          case Op::Kind::Exchange:
+            // Figure 2 serializes the two directions.
+            proc_time += message_cost(p, op.peer, op.send_bytes) +
+                         message_cost(op.peer, p, op.recv_bytes);
+            break;
+        }
+      }
+      step_time = std::max(step_time, proc_time);
+    }
+    if (step_time > 0) total += step_time + params.ctl_latency;  // barrier
+  }
+  return total;
+}
+
+Scheduler recommend_scheduler_paper_rule(const CommPattern& pattern) {
+  return pattern.density() < 0.5 ? Scheduler::Greedy : Scheduler::Balanced;
+}
+
+Scheduler recommend_scheduler_estimated(const CommPattern& pattern,
+                                        const machine::MachineParams& params) {
+  const bool pow2 = (pattern.nprocs() & (pattern.nprocs() - 1)) == 0;
+  std::vector<Scheduler> candidates = {Scheduler::Linear, Scheduler::Greedy};
+  if (pow2) {
+    candidates.push_back(Scheduler::Pairwise);
+    candidates.push_back(Scheduler::Balanced);
+  }
+  Scheduler best = Scheduler::Greedy;
+  util::SimDuration best_time = util::kTimeNever;
+  for (const Scheduler s : candidates) {
+    const CommSchedule schedule = build_schedule(s, pattern);
+    const util::SimDuration t = estimate_schedule_time(schedule, params);
+    if (t < best_time) {
+      best_time = t;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,94 @@
+#include "cm5/sched/pattern.hpp"
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+
+CommPattern::CommPattern(std::int32_t nprocs) : nprocs_(nprocs) {
+  CM5_CHECK_MSG(nprocs >= 1, "pattern needs at least one processor");
+  bytes_.assign(static_cast<std::size_t>(nprocs) *
+                    static_cast<std::size_t>(nprocs),
+                0);
+}
+
+std::size_t CommPattern::index(NodeId src, NodeId dst) const {
+  CM5_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(nprocs_) +
+         static_cast<std::size_t>(dst);
+}
+
+std::int64_t CommPattern::at(NodeId src, NodeId dst) const {
+  return bytes_[index(src, dst)];
+}
+
+void CommPattern::set(NodeId src, NodeId dst, std::int64_t bytes) {
+  CM5_CHECK_MSG(src != dst, "a processor never sends to itself");
+  CM5_CHECK(bytes >= 0);
+  std::int64_t& cell = bytes_[index(src, dst)];
+  if (cell != 0) {
+    --num_messages_;
+    total_bytes_ -= cell;
+  }
+  cell = bytes;
+  if (bytes != 0) {
+    ++num_messages_;
+    total_bytes_ += bytes;
+  }
+}
+
+double CommPattern::density() const noexcept {
+  const std::int64_t slots =
+      static_cast<std::int64_t>(nprocs_) * (nprocs_ - 1);
+  if (slots == 0) return 0.0;
+  return static_cast<double>(num_messages_) / static_cast<double>(slots);
+}
+
+double CommPattern::avg_message_bytes() const noexcept {
+  if (num_messages_ == 0) return 0.0;
+  return static_cast<double>(total_bytes_) /
+         static_cast<double>(num_messages_);
+}
+
+bool CommPattern::is_symmetric() const {
+  for (NodeId i = 0; i < nprocs_; ++i) {
+    for (NodeId j = i + 1; j < nprocs_; ++j) {
+      if (at(i, j) != at(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+CommPattern CommPattern::complete_exchange(std::int32_t nprocs,
+                                           std::int64_t bytes) {
+  CM5_CHECK(bytes >= 1);
+  CommPattern p(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (NodeId j = 0; j < nprocs; ++j) {
+      if (i != j) p.set(i, j, bytes);
+    }
+  }
+  return p;
+}
+
+CommPattern CommPattern::paper_pattern_p(std::int64_t bytes_per_message) {
+  // Paper Table 6, row = sender, column = receiver.
+  static constexpr int kP[8][8] = {
+      {0, 1, 0, 1, 0, 1, 1, 0},
+      {1, 0, 1, 0, 1, 1, 1, 1},
+      {0, 1, 0, 1, 0, 0, 0, 0},
+      {1, 0, 1, 0, 1, 1, 1, 0},
+      {0, 1, 1, 1, 0, 1, 0, 1},
+      {0, 1, 0, 0, 1, 0, 1, 0},
+      {1, 0, 1, 1, 0, 1, 0, 1},
+      {1, 1, 0, 0, 1, 0, 1, 0},
+  };
+  CommPattern p(8);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      if (kP[i][j]) p.set(i, j, bytes_per_message);
+    }
+  }
+  return p;
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,96 @@
+#include "cm5/sched/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cm5::sched {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("pattern parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string pattern_to_text(const CommPattern& pattern) {
+  std::ostringstream os;
+  os << "cm5-pattern v1\n";
+  os << "nprocs " << pattern.nprocs() << "\n";
+  os << "# src dst bytes\n";
+  for (NodeId src = 0; src < pattern.nprocs(); ++src) {
+    for (NodeId dst = 0; dst < pattern.nprocs(); ++dst) {
+      if (src == dst) continue;
+      const std::int64_t bytes = pattern.at(src, dst);
+      if (bytes > 0) os << src << ' ' << dst << ' ' << bytes << '\n';
+    }
+  }
+  return os.str();
+}
+
+CommPattern pattern_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;           // blank
+      if (line[first] == '#') continue;                    // comment
+      // Trim a trailing comment.
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line = line.substr(0, hash);
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_content_line()) fail(line_no, "empty input");
+  if (line.rfind("cm5-pattern v1", 0) != 0) fail(line_no, "bad magic header");
+
+  if (!next_content_line()) fail(line_no, "missing nprocs line");
+  std::istringstream header(line);
+  std::string keyword;
+  std::int32_t nprocs = 0;
+  header >> keyword >> nprocs;
+  if (keyword != "nprocs" || nprocs < 1) fail(line_no, "bad nprocs line");
+
+  CommPattern pattern(nprocs);
+  while (next_content_line()) {
+    std::istringstream row(line);
+    std::int64_t src, dst, bytes;
+    if (!(row >> src >> dst >> bytes)) fail(line_no, "expected 'src dst bytes'");
+    std::string extra;
+    if (row >> extra) fail(line_no, "trailing tokens: " + extra);
+    if (src < 0 || src >= nprocs || dst < 0 || dst >= nprocs) {
+      fail(line_no, "processor id out of range");
+    }
+    if (src == dst) fail(line_no, "diagonal entry");
+    if (bytes < 1) fail(line_no, "bytes must be positive");
+    if (pattern.at(static_cast<NodeId>(src), static_cast<NodeId>(dst)) != 0) {
+      fail(line_no, "duplicate entry");
+    }
+    pattern.set(static_cast<NodeId>(src), static_cast<NodeId>(dst), bytes);
+  }
+  return pattern;
+}
+
+void save_pattern(const CommPattern& pattern, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << pattern_to_text(pattern);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+CommPattern load_pattern(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return pattern_from_text(buffer.str());
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,93 @@
+#include "cm5/sched/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+
+ScheduleReport analyze_schedule(const CommSchedule& schedule,
+                                const net::FatTreeTopology& topo) {
+  CM5_CHECK(schedule.nprocs() == topo.num_nodes());
+  ScheduleReport report;
+  report.nprocs = schedule.nprocs();
+  report.steps = schedule.num_steps();
+  report.busy_steps = schedule.num_busy_steps();
+
+  std::vector<std::int64_t> sent_bytes(
+      static_cast<std::size_t>(schedule.nprocs()), 0);
+  double busy_fraction_sum = 0.0;
+
+  for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
+    std::int32_t busy_procs = 0;
+    bool any = false;
+    for (NodeId p = 0; p < schedule.nprocs(); ++p) {
+      const auto& ops = schedule.ops(step, p);
+      if (ops.empty()) continue;
+      any = true;
+      ++busy_procs;
+      std::int32_t proc_messages = 0;
+      for (const Op& op : ops) {
+        switch (op.kind) {
+          case Op::Kind::Send:
+            ++proc_messages;
+            ++report.messages;
+            report.total_bytes += op.send_bytes;
+            sent_bytes[static_cast<std::size_t>(p)] += op.send_bytes;
+            break;
+          case Op::Kind::Recv:
+            ++proc_messages;
+            break;
+          case Op::Kind::Exchange:
+            proc_messages += 2;
+            ++report.messages;  // this endpoint's outgoing half
+            report.total_bytes += op.send_bytes;
+            sent_bytes[static_cast<std::size_t>(p)] += op.send_bytes;
+            break;
+        }
+      }
+      report.max_ops_per_proc_step =
+          std::max(report.max_ops_per_proc_step, proc_messages);
+    }
+    if (any) {
+      busy_fraction_sum += static_cast<double>(busy_procs) /
+                           static_cast<double>(schedule.nprocs());
+    }
+  }
+  if (report.busy_steps > 0) {
+    report.avg_busy_fraction =
+        busy_fraction_sum / static_cast<double>(report.busy_steps);
+  }
+
+  std::int64_t max_sent = 0, total_sent = 0;
+  for (const std::int64_t s : sent_bytes) {
+    max_sent = std::max(max_sent, s);
+    total_sent += s;
+  }
+  if (total_sent > 0) {
+    const double mean =
+        static_cast<double>(total_sent) / static_cast<double>(report.nprocs);
+    report.send_imbalance = static_cast<double>(max_sent) / mean;
+  }
+
+  report.root_crossings = analyze_crossings(schedule, topo, topo.levels());
+  return report;
+}
+
+std::string ScheduleReport::to_string() const {
+  std::ostringstream os;
+  os << "schedule report: " << nprocs << " procs, " << busy_steps
+     << " busy steps (" << steps << " total)\n";
+  os << "  messages " << messages << ", bytes " << total_bytes
+     << ", max msgs/proc/step " << max_ops_per_proc_step << '\n';
+  os << "  avg busy fraction " << avg_busy_fraction << ", send imbalance "
+     << send_imbalance << '\n';
+  os << "  root crossings: total " << root_crossings.total_crossings
+     << ", max/step " << root_crossings.max_crossings << ", fully-crossing steps "
+     << root_crossings.fully_crossing_steps << '\n';
+  return os.str();
+}
+
+}  // namespace cm5::sched

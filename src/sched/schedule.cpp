@@ -1,0 +1,209 @@
+#include "cm5/sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+
+CommSchedule::CommSchedule(std::int32_t nprocs) : nprocs_(nprocs) {
+  CM5_CHECK(nprocs >= 1);
+}
+
+std::int32_t CommSchedule::num_busy_steps() const {
+  std::int32_t busy = 0;
+  for (const auto& step : steps_) {
+    for (const auto& ops : step) {
+      if (!ops.empty()) {
+        ++busy;
+        break;
+      }
+    }
+  }
+  return busy;
+}
+
+std::int32_t CommSchedule::add_step() {
+  steps_.emplace_back(static_cast<std::size_t>(nprocs_));
+  return static_cast<std::int32_t>(steps_.size()) - 1;
+}
+
+void CommSchedule::add_send(std::int32_t step, NodeId src, NodeId dst,
+                            std::int64_t bytes) {
+  CM5_CHECK(step >= 0 && step < num_steps());
+  CM5_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  CM5_CHECK(src != dst);
+  CM5_CHECK(bytes >= 1);
+  auto& procs = steps_[static_cast<std::size_t>(step)];
+  procs[static_cast<std::size_t>(src)].push_back(
+      Op{Op::Kind::Send, dst, bytes, 0});
+  procs[static_cast<std::size_t>(dst)].push_back(
+      Op{Op::Kind::Recv, src, 0, bytes});
+}
+
+void CommSchedule::add_exchange(std::int32_t step, NodeId a, NodeId b,
+                                std::int64_t a_to_b_bytes,
+                                std::int64_t b_to_a_bytes) {
+  CM5_CHECK(step >= 0 && step < num_steps());
+  CM5_CHECK(a >= 0 && a < nprocs_ && b >= 0 && b < nprocs_);
+  CM5_CHECK(a != b);
+  CM5_CHECK(a_to_b_bytes >= 1 && b_to_a_bytes >= 1);
+  auto& procs = steps_[static_cast<std::size_t>(step)];
+  procs[static_cast<std::size_t>(a)].push_back(
+      Op{Op::Kind::Exchange, b, a_to_b_bytes, b_to_a_bytes});
+  procs[static_cast<std::size_t>(b)].push_back(
+      Op{Op::Kind::Exchange, a, b_to_a_bytes, a_to_b_bytes});
+}
+
+const std::vector<Op>& CommSchedule::ops(std::int32_t step, NodeId proc) const {
+  CM5_CHECK(step >= 0 && step < num_steps());
+  CM5_CHECK(proc >= 0 && proc < nprocs_);
+  return steps_[static_cast<std::size_t>(step)][static_cast<std::size_t>(proc)];
+}
+
+std::int64_t CommSchedule::num_messages() const {
+  std::int64_t count = 0;
+  for (const auto& step : steps_) {
+    for (const auto& ops : step) {
+      for (const Op& op : ops) {
+        switch (op.kind) {
+          case Op::Kind::Send:
+            ++count;
+            break;
+          case Op::Kind::Exchange:
+            ++count;  // each endpoint contributes its outgoing message
+            break;
+          case Op::Kind::Recv:
+            break;  // counted at the sender
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void CommSchedule::validate_against(const CommPattern& pattern) const {
+  CM5_CHECK_MSG(pattern.nprocs() == nprocs_, "pattern size mismatch");
+  // delivered[src][dst] accumulated over steps.
+  std::vector<std::int64_t> delivered(
+      static_cast<std::size_t>(nprocs_) * static_cast<std::size_t>(nprocs_),
+      0);
+  auto cell = [&](NodeId s, NodeId d) -> std::int64_t& {
+    return delivered[static_cast<std::size_t>(s) *
+                         static_cast<std::size_t>(nprocs_) +
+                     static_cast<std::size_t>(d)];
+  };
+
+  for (std::int32_t step = 0; step < num_steps(); ++step) {
+    // Within a step, every Send must pair with a Recv on the peer and
+    // every Exchange must mirror an Exchange.
+    for (NodeId p = 0; p < nprocs_; ++p) {
+      for (const Op& op : ops(step, p)) {
+        switch (op.kind) {
+          case Op::Kind::Send: {
+            bool matched = false;
+            for (const Op& q : ops(step, op.peer)) {
+              if (q.kind == Op::Kind::Recv && q.peer == p &&
+                  q.recv_bytes == op.send_bytes) {
+                matched = true;
+                break;
+              }
+            }
+            CM5_CHECK_MSG(matched, "send without matching recv at step " +
+                                       std::to_string(step));
+            cell(p, op.peer) += op.send_bytes;
+            break;
+          }
+          case Op::Kind::Exchange: {
+            bool matched = false;
+            for (const Op& q : ops(step, op.peer)) {
+              if (q.kind == Op::Kind::Exchange && q.peer == p &&
+                  q.send_bytes == op.recv_bytes &&
+                  q.recv_bytes == op.send_bytes) {
+                matched = true;
+                break;
+              }
+            }
+            CM5_CHECK_MSG(matched, "unmirrored exchange at step " +
+                                       std::to_string(step));
+            cell(p, op.peer) += op.send_bytes;
+            break;
+          }
+          case Op::Kind::Recv:
+            break;  // verified from the send side
+        }
+      }
+    }
+  }
+
+  for (NodeId s = 0; s < nprocs_; ++s) {
+    for (NodeId d = 0; d < nprocs_; ++d) {
+      if (s == d) continue;
+      CM5_CHECK_MSG(cell(s, d) == pattern.at(s, d),
+                    "schedule delivers " + std::to_string(cell(s, d)) +
+                        " bytes for " + std::to_string(s) + "->" +
+                        std::to_string(d) + ", pattern needs " +
+                        std::to_string(pattern.at(s, d)));
+    }
+  }
+}
+
+void CommSchedule::trim_trailing_empty_steps() {
+  while (!steps_.empty()) {
+    bool empty = true;
+    for (const auto& ops : steps_.back()) {
+      if (!ops.empty()) {
+        empty = false;
+        break;
+      }
+    }
+    if (!empty) return;
+    steps_.pop_back();
+  }
+}
+
+std::string CommSchedule::to_string() const {
+  std::ostringstream os;
+  for (std::int32_t step = 0; step < num_steps(); ++step) {
+    os << "step " << step + 1 << ':';
+    for (NodeId p = 0; p < nprocs_; ++p) {
+      for (const Op& op : ops(step, p)) {
+        if (op.kind == Op::Kind::Send) {
+          os << ' ' << p << "->" << op.peer;
+        } else if (op.kind == Op::Kind::Exchange && p < op.peer) {
+          os << ' ' << p << "<->" << op.peer;
+        }
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StepTrafficStats analyze_crossings(const CommSchedule& schedule,
+                                   const net::FatTreeTopology& topo,
+                                   std::int32_t height) {
+  CM5_CHECK(schedule.nprocs() == topo.num_nodes());
+  StepTrafficStats stats;
+  stats.crossings_per_step.reserve(
+      static_cast<std::size_t>(schedule.num_steps()));
+  for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
+    std::int32_t crossing = 0;
+    std::int32_t messages = 0;
+    for (NodeId p = 0; p < schedule.nprocs(); ++p) {
+      for (const Op& op : schedule.ops(step, p)) {
+        if (op.kind == Op::Kind::Recv) continue;  // counted at sender
+        ++messages;
+        if (topo.nca_height(p, op.peer) >= height) ++crossing;
+      }
+    }
+    stats.crossings_per_step.push_back(crossing);
+    stats.max_crossings = std::max(stats.max_crossings, crossing);
+    stats.total_crossings += crossing;
+    if (messages > 0 && crossing == messages) ++stats.fully_crossing_steps;
+  }
+  return stats;
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,610 @@
+#include "cm5/sim/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sim {
+
+namespace {
+
+std::size_t idx(NodeId id) { return static_cast<std::size_t>(id); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- NodeHandle
+
+std::int32_t NodeHandle::nprocs() const noexcept {
+  return kernel_->topo_.num_nodes();
+}
+
+util::SimTime NodeHandle::now() const {
+  std::unique_lock lock(kernel_->mutex_);
+  return kernel_->nodes_[idx(id_)]->clock;
+}
+
+void NodeHandle::advance(util::SimDuration d) {
+  CM5_CHECK_MSG(d >= 0, "cannot charge negative compute time");
+  Kernel& k = *kernel_;
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  me.clock += d;
+  me.counters.compute_time += d;
+  k.emit(TraceEvent::Kind::Compute, me.clock, id_, -1, d);
+  k.yield(lock, id_);
+  k.check_abort(id_);
+}
+
+void NodeHandle::post_send(NodeId dst, std::int32_t tag,
+                           std::int64_t user_bytes, std::int64_t wire_bytes,
+                           util::SimDuration latency,
+                           std::vector<std::byte> payload) {
+  Kernel& k = *kernel_;
+  CM5_CHECK_MSG(dst >= 0 && dst < k.topo_.num_nodes(), "send: bad destination");
+  CM5_CHECK_MSG(dst != id_, "send to self is not supported (CMMD semantics)");
+  CM5_CHECK_MSG(payload.empty() ||
+                    static_cast<std::int64_t>(payload.size()) == user_bytes,
+                "payload must be empty (phantom) or exactly user_bytes long");
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.sends;
+  me.counters.bytes_sent += user_bytes;
+  k.emit(TraceEvent::Kind::SendPosted, me.clock, id_, dst, user_bytes, tag);
+
+  Kernel::PendingSend ps{id_,     tag,      user_bytes,
+                         wire_bytes, latency, std::move(payload),
+                         me.clock, /*async=*/false, k.send_seq_++};
+  Kernel::NodeState& receiver = *k.nodes_[idx(dst)];
+  if (receiver.posted_recv &&
+      (receiver.posted_recv->src_filter == kAnyNode ||
+       receiver.posted_recv->src_filter == id_) &&
+      (receiver.posted_recv->tag_filter == kAnyTag ||
+       receiver.posted_recv->tag_filter == tag)) {
+    const util::SimTime match =
+        std::max(me.clock, receiver.posted_recv->post_time);
+    receiver.posted_recv.reset();
+    k.start_transfer(match, std::move(ps), dst);
+  } else {
+    k.send_queues_[idx(dst)].push_back(std::move(ps));
+  }
+
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "send_block to node " + std::to_string(dst);
+  me.has_token = false;
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+}
+
+void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
+                                 std::int64_t user_bytes,
+                                 std::int64_t wire_bytes,
+                                 util::SimDuration latency,
+                                 std::vector<std::byte> payload) {
+  Kernel& k = *kernel_;
+  CM5_CHECK_MSG(dst >= 0 && dst < k.topo_.num_nodes(), "send: bad destination");
+  CM5_CHECK_MSG(dst != id_, "send to self is not supported (CMMD semantics)");
+  CM5_CHECK_MSG(payload.empty() ||
+                    static_cast<std::int64_t>(payload.size()) == user_bytes,
+                "payload must be empty (phantom) or exactly user_bytes long");
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.sends;
+  me.counters.bytes_sent += user_bytes;
+  ++me.async_in_flight;
+  k.emit(TraceEvent::Kind::SendPosted, me.clock, id_, dst, user_bytes, tag);
+
+  Kernel::PendingSend ps{id_,     tag,      user_bytes,
+                         wire_bytes, latency, std::move(payload),
+                         me.clock, /*async=*/true, k.send_seq_++};
+  Kernel::NodeState& receiver = *k.nodes_[idx(dst)];
+  if (receiver.posted_recv &&
+      (receiver.posted_recv->src_filter == kAnyNode ||
+       receiver.posted_recv->src_filter == id_) &&
+      (receiver.posted_recv->tag_filter == kAnyTag ||
+       receiver.posted_recv->tag_filter == tag)) {
+    const util::SimTime match =
+        std::max(me.clock, receiver.posted_recv->post_time);
+    receiver.posted_recv.reset();
+    k.start_transfer(match, std::move(ps), dst);
+  } else {
+    k.send_queues_[idx(dst)].push_back(std::move(ps));
+  }
+  // Not blocking: the caller continues at its current clock. Yield so the
+  // kernel can keep global time order (another node may be behind us).
+  k.yield(lock, id_);
+  k.check_abort(id_);
+}
+
+void NodeHandle::wait_async_sends() {
+  Kernel& k = *kernel_;
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  if (me.async_in_flight == 0) return;
+  me.waiting_async_drain = true;
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "wait_async_sends";
+  me.has_token = false;
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+}
+
+Message NodeHandle::post_receive(NodeId src, std::int32_t tag) {
+  Kernel& k = *kernel_;
+  CM5_CHECK_MSG(src == kAnyNode || (src >= 0 && src < k.topo_.num_nodes()),
+                "receive: bad source filter");
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.receives;
+  CM5_CHECK_MSG(!me.posted_recv && !me.recv_ready,
+                "only one outstanding receive per node");
+  k.emit(TraceEvent::Kind::RecvPosted, me.clock, id_, src, 0, tag);
+
+  auto& queue = k.send_queues_[idx(id_)];
+  auto it = std::find_if(queue.begin(), queue.end(),
+                         [&](const Kernel::PendingSend& s) {
+                           return (src == kAnyNode || s.src == src) &&
+                                  (tag == kAnyTag || s.tag == tag);
+                         });
+  if (it != queue.end()) {
+    Kernel::PendingSend ps = std::move(*it);
+    queue.erase(it);
+    const util::SimTime match = std::max(me.clock, ps.post_time);
+    k.start_transfer(match, std::move(ps), id_);
+  } else {
+    me.posted_recv = Kernel::PendingRecv{src, tag, me.clock};
+  }
+
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "receive_block from node " +
+                  (src == kAnyNode ? std::string("ANY") : std::to_string(src));
+  me.has_token = false;
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+  CM5_CHECK_MSG(me.recv_ready, "woken without a delivered message");
+  me.recv_ready = false;
+  return std::move(me.inbox);
+}
+
+Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
+                              std::int64_t user_bytes, std::int64_t wire_bytes,
+                              util::SimDuration latency,
+                              std::vector<std::byte> payload) {
+  Kernel& k = *kernel_;
+  CM5_CHECK_MSG(peer >= 0 && peer < k.topo_.num_nodes(), "swap: bad peer");
+  CM5_CHECK_MSG(peer != id_, "swap with self is not supported");
+  CM5_CHECK_MSG(payload.empty() ||
+                    static_cast<std::int64_t>(payload.size()) == user_bytes,
+                "payload must be empty (phantom) or exactly user_bytes long");
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.sends;
+  ++me.counters.receives;
+  me.counters.bytes_sent += user_bytes;
+  CM5_CHECK_MSG(me.swap_remaining == 0, "only one outstanding swap per node");
+  k.emit(TraceEvent::Kind::SwapPosted, me.clock, id_, peer, user_bytes, tag);
+
+  const auto it = std::find_if(
+      k.pending_swaps_.begin(), k.pending_swaps_.end(),
+      [&](const Kernel::PendingSwap& s) {
+        return s.poster == peer && s.peer == id_ && s.tag == tag;
+      });
+  if (it != k.pending_swaps_.end()) {
+    Kernel::PendingSwap other = std::move(*it);
+    k.pending_swaps_.erase(it);
+    const util::SimTime match = std::max(me.clock, other.post_time);
+    // Both directions enter the network together — full duplex.
+    k.start_raw_transfer(match, id_, peer, tag, user_bytes, wire_bytes,
+                         latency, std::move(payload),
+                         Kernel::TransferKind::Swap);
+    k.start_raw_transfer(match, peer, id_, tag, other.user_bytes,
+                         other.wire_bytes, other.latency,
+                         std::move(other.payload),
+                         Kernel::TransferKind::Swap);
+    me.swap_remaining = 2;
+    k.nodes_[idx(peer)]->swap_remaining = 2;
+  } else {
+    k.pending_swaps_.push_back(Kernel::PendingSwap{
+        id_, peer, tag, user_bytes, wire_bytes, latency, std::move(payload),
+        me.clock});
+  }
+
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "swap with node " + std::to_string(peer);
+  me.has_token = false;
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+  CM5_CHECK_MSG(me.recv_ready, "swap woken without a delivered message");
+  me.recv_ready = false;
+  return std::move(me.inbox);
+}
+
+std::vector<std::byte> NodeHandle::global_op(
+    std::span<const std::byte> contribution, util::SimDuration duration) {
+  Kernel& k = *kernel_;
+  CM5_CHECK(duration >= 0);
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.global_ops;
+
+  k.emit(TraceEvent::Kind::GlobalOpEnter, k.nodes_[idx(id_)]->clock, id_);
+  auto& g = k.gop_;
+  g.contributions[idx(id_)].assign(contribution.begin(), contribution.end());
+  g.waiting[idx(id_)] = true;
+  g.max_arrival = std::max(g.max_arrival, me.clock);
+  ++g.arrivals;
+
+  if (g.arrivals == k.topo_.num_nodes()) {
+    // Last arriver: complete the operation and release everyone.
+    const util::SimTime release = g.max_arrival + duration;
+    g.result.clear();
+    for (auto& c : g.contributions) {
+      g.result.insert(g.result.end(), c.begin(), c.end());
+      c.clear();
+    }
+    g.arrivals = 0;
+    g.max_arrival = 0;
+    ++g.generation;
+    k.emit(TraceEvent::Kind::GlobalOpComplete, release, id_);
+    for (NodeId n = 0; n < k.topo_.num_nodes(); ++n) {
+      if (!g.waiting[idx(n)]) continue;
+      g.waiting[idx(n)] = false;
+      if (n == id_) continue;  // self handled below
+      k.wake_node(n, release);
+    }
+    me.clock = release;
+    me.status = Kernel::NodeStatus::Runnable;
+    me.has_token = false;
+    k.schedule_next(lock);
+    k.wait_for_token(lock, id_);
+    k.check_abort(id_);
+    return g.result;
+  }
+
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "global_op (control network)";
+  me.has_token = false;
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+  return g.result;
+}
+
+// -------------------------------------------------------------------- Kernel
+
+Kernel::Kernel(const net::FatTreeTopology& topo) : topo_(topo) {}
+
+Kernel::~Kernel() = default;
+
+void Kernel::emit(TraceEvent::Kind kind, util::SimTime time, NodeId node,
+                  NodeId peer, std::int64_t bytes, std::int32_t tag) {
+  if (!trace_) return;
+  trace_(TraceEvent{kind, time, node, peer, bytes, tag});
+}
+
+void Kernel::check_abort(NodeId) const {
+  if (deadlock_) throw DeadlockError(deadlock_message_);
+  if (abort_) throw AbortError("run aborted because another node failed");
+}
+
+void Kernel::wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me) {
+  NodeState& st = *nodes_[idx(me)];
+  st.cv.wait(lock, [&] { return st.has_token; });
+}
+
+void Kernel::yield(std::unique_lock<std::mutex>& lock, NodeId me) {
+  NodeState& st = *nodes_[idx(me)];
+  st.has_token = false;
+  schedule_next(lock);
+  wait_for_token(lock, me);
+}
+
+void Kernel::wake_node(NodeId id, util::SimTime t) {
+  NodeState& st = *nodes_[idx(id)];
+  CM5_CHECK(st.status == NodeStatus::Blocked);
+  CM5_CHECK_MSG(st.clock <= t, "waking a node into its past");
+  st.clock = t;
+  st.status = NodeStatus::Runnable;
+}
+
+void Kernel::start_raw_transfer(util::SimTime match_time, NodeId src,
+                                NodeId dst, std::int32_t tag,
+                                std::int64_t user_bytes,
+                                std::int64_t wire_bytes,
+                                util::SimDuration latency,
+                                std::vector<std::byte> payload,
+                                TransferKind kind) {
+  const auto transfer_id = static_cast<std::int64_t>(transfers_.size());
+  transfers_.push_back(
+      Transfer{src, dst, user_bytes, tag, std::move(payload), kind});
+  event_queue_.push(QueuedEvent{match_time + latency, event_seq_++,
+                                transfer_id, wire_bytes, src, dst});
+}
+
+void Kernel::start_transfer(util::SimTime match_time, PendingSend&& send,
+                            NodeId dst) {
+  start_raw_transfer(match_time, send.src, dst, send.tag, send.user_bytes,
+                     send.wire_bytes, send.latency, std::move(send.payload),
+                     send.async ? TransferKind::Async : TransferKind::Sync);
+}
+
+void Kernel::process_flow_start(const QueuedEvent& ev) {
+  const net::FlowId flow =
+      fluid_->start_flow(ev.time, ev.src, ev.dst,
+                         static_cast<double>(ev.wire_bytes));
+  CM5_CHECK_MSG(static_cast<std::size_t>(flow) == flow_to_transfer_.size(),
+                "fluid network flow ids must be sequential");
+  flow_to_transfer_.push_back(ev.transfer_id);
+  const Transfer& tr =
+      *transfers_[static_cast<std::size_t>(ev.transfer_id)];
+  emit(TraceEvent::Kind::TransferStart, ev.time, ev.src, ev.dst,
+       tr.user_bytes, tr.tag);
+}
+
+void Kernel::process_completions(util::SimTime t) {
+  for (const net::FlowId flow : fluid_->advance_to(t)) {
+    auto& slot = transfers_[static_cast<std::size_t>(
+        flow_to_transfer_[static_cast<std::size_t>(flow)])];
+    CM5_CHECK(slot.has_value());
+    Transfer tr = std::move(*slot);
+    slot.reset();
+    emit(TraceEvent::Kind::TransferComplete, t, tr.src, tr.dst, tr.user_bytes,
+         tr.tag);
+
+    NodeState& receiver = *nodes_[idx(tr.dst)];
+    CM5_CHECK_MSG(!receiver.recv_ready, "receiver already holds a message");
+    receiver.inbox =
+        Message{tr.src, tr.tag, tr.user_bytes, std::move(tr.payload)};
+    receiver.recv_ready = true;
+
+    NodeState& sender = *nodes_[idx(tr.src)];
+    switch (tr.kind) {
+      case TransferKind::Sync:
+        wake_node(tr.dst, t);
+        wake_node(tr.src, t);
+        break;
+      case TransferKind::Async:
+        wake_node(tr.dst, t);
+        --sender.async_in_flight;
+        CM5_CHECK(sender.async_in_flight >= 0);
+        if (sender.waiting_async_drain && sender.async_in_flight == 0) {
+          sender.waiting_async_drain = false;
+          wake_node(tr.src, t);
+        }
+        break;
+      case TransferKind::Swap:
+        // Each endpoint waits for both directions of the exchange.
+        if (--receiver.swap_remaining == 0) wake_node(tr.dst, t);
+        if (--sender.swap_remaining == 0) wake_node(tr.src, t);
+        break;
+    }
+  }
+}
+
+void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // must be held; the parameter documents the requirement
+  while (true) {
+    if (abort_) {
+      // Error path: release everyone so threads can unwind and exit.
+      for (auto& n : nodes_) {
+        n->has_token = true;
+        n->cv.notify_one();
+      }
+      return;
+    }
+
+    NodeId best = -1;
+    util::SimTime best_t = util::kTimeNever;
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      const NodeState& st = *nodes_[idx(n)];
+      if (st.status == NodeStatus::Runnable && st.clock < best_t) {
+        best = n;
+        best_t = st.clock;
+      }
+    }
+
+    // Earliest pending event: a delayed flow start or a fluid completion.
+    util::SimTime ev_t = util::kTimeNever;
+    bool ev_is_queue = false;
+    if (!event_queue_.empty()) {
+      ev_t = event_queue_.top().time;
+      ev_is_queue = true;
+    }
+    if (const auto fc = fluid_->next_event()) {
+      if (*fc < ev_t) {
+        ev_t = *fc;
+        ev_is_queue = false;
+      }
+    }
+
+    if (ev_t != util::kTimeNever && (best == -1 || ev_t <= best_t)) {
+      if (ev_is_queue) {
+        const QueuedEvent ev = event_queue_.top();
+        event_queue_.pop();
+        process_flow_start(ev);
+      } else {
+        process_completions(ev_t);
+      }
+      continue;
+    }
+
+    if (best != -1) {
+      NodeState& st = *nodes_[idx(best)];
+      st.has_token = true;
+      st.cv.notify_one();
+      return;
+    }
+
+    if (done_count_ == topo_.num_nodes()) {
+      run_finished_ = true;
+      run_done_cv_.notify_all();
+      return;
+    }
+
+    // No runnable node, no pending event, programs still alive: deadlock.
+    deadlock_ = true;
+    abort_ = true;
+    deadlock_message_ = deadlock_report();
+    for (auto& n : nodes_) {
+      n->has_token = true;
+      n->cv.notify_one();
+    }
+    return;
+  }
+}
+
+std::string Kernel::deadlock_report() const {
+  std::ostringstream os;
+  os << "simulation deadlock: all nodes blocked, no events pending\n";
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const NodeState& st = *nodes_[idx(n)];
+    os << "  node " << n << " @" << util::format_duration(st.clock) << ": ";
+    switch (st.status) {
+      case NodeStatus::Runnable:
+        os << "runnable";
+        break;
+      case NodeStatus::Done:
+        os << "done";
+        break;
+      case NodeStatus::Blocked:
+        os << "blocked on " << st.blocked_on;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Kernel::node_main(const NodeProgram& program, NodeId id) {
+  bool aborted_before_start = false;
+  {
+    std::unique_lock lock(mutex_);
+    wait_for_token(lock, id);
+    aborted_before_start = abort_;
+  }
+  NodeHandle handle(this, id);
+  try {
+    if (!aborted_before_start) program(handle);
+  } catch (const AbortError&) {
+    // Another node failed first; unwind quietly.
+  } catch (const DeadlockError&) {
+    std::unique_lock lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  } catch (...) {
+    std::unique_lock lock(mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+      abort_ = true;
+      for (auto& n : nodes_) {
+        n->has_token = true;
+        n->cv.notify_one();
+      }
+    }
+  }
+
+  std::unique_lock lock(mutex_);
+  NodeState& me = *nodes_[idx(id)];
+  me.status = NodeStatus::Done;
+  me.has_token = false;
+  ++done_count_;
+  emit(TraceEvent::Kind::NodeDone, me.clock, id);
+  if (!abort_) {
+    try {
+      schedule_next(lock);
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+      abort_ = true;
+      for (auto& n : nodes_) {
+        n->has_token = true;
+        n->cv.notify_one();
+      }
+    }
+  }
+  if (abort_ && done_count_ == topo_.num_nodes()) {
+    run_finished_ = true;
+    run_done_cv_.notify_all();
+  }
+}
+
+RunResult Kernel::run(const NodeProgram& program) {
+  const std::int32_t n = topo_.num_nodes();
+  CM5_CHECK(n >= 1);
+
+  fluid_ = std::make_unique<net::FluidNetwork>(topo_);
+  nodes_.clear();
+  for (std::int32_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<NodeState>());
+  }
+  send_queues_.assign(static_cast<std::size_t>(n), {});
+  pending_swaps_.clear();
+  event_queue_ = {};
+  event_seq_ = 0;
+  send_seq_ = 0;
+  transfers_.clear();
+  flow_to_transfer_.clear();
+  gop_ = GlobalOpState{};
+  gop_.contributions.resize(static_cast<std::size_t>(n));
+  gop_.waiting.assign(static_cast<std::size_t>(n), false);
+  done_count_ = 0;
+  run_finished_ = false;
+  abort_ = false;
+  deadlock_ = false;
+  deadlock_message_.clear();
+  first_error_ = nullptr;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    threads.emplace_back([this, &program, i] { node_main(program, i); });
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    schedule_next(lock);  // grant the first token (node 0 at time 0)
+    run_done_cv_.wait(lock, [&] { return run_finished_; });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  if (deadlock_) throw DeadlockError(deadlock_message_);
+
+  // Undelivered traffic after a clean exit is a program bug (a message was
+  // sent asynchronously and never received).
+  for (const auto& q : send_queues_) {
+    CM5_CHECK_MSG(q.empty(), "program ended with unmatched sends pending");
+  }
+  CM5_CHECK_MSG(pending_swaps_.empty(),
+                "program ended with unmatched swaps pending");
+  CM5_CHECK_MSG(event_queue_.empty() && fluid_->active_flows() == 0,
+                "program ended with transfers still in flight");
+
+  RunResult result;
+  result.finish_time.reserve(static_cast<std::size_t>(n));
+  result.node_counters.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    result.finish_time.push_back(nodes_[idx(i)]->clock);
+    result.makespan = std::max(result.makespan, nodes_[idx(i)]->clock);
+    result.node_counters.push_back(nodes_[idx(i)]->counters);
+  }
+  result.network = fluid_->stats();
+  return result;
+}
+
+}  // namespace cm5::sim

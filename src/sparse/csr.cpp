@@ -1,0 +1,115 @@
+#include "cm5/sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(
+    std::int32_t n,
+    std::span<const std::tuple<std::int32_t, std::int32_t, double>> triplets) {
+  CM5_CHECK(n >= 1);
+  std::map<std::pair<std::int32_t, std::int32_t>, double> cells;
+  for (const auto& [r, c, v] : triplets) {
+    CM5_CHECK(r >= 0 && r < n && c >= 0 && c < n);
+    cells[{r, c}] += v;
+  }
+  CsrMatrix m;
+  m.n_ = n;
+  m.row_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  m.col_.reserve(cells.size());
+  m.val_.reserve(cells.size());
+  for (const auto& [rc, v] : cells) {
+    ++m.row_offset_[static_cast<std::size_t>(rc.first) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r) {
+    m.row_offset_[r + 1] += m.row_offset_[r];
+  }
+  for (const auto& [rc, v] : cells) {  // std::map iterates row-major sorted
+    m.col_.push_back(rc.second);
+    m.val_.push_back(v);
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::mesh_laplacian(const mesh::TriMesh& mesh) {
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> triplets;
+  triplets.reserve(static_cast<std::size_t>(mesh.num_vertices()) * 8);
+  for (mesh::VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    const auto neighbors = mesh.vertex_neighbors(v);
+    triplets.emplace_back(v, v, static_cast<double>(neighbors.size()) + 1.0);
+    for (mesh::VertexId u : neighbors) {
+      triplets.emplace_back(v, u, -1.0);
+    }
+  }
+  return from_triplets(mesh.num_vertices(), triplets);
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  CM5_CHECK(x.size() == static_cast<std::size_t>(n_));
+  CM5_CHECK(y.size() == static_cast<std::size_t>(n_));
+  for (std::int32_t r = 0; r < n_; ++r) {
+    double sum = 0.0;
+    const auto begin = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      sum += val_[k] * x[static_cast<std::size_t>(col_[k])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void CsrMatrix::multiply_rows(std::span<const std::int32_t> row_ids,
+                              std::span<const double> x,
+                              std::span<double> y) const {
+  CM5_CHECK(x.size() == static_cast<std::size_t>(n_));
+  CM5_CHECK(y.size() == static_cast<std::size_t>(n_));
+  for (const std::int32_t r : row_ids) {
+    CM5_CHECK(r >= 0 && r < n_);
+    double sum = 0.0;
+    const auto begin = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      sum += val_[k] * x[static_cast<std::size_t>(col_[k])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+std::span<const std::int32_t> CsrMatrix::row_cols(std::int32_t r) const {
+  CM5_CHECK(r >= 0 && r < n_);
+  const auto begin = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r)]);
+  const auto end = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r) + 1]);
+  return std::span(col_).subspan(begin, end - begin);
+}
+
+std::span<const double> CsrMatrix::row_vals(std::int32_t r) const {
+  CM5_CHECK(r >= 0 && r < n_);
+  const auto begin = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r)]);
+  const auto end = static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r) + 1]);
+  return std::span(val_).subspan(begin, end - begin);
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::int32_t c = cols[k];
+      // Find (c, r).
+      const auto ccols = row_cols(c);
+      const auto cvals = row_vals(c);
+      const auto it = std::lower_bound(ccols.begin(), ccols.end(), r);
+      if (it == ccols.end() || *it != r) return false;
+      const double mirror = cvals[static_cast<std::size_t>(it - ccols.begin())];
+      if (std::abs(mirror - vals[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cm5::sparse

@@ -1,0 +1,15 @@
+#include "cm5/util/check.hpp"
+
+#include <sstream>
+
+namespace cm5::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "CM5_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace cm5::util

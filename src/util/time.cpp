@@ -1,0 +1,38 @@
+#include "cm5/util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cm5::util {
+
+SimDuration from_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9;
+  if (ns >= static_cast<double>(kTimeNever)) return kTimeNever;
+  return static_cast<SimDuration>(std::llround(ns));
+}
+
+SimDuration transfer_time(double bytes, double bytes_per_second) noexcept {
+  if (bytes <= 0.0) return 0;
+  if (!(bytes_per_second > 0.0)) return kTimeNever;
+  const double ns = bytes / bytes_per_second * 1e9;
+  if (ns >= static_cast<double>(kTimeNever)) return kTimeNever;
+  return static_cast<SimDuration>(std::ceil(ns));
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  const double v = static_cast<double>(d);
+  if (d < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(d));
+  } else if (d < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f us", v * 1e-3);
+  } else if (d < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", v * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", v * 1e-9);
+  }
+  return buf;
+}
+
+}  // namespace cm5::util

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cm5/euler/euler2d.hpp"
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/partition.hpp"
+
+namespace cm5::euler {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+std::vector<Cons> blast_state(const mesh::TriMesh& m) {
+  std::vector<Cons> cells(static_cast<std::size_t>(m.num_triangles()));
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const mesh::Point c = m.centroid(t);
+    const double r2 = (c.x - 5.0) * (c.x - 5.0) + (c.y - 5.0) * (c.y - 5.0);
+    cells[static_cast<std::size_t>(t)] =
+        from_primitive(1.0, 0.0, 0.0, r2 < 4.0 ? 10.0 : 1.0);
+  }
+  return cells;
+}
+
+struct DistEulerCase {
+  std::int32_t nprocs;
+  sched::Scheduler scheduler;
+};
+
+class DistributedEulerTest : public ::testing::TestWithParam<DistEulerCase> {};
+
+TEST_P(DistributedEulerTest, MatchesSerialBitForBit) {
+  const auto& c = GetParam();
+  const mesh::TriMesh m = mesh::perturbed_grid(14, 14, 0.2, 6);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, c.nprocs);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, c.nprocs);
+
+  // Serial reference, fixed dt so both runs take identical steps.
+  EulerSolver serial(m);
+  serial.set_state(initial);
+  const double dt = serial.stable_dt(0.4);
+  for (int s = 0; s < 20; ++s) serial.step(dt);
+
+  std::vector<std::vector<Cons>> per_node(static_cast<std::size_t>(c.nprocs));
+  Cm5Machine machine(MachineParams::cm5_defaults(c.nprocs));
+  machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, c.scheduler, initial);
+    for (int s = 0; s < 20; ++s) dist.step(dt);
+    per_node[static_cast<std::size_t>(node.self())].assign(
+        dist.state().begin(), dist.state().end());
+  });
+
+  // The distributed update applies the same flux arithmetic in the same
+  // order per cell, so owned entries must agree exactly.
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const Cons& got =
+        per_node[static_cast<std::size_t>(part[static_cast<std::size_t>(t)])]
+                [static_cast<std::size_t>(t)];
+    const Cons& want = serial.state()[static_cast<std::size_t>(t)];
+    EXPECT_EQ(got.rho, want.rho) << "cell " << t;
+    EXPECT_EQ(got.mx, want.mx);
+    EXPECT_EQ(got.my, want.my);
+    EXPECT_EQ(got.e, want.e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedEulerTest,
+    ::testing::Values(DistEulerCase{4, sched::Scheduler::Greedy},
+                      DistEulerCase{8, sched::Scheduler::Greedy},
+                      DistEulerCase{8, sched::Scheduler::Linear},
+                      DistEulerCase{8, sched::Scheduler::Pairwise},
+                      DistEulerCase{8, sched::Scheduler::Balanced},
+                      DistEulerCase{16, sched::Scheduler::Greedy}));
+
+TEST(DistributedEulerTest, GlobalReductionsAgreeWithSerial) {
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.2, 7);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, 8);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, 8);
+
+  EulerSolver serial(m);
+  serial.set_state(initial);
+  const double serial_dt = serial.stable_dt(0.4);
+  const double serial_mass = serial.total_mass();
+
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, sched::Scheduler::Greedy,
+                          initial);
+    EXPECT_NEAR(dist.stable_dt(0.4), serial_dt, 1e-15);
+    EXPECT_NEAR(dist.total_mass(), serial_mass, 1e-9 * serial_mass);
+  });
+}
+
+TEST(DistributedEulerTest, MassConservedAcrossDistributedSteps) {
+  const mesh::TriMesh m = mesh::airfoil_with_target(545, 9);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, 8);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, 8);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, sched::Scheduler::Greedy,
+                          initial);
+    const double mass0 = dist.total_mass();
+    const double dt = dist.stable_dt(0.4);
+    for (int s = 0; s < 10; ++s) dist.step(dt);
+    EXPECT_NEAR(dist.total_mass(), mass0, 1e-10 * mass0);
+  });
+}
+
+TEST(DistributedEulerTest, EveryStepExchangesOneHalo) {
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.2, 8);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, 4);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, 4);
+  const auto pattern = halo.pattern(sizeof(Cons));
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto run = machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, sched::Scheduler::Greedy,
+                          initial);
+    const double dt = dist.stable_dt(0.4);
+    for (int s = 0; s < 3; ++s) dist.step(dt);
+  });
+  EXPECT_EQ(run.network.flows_completed, 3 * pattern.num_messages());
+}
+
+}  // namespace
+}  // namespace cm5::euler

@@ -1,0 +1,110 @@
+#include "cm5/euler/euler2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cm5/mesh/generate.hpp"
+#include "cm5/util/check.hpp"
+
+namespace cm5::euler {
+namespace {
+
+TEST(EulerStateTest, PrimitiveRoundTrip) {
+  const Cons c = from_primitive(1.2, 3.0, -2.0, 0.9);
+  EXPECT_DOUBLE_EQ(c.rho, 1.2);
+  EXPECT_DOUBLE_EQ(c.mx, 3.6);
+  EXPECT_DOUBLE_EQ(c.my, -2.4);
+  EXPECT_NEAR(pressure(c), 0.9, 1e-12);
+}
+
+TEST(EulerStateTest, InvalidPrimitiveRejected) {
+  EXPECT_THROW(from_primitive(-1.0, 0, 0, 1.0), util::CheckError);
+  EXPECT_THROW(from_primitive(1.0, 0, 0, -1.0), util::CheckError);
+}
+
+TEST(EulerSolverTest, UniformStateAtRestIsSteady) {
+  // Free-stream preservation: with zero velocity the pressure forces on
+  // every closed cell cancel exactly.
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.2, 1);
+  EulerSolver solver(m);
+  solver.set_uniform(from_primitive(1.0, 0.0, 0.0, 1.0));
+  const double dt = solver.stable_dt(0.4);
+  for (int s = 0; s < 5; ++s) solver.step(dt);
+  for (const Cons& c : solver.state()) {
+    EXPECT_NEAR(c.rho, 1.0, 1e-12);
+    EXPECT_NEAR(c.mx, 0.0, 1e-12);
+    EXPECT_NEAR(c.my, 0.0, 1e-12);
+    EXPECT_NEAR(pressure(c), 1.0, 1e-12);
+  }
+}
+
+EulerSolver blast_setup(const mesh::TriMesh& m) {
+  EulerSolver solver(m);
+  std::vector<Cons> cells(static_cast<std::size_t>(m.num_triangles()));
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const mesh::Point c = m.centroid(t);
+    const double r2 = (c.x - 5.0) * (c.x - 5.0) + (c.y - 5.0) * (c.y - 5.0);
+    const double p = r2 < 4.0 ? 10.0 : 1.0;  // central overpressure
+    cells[static_cast<std::size_t>(t)] = from_primitive(1.0, 0.0, 0.0, p);
+  }
+  solver.set_state(cells);
+  return solver;
+}
+
+TEST(EulerSolverTest, BlastConservesMassAndEnergy) {
+  // Reflective walls: zero mass/energy flux through the boundary; the
+  // totals must be conserved to round-off over many steps.
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.2, 2);
+  EulerSolver solver = blast_setup(m);
+  const double mass0 = solver.total_mass();
+  const double energy0 = solver.total_energy();
+  for (int s = 0; s < 50; ++s) {
+    solver.step(solver.stable_dt(0.4));
+  }
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-10 * mass0);
+  EXPECT_NEAR(solver.total_energy(), energy0, 1e-10 * energy0);
+}
+
+TEST(EulerSolverTest, BlastActuallyMoves) {
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.2, 2);
+  EulerSolver solver = blast_setup(m);
+  const std::vector<Cons> before(solver.state().begin(), solver.state().end());
+  for (int s = 0; s < 10; ++s) solver.step(solver.stable_dt(0.4));
+  double max_change = 0.0;
+  for (std::size_t t = 0; t < before.size(); ++t) {
+    max_change =
+        std::max(max_change, std::abs(solver.state()[t].rho - before[t].rho));
+  }
+  EXPECT_GT(max_change, 1e-3);
+}
+
+TEST(EulerSolverTest, StateStaysPhysical) {
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.2, 3);
+  EulerSolver solver = blast_setup(m);
+  for (int s = 0; s < 100; ++s) {
+    solver.step(solver.stable_dt(0.4));
+    for (const Cons& c : solver.state()) {
+      ASSERT_GT(c.rho, 0.0);
+      ASSERT_GT(pressure(c), 0.0);
+    }
+  }
+}
+
+TEST(EulerSolverTest, StableDtScalesWithCfl) {
+  const mesh::TriMesh m = mesh::perturbed_grid(8, 8, 0.1, 4);
+  EulerSolver solver = blast_setup(m);
+  EXPECT_NEAR(solver.stable_dt(0.8), 2.0 * solver.stable_dt(0.4), 1e-15);
+}
+
+TEST(EulerSolverTest, WorksOnAnnulus) {
+  const mesh::TriMesh m = mesh::airfoil_with_target(545, 5);
+  EulerSolver solver(m);
+  solver.set_uniform(from_primitive(1.0, 0.0, 0.0, 1.0));
+  const double mass0 = solver.total_mass();
+  for (int s = 0; s < 10; ++s) solver.step(solver.stable_dt(0.4));
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-10 * mass0);
+}
+
+}  // namespace
+}  // namespace cm5::euler

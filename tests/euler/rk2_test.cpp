@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cm5/euler/euler2d.hpp"
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/partition.hpp"
+
+namespace cm5::euler {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+std::vector<Cons> blast_state(const mesh::TriMesh& m) {
+  std::vector<Cons> cells(static_cast<std::size_t>(m.num_triangles()));
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const mesh::Point c = m.centroid(t);
+    const double r2 = (c.x - 5.0) * (c.x - 5.0) + (c.y - 5.0) * (c.y - 5.0);
+    cells[static_cast<std::size_t>(t)] =
+        from_primitive(1.0, 0.0, 0.0, r2 < 4.0 ? 10.0 : 1.0);
+  }
+  return cells;
+}
+
+TEST(Rk2Test, ConservesMassAndEnergy) {
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.2, 2);
+  EulerSolver solver(m);
+  solver.set_state(blast_state(m));
+  const double mass0 = solver.total_mass();
+  const double energy0 = solver.total_energy();
+  for (int s = 0; s < 40; ++s) solver.step_rk2(solver.stable_dt(0.4));
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-10 * mass0);
+  EXPECT_NEAR(solver.total_energy(), energy0, 1e-10 * energy0);
+}
+
+TEST(Rk2Test, UniformRestStateIsSteady) {
+  const mesh::TriMesh m = mesh::perturbed_grid(8, 8, 0.2, 3);
+  EulerSolver solver(m);
+  solver.set_uniform(from_primitive(1.0, 0.0, 0.0, 1.0));
+  for (int s = 0; s < 5; ++s) solver.step_rk2(solver.stable_dt(0.4));
+  for (const Cons& c : solver.state()) {
+    EXPECT_NEAR(c.rho, 1.0, 1e-12);
+    EXPECT_NEAR(c.mx, 0.0, 1e-12);
+  }
+}
+
+TEST(Rk2Test, MoreAccurateThanForwardEulerOnSmoothFlow) {
+  // Take a smooth initial condition; compare 2 forward-Euler halves vs
+  // one RK2 step against many tiny reference steps.
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.1, 4);
+  std::vector<Cons> smooth(static_cast<std::size_t>(m.num_triangles()));
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const mesh::Point c = m.centroid(t);
+    smooth[static_cast<std::size_t>(t)] = from_primitive(
+        1.0 + 0.05 * std::sin(c.x * 0.7), 0.0, 0.0,
+        1.0 + 0.05 * std::cos(c.y * 0.7));
+  }
+  EulerSolver reference(m);
+  reference.set_state(smooth);
+  const double dt = reference.stable_dt(0.2);
+  // Reference: 64 tiny forward-Euler steps over the same horizon.
+  for (int s = 0; s < 64; ++s) reference.step(dt / 64.0);
+
+  EulerSolver euler1(m), rk2(m);
+  euler1.set_state(smooth);
+  rk2.set_state(smooth);
+  euler1.step(dt);
+  rk2.step_rk2(dt);
+
+  double err_euler = 0.0, err_rk2 = 0.0;
+  for (std::size_t t = 0; t < smooth.size(); ++t) {
+    err_euler = std::max(err_euler, std::abs(euler1.state()[t].rho -
+                                             reference.state()[t].rho));
+    err_rk2 = std::max(err_rk2,
+                       std::abs(rk2.state()[t].rho - reference.state()[t].rho));
+  }
+  EXPECT_LT(err_rk2, err_euler);
+}
+
+TEST(Rk2Test, DistributedMatchesSerialBitForBit) {
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.2, 5);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, 8);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, 8);
+
+  EulerSolver serial(m);
+  serial.set_state(initial);
+  const double dt = serial.stable_dt(0.4);
+  for (int s = 0; s < 10; ++s) serial.step_rk2(dt);
+
+  std::vector<std::vector<Cons>> per_node(8);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, sched::Scheduler::Greedy,
+                          initial);
+    for (int s = 0; s < 10; ++s) dist.step_rk2(dt);
+    per_node[static_cast<std::size_t>(node.self())]
+        .assign(dist.state().begin(), dist.state().end());
+  });
+  for (mesh::TriId t = 0; t < m.num_triangles(); ++t) {
+    const Cons& got =
+        per_node[static_cast<std::size_t>(part[static_cast<std::size_t>(t)])]
+                [static_cast<std::size_t>(t)];
+    const Cons& want = serial.state()[static_cast<std::size_t>(t)];
+    EXPECT_EQ(got.rho, want.rho) << t;
+    EXPECT_EQ(got.e, want.e) << t;
+  }
+}
+
+TEST(Rk2Test, DistributedRk2DoesTwoExchangesPerStep) {
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.2, 6);
+  const auto initial = blast_state(m);
+  const auto part = mesh::rcb_cell_partition(m, 4);
+  const mesh::HaloPlan halo = mesh::build_cell_halo(m, part, 4);
+  const auto pattern = halo.pattern(sizeof(Cons));
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto run = machine.run([&](machine::Node& node) {
+    DistributedEuler dist(node, m, part, halo, sched::Scheduler::Greedy,
+                          initial);
+    const double dt = dist.stable_dt(0.4);
+    for (int s = 0; s < 3; ++s) dist.step_rk2(dt);
+  });
+  EXPECT_EQ(run.network.flows_completed, 2 * 3 * pattern.num_messages());
+}
+
+}  // namespace
+}  // namespace cm5::euler

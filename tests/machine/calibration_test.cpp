@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/util/time.hpp"
+
+/// Calibration tests: the simulated machine must reproduce the CM-5
+/// figures from paper §2. These are the constants everything else rests
+/// on; if one of these fails, every reproduced table is suspect.
+
+namespace cm5::machine {
+namespace {
+
+using util::from_us;
+using util::to_seconds;
+using util::to_us;
+
+/// Time for one blocking message of `bytes` between src and dst on an
+/// otherwise idle machine.
+util::SimDuration one_message_time(std::int32_t nprocs, NodeId src, NodeId dst,
+                                   std::int64_t bytes) {
+  Cm5Machine machine(MachineParams::cm5_defaults(nprocs));
+  const auto r = machine.run([&](Node& node) {
+    if (node.self() == src) {
+      node.send_block(dst, bytes);
+    } else if (node.self() == dst) {
+      (void)node.receive_block(src);
+    }
+  });
+  return r.makespan;
+}
+
+TEST(CalibrationTest, ZeroByteMessageCosts88us) {
+  // Paper §2: "a communication latency - sending a 0 byte message - of 88
+  // microseconds".
+  EXPECT_EQ(one_message_time(32, 0, 1, 0), from_us(88));
+}
+
+TEST(CalibrationTest, ZeroByteCostIndependentOfDistance) {
+  // Within cluster vs across root: the 20-byte packet's wire time differs
+  // by at most 3 us (20 B at 20 vs 5 MB/s).
+  const auto local = one_message_time(32, 0, 1, 0);
+  const auto remote = one_message_time(32, 0, 31, 0);
+  EXPECT_LE(remote - local, from_us(3));
+}
+
+TEST(CalibrationTest, InClusterBandwidthApproaches16MBps) {
+  // Large message within a cluster: 20 MB/s raw x 0.8 packet efficiency
+  // = 16 MB/s of user data, asymptotically.
+  const std::int64_t bytes = 1 << 20;
+  const auto t = one_message_time(32, 0, 1, bytes);
+  const double user_bw = static_cast<double>(bytes) / to_seconds(t);
+  EXPECT_GT(user_bw, 15.0e6);
+  EXPECT_LT(user_bw, 16.1e6);
+}
+
+TEST(CalibrationTest, SingleRemoteFlowStillGetsFullLinkRate) {
+  // Thinning constrains aggregates, not a lone message.
+  const std::int64_t bytes = 1 << 20;
+  const auto local = one_message_time(32, 0, 1, bytes);
+  const auto remote = one_message_time(32, 0, 31, bytes);
+  EXPECT_EQ(local, remote);
+}
+
+TEST(CalibrationTest, SaturatedRootGivesFiveMBpsPerNode) {
+  // All 16 left-half nodes send 64 KB to their right-half partner at
+  // once: per-node share is 5 MB/s raw = 4 MB/s of user data.
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const std::int64_t bytes = 64 << 10;
+  const auto r = machine.run([&](Node& node) {
+    if (node.self() < 16) {
+      node.send_block(static_cast<NodeId>(node.self() + 16), bytes);
+    } else {
+      (void)node.receive_block(static_cast<NodeId>(node.self() - 16));
+    }
+  });
+  const double user_bw = static_cast<double>(bytes) / to_seconds(r.makespan);
+  EXPECT_GT(user_bw, 3.8e6);
+  EXPECT_LT(user_bw, 4.05e6);
+}
+
+TEST(CalibrationTest, SixteenSubtreeGivesTenMBpsPerNode) {
+  // All 4 nodes of cluster 0 send to cluster 1 (same 16-subtree): the
+  // cluster uplink (40 MB/s) binds -> 10 MB/s raw, 8 MB/s user.
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const std::int64_t bytes = 64 << 10;
+  const auto r = machine.run([&](Node& node) {
+    if (node.self() < 4) {
+      node.send_block(static_cast<NodeId>(node.self() + 4), bytes);
+    } else if (node.self() < 8) {
+      (void)node.receive_block(static_cast<NodeId>(node.self() - 4));
+    }
+  });
+  const double user_bw = static_cast<double>(bytes) / to_seconds(r.makespan);
+  EXPECT_GT(user_bw, 7.6e6);
+  EXPECT_LT(user_bw, 8.1e6);
+}
+
+TEST(CalibrationTest, ControlNetworkLatencyInPaperRange) {
+  // Paper §2: global ops take 2-5 us on the control network.
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const auto r = machine.run([](Node& node) { node.barrier(); });
+  EXPECT_GE(r.makespan, from_us(2));
+  EXPECT_LE(r.makespan, from_us(5));
+}
+
+TEST(CalibrationTest, SystemBroadcastFlatInMachineSize) {
+  // Fig. 11: the system broadcast's time is essentially independent of
+  // the number of processors.
+  std::vector<util::SimDuration> times;
+  for (std::int32_t n : {32, 64, 128, 256}) {
+    Cm5Machine machine(MachineParams::cm5_defaults(n));
+    const auto r = machine.run([](Node& node) {
+      node.broadcast_phantom(0, 4096);
+    });
+    times.push_back(r.makespan);
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], times[0]);
+  }
+}
+
+TEST(CalibrationTest, ComputeFlopsUsesMflopsRating) {
+  const MachineParams params = MachineParams::cm5_defaults(4);
+  Cm5Machine machine(params);
+  const auto r = machine.run([&](Node& node) {
+    node.compute_flops(params.mflops * 1e6);  // exactly one second
+  });
+  EXPECT_EQ(r.makespan, util::from_seconds(1.0));
+}
+
+TEST(CalibrationTest, MemcpyChargeUsesMemcpyBandwidth) {
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto r = machine.run([](Node& node) {
+    node.compute_copy_bytes(25'000'000);  // one second at 25 MB/s
+  });
+  EXPECT_EQ(r.makespan, util::from_seconds(1.0));
+}
+
+}  // namespace
+}  // namespace cm5::machine

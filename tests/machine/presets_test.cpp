@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/broadcast.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/util/time.hpp"
+
+/// Tests of the alternative machine presets (CM-5E-like, iPSC/860-like)
+/// and the pipelined chain broadcast extension.
+
+namespace cm5::machine {
+namespace {
+
+util::SimDuration one_message(const MachineParams& params,
+                              std::int64_t bytes) {
+  Cm5Machine m(params);
+  return m
+      .run([&](Node& node) {
+        if (node.self() == 0) {
+          node.send_block(1, bytes);
+        } else if (node.self() == 1) {
+          (void)node.receive_block(0);
+        }
+      })
+      .makespan;
+}
+
+TEST(PresetsTest, Cm5eMessagesAreCheaperThanCm5) {
+  const auto cm5 = one_message(MachineParams::cm5_defaults(4), 0);
+  const auto cm5e = one_message(MachineParams::cm5e_like(4), 0);
+  EXPECT_EQ(cm5, util::from_us(88));
+  EXPECT_LT(cm5e, util::from_us(50));
+}
+
+TEST(PresetsTest, IpscMessagesAreSlowerAndFatter) {
+  const auto params = MachineParams::ipsc860_like(8);
+  const auto zero = one_message(params, 0);
+  EXPECT_GE(zero, util::from_us(150));
+  // Bandwidth-dominated: 64 KB at ~2.8 MB/s -> > 20 ms.
+  const auto big = one_message(params, 64 << 10);
+  EXPECT_GT(big, util::from_ms(20));
+}
+
+TEST(PresetsTest, IpscHasNoTreeThinning) {
+  // Saturating the "root" costs nothing extra on the flat-bandwidth
+  // machine: BEX == PEX exactly.
+  Cm5Machine m(MachineParams::ipsc860_like(32));
+  const auto pex = m.run([](Node& node) {
+    sched::run_pairwise_exchange(node, 1024);
+  });
+  const auto bex = m.run([](Node& node) {
+    sched::run_balanced_exchange(node, 1024);
+  });
+  EXPECT_EQ(pex.makespan, bex.makespan);
+}
+
+TEST(PresetsTest, BexBeatsPexOnlyOnThinnedTrees) {
+  auto gain = [](const MachineParams& params) {
+    Cm5Machine m(params);
+    const auto pex = m.run([](Node& node) {
+      sched::run_pairwise_exchange(node, 2048);
+    });
+    const auto bex = m.run([](Node& node) {
+      sched::run_balanced_exchange(node, 2048);
+    });
+    return static_cast<double>(pex.makespan) /
+           static_cast<double>(bex.makespan);
+  };
+  EXPECT_GT(gain(MachineParams::cm5_defaults(32)), 1.05);
+  EXPECT_GT(gain(MachineParams::cm5e_like(32)), 1.05);
+  EXPECT_NEAR(gain(MachineParams::ipsc860_like(32)), 1.0, 1e-9);
+}
+
+// --- pipelined chain broadcast -----------------------------------------------
+
+TEST(PipelinedBroadcastTest, CompletesWithExpectedMessageCount) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  const auto r = m.run([](Node& node) {
+    sched::run_pipelined_broadcast(node, 0, 7000, 4);
+  });
+  // Chain of 8 nodes: 7 hops x 4 segments.
+  EXPECT_EQ(r.network.flows_completed, 7 * 4);
+}
+
+TEST(PipelinedBroadcastTest, SegmentSizesCoverAllBytes) {
+  // 7000 bytes into 4 segments: the per-hop sizes must sum to 7000.
+  Cm5Machine m(MachineParams::cm5_defaults(2));
+  const auto r = m.run([](Node& node) {
+    sched::run_pipelined_broadcast(node, 0, 7000, 4);
+  });
+  EXPECT_EQ(r.node_counters[0].bytes_sent, 7000);
+}
+
+TEST(PipelinedBroadcastTest, WinsForHugeMessages) {
+  const std::int64_t bytes = 1 << 20;
+  Cm5Machine m(MachineParams::cm5_defaults(32));
+  const auto chain = m.run([&](Node& node) {
+    sched::run_pipelined_broadcast(node, 0, bytes, 64);
+  });
+  const auto reb = m.run([&](Node& node) {
+    sched::run_recursive_broadcast(node, 0, bytes);
+  });
+  EXPECT_LT(chain.makespan, reb.makespan);
+}
+
+TEST(PipelinedBroadcastTest, LosesForTinyMessages) {
+  Cm5Machine m(MachineParams::cm5_defaults(32));
+  const auto chain = m.run([](Node& node) {
+    sched::run_pipelined_broadcast(node, 0, 512, 4);
+  });
+  const auto reb = m.run([](Node& node) {
+    sched::run_recursive_broadcast(node, 0, 512);
+  });
+  EXPECT_GT(chain.makespan, reb.makespan);
+}
+
+TEST(PipelinedBroadcastTest, NonZeroRootWraps) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  const auto r = m.run([](Node& node) {
+    sched::run_pipelined_broadcast(node, 5, 4096, 2);
+  });
+  EXPECT_EQ(r.network.flows_completed, 7 * 2);
+}
+
+}  // namespace
+}  // namespace cm5::machine

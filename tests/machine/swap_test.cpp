@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/util/check.hpp"
+#include "cm5/util/time.hpp"
+
+/// Tests for the full-duplex CMMD_swap primitive and the swap-based
+/// exchange variants (A4 ablation support).
+
+namespace cm5::machine {
+namespace {
+
+using util::from_us;
+
+TEST(SwapTest, ExchangesDataBothWays) {
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  machine.run([](Node& node) {
+    if (node.self() > 1) return;
+    const NodeId peer = node.self() ^ 1;
+    std::vector<std::byte> mine(32, static_cast<std::byte>(node.self() + 65));
+    const Message got = node.swap_block_data(peer, mine);
+    ASSERT_EQ(got.size, 32);
+    EXPECT_EQ(got.src, peer);
+    EXPECT_EQ(got.data[0], static_cast<std::byte>(peer + 65));
+  });
+}
+
+TEST(SwapTest, FullDuplexIsFasterThanSerializedExchange) {
+  // A serialized exchange (Figure 2) moves the two messages back to
+  // back; a swap overlaps them, so it takes roughly one transfer time.
+  const std::int64_t bytes = 64 << 10;
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto serialized = machine.run([&](Node& node) {
+    if (node.self() > 1) return;
+    const NodeId peer = node.self() ^ 1;
+    if (node.self() < peer) {
+      (void)node.receive_block(peer);
+      node.send_block(peer, bytes);
+    } else {
+      node.send_block(peer, bytes);
+      (void)node.receive_block(peer);
+    }
+  });
+  const auto duplex = machine.run([&](Node& node) {
+    if (node.self() > 1) return;
+    (void)node.swap_block(node.self() ^ 1, bytes);
+  });
+  const double ratio = static_cast<double>(serialized.makespan) /
+                       static_cast<double>(duplex.makespan);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(SwapTest, AsymmetricSizesBothDelivered) {
+  Cm5Machine machine(MachineParams::cm5_defaults(2));
+  machine.run([](Node& node) {
+    const NodeId peer = node.self() ^ 1;
+    const std::int64_t mine = node.self() == 0 ? 100 : 5000;
+    const Message got = node.swap_block(peer, mine);
+    EXPECT_EQ(got.size, node.self() == 0 ? 5000 : 100);
+  });
+}
+
+TEST(SwapTest, BothSidesResumeTogetherAtLastCompletion) {
+  // With asymmetric sizes both nodes wait for the larger transfer.
+  Cm5Machine machine(MachineParams::cm5_defaults(2));
+  const auto r = machine.run([](Node& node) {
+    (void)node.swap_block(node.self() ^ 1,
+                          node.self() == 0 ? 0 : 64 << 10);
+  });
+  EXPECT_EQ(r.finish_time[0], r.finish_time[1]);
+}
+
+TEST(SwapTest, UnmatchedSwapDeadlocks) {
+  Cm5Machine machine(MachineParams::cm5_defaults(2));
+  EXPECT_THROW(machine.run([](Node& node) {
+                 if (node.self() == 0) (void)node.swap_block(1, 64);
+               }),
+               sim::DeadlockError);
+}
+
+TEST(SwapTest, TagMismatchDeadlocks) {
+  Cm5Machine machine(MachineParams::cm5_defaults(2));
+  EXPECT_THROW(machine.run([](Node& node) {
+                 (void)node.swap_block(node.self() ^ 1, 64,
+                                       /*tag=*/node.self());
+               }),
+               sim::DeadlockError);
+}
+
+TEST(SwapTest, SwapWithSelfRejected) {
+  Cm5Machine machine(MachineParams::cm5_defaults(2));
+  EXPECT_THROW(machine.run([](Node& node) {
+                 if (node.self() == 0) (void)node.swap_block(0, 64);
+               }),
+               util::CheckError);
+}
+
+// --- swap-based exchange variants -------------------------------------------
+
+TEST(SwapExchangeTest, PairwiseSwapHalvesLargeMessageTime) {
+  const std::int64_t bytes = 2048;
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const auto serial = machine.run([&](Node& node) {
+    sched::run_pairwise_exchange(node, bytes);
+  });
+  const auto duplex = machine.run([&](Node& node) {
+    sched::run_pairwise_exchange_swap(node, bytes);
+  });
+  EXPECT_LT(duplex.makespan, serial.makespan);
+  const double ratio = static_cast<double>(serial.makespan) /
+                       static_cast<double>(duplex.makespan);
+  EXPECT_GT(ratio, 1.4);  // bandwidth-dominated: close to 2x
+}
+
+TEST(SwapExchangeTest, RecursiveSwapBeatsSerializedRecursive) {
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const auto serial = machine.run([](Node& node) {
+    sched::run_recursive_exchange(node, 512);
+  });
+  const auto duplex = machine.run([](Node& node) {
+    sched::run_recursive_exchange_swap(node, 512);
+  });
+  EXPECT_LT(duplex.makespan, serial.makespan);
+}
+
+TEST(SwapExchangeTest, BalancedSwapCompletesAllTraffic) {
+  Cm5Machine machine(MachineParams::cm5_defaults(16));
+  const auto r = machine.run([](Node& node) {
+    sched::run_balanced_exchange_swap(node, 256);
+  });
+  EXPECT_EQ(r.network.flows_completed, 16 * 15);
+}
+
+}  // namespace
+}  // namespace cm5::machine

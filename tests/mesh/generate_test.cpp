@@ -1,0 +1,69 @@
+#include "cm5/mesh/generate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cm5::mesh {
+namespace {
+
+TEST(GenerateTest, PerturbedGridCounts) {
+  const TriMesh m = perturbed_grid(10, 8, 0.25, 1);
+  EXPECT_EQ(m.num_vertices(), 80);
+  EXPECT_EQ(m.num_triangles(), 2 * 9 * 7);
+  // Planar disk: V - E + F = 1.
+  EXPECT_EQ(m.euler_characteristic(), 1);
+}
+
+TEST(GenerateTest, PerturbedGridDeterministicInSeed) {
+  const TriMesh a = perturbed_grid(6, 6, 0.2, 42);
+  const TriMesh b = perturbed_grid(6, 6, 0.2, 42);
+  ASSERT_EQ(a.num_triangles(), b.num_triangles());
+  for (TriId t = 0; t < a.num_triangles(); ++t) {
+    EXPECT_EQ(a.triangle(t).v, b.triangle(t).v);
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a.vertex(v).x, b.vertex(v).x);
+    EXPECT_DOUBLE_EQ(a.vertex(v).y, b.vertex(v).y);
+  }
+}
+
+TEST(GenerateTest, DifferentSeedsDiffer) {
+  const TriMesh a = perturbed_grid(6, 6, 0.2, 1);
+  const TriMesh b = perturbed_grid(6, 6, 0.2, 2);
+  bool any_difference = false;
+  for (VertexId v = 0; v < a.num_vertices() && !any_difference; ++v) {
+    any_difference = a.vertex(v).x != b.vertex(v).x;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateTest, AnnulusCountsAndTopology) {
+  const TriMesh m = airfoil_annulus(8, 24, 3);
+  EXPECT_EQ(m.num_vertices(), 9 * 24);
+  EXPECT_EQ(m.num_triangles(), 2 * 8 * 24);
+  // An annulus (disk with one hole): V - E + F = 0.
+  EXPECT_EQ(m.euler_characteristic(), 0);
+  // Two boundary loops: inner and outer rings.
+  EXPECT_EQ(m.num_boundary_edges(), 2 * 24);
+}
+
+TEST(GenerateTest, AirfoilTargetsLandNearPaperSizes) {
+  // Table 12 sizes. The generator rounds to its ring/segment grid; we
+  // accept ±20% and report the exact count in the bench output.
+  for (std::int32_t target : {545, 2048, 3072, 9216, 16384}) {
+    const TriMesh m = airfoil_with_target(target, 7);
+    EXPECT_GT(m.num_vertices(), target * 4 / 5) << target;
+    EXPECT_LT(m.num_vertices(), target * 6 / 5) << target;
+  }
+}
+
+TEST(GenerateTest, VertexDegreesAreBounded) {
+  // Mesh quality: no vertex should have pathological degree.
+  const TriMesh m = airfoil_with_target(2048, 5);
+  for (VertexId v = 0; v < m.num_vertices(); ++v) {
+    EXPECT_GE(m.vertex_neighbors(v).size(), 2u);
+    EXPECT_LE(m.vertex_neighbors(v).size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace cm5::mesh

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/halo.hpp"
+#include "cm5/mesh/partition.hpp"
+
+namespace cm5::mesh {
+namespace {
+
+class GraphGrowTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(GraphGrowTest, BalancedWithinOneVertex) {
+  const std::int32_t nparts = GetParam();
+  const TriMesh m = perturbed_grid(20, 20, 0.2, 5);
+  const auto part = graph_grow_partition(m, nparts);
+  const auto sizes = part_sizes(part, nparts);
+  std::int32_t lo = m.num_vertices(), hi = 0;
+  for (std::int32_t s : sizes) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST_P(GraphGrowTest, EveryVertexAssigned) {
+  const std::int32_t nparts = GetParam();
+  const TriMesh m = airfoil_with_target(545, 6);
+  const auto part = graph_grow_partition(m, nparts);
+  for (PartId p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, nparts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, GraphGrowTest,
+                         ::testing::Values(2, 3, 7, 8, 16, 32));
+
+TEST(GraphGrowTest, PartsAreMostlyConnected) {
+  // BFS growth should keep each part's halo small: the pattern density
+  // must land in the same regime as RCB (well under complete exchange).
+  const TriMesh m = perturbed_grid(24, 24, 0.2, 9);
+  const auto grow = graph_grow_partition(m, 16);
+  const auto rcb = rcb_vertex_partition(m, 16);
+  const double grow_density =
+      build_vertex_halo(m, grow, 16).pattern(8).density();
+  const double rcb_density = build_vertex_halo(m, rcb, 16).pattern(8).density();
+  EXPECT_LT(grow_density, 0.5);
+  // Graph growing is usually within ~2.5x of RCB's halo on smooth meshes.
+  EXPECT_LT(grow_density, 2.5 * rcb_density);
+}
+
+TEST(GraphGrowTest, WorksWithoutGeometry) {
+  // nparts == nvertices: every vertex its own part.
+  const TriMesh m = perturbed_grid(4, 4, 0.1, 1);
+  const auto part = graph_grow_partition(m, m.num_vertices());
+  std::vector<bool> seen(static_cast<std::size_t>(m.num_vertices()), false);
+  for (PartId p : part) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(GraphGrowTest, DeterministicAcrossCalls) {
+  const TriMesh m = airfoil_with_target(2048, 7);
+  EXPECT_EQ(graph_grow_partition(m, 8), graph_grow_partition(m, 8));
+}
+
+}  // namespace
+}  // namespace cm5::mesh

@@ -1,0 +1,87 @@
+#include "cm5/mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::mesh {
+namespace {
+
+/// Two triangles forming a unit square: (0,0)-(1,0)-(1,1)-(0,1).
+TriMesh square() {
+  return TriMesh({{0, 0}, {1, 0}, {1, 1}, {0, 1}},
+                 {Triangle{{0, 1, 2}}, Triangle{{0, 2, 3}}});
+}
+
+TEST(MeshTest, CountsForSquare) {
+  const TriMesh m = square();
+  EXPECT_EQ(m.num_vertices(), 4);
+  EXPECT_EQ(m.num_triangles(), 2);
+  EXPECT_EQ(m.num_edges(), 5);
+  EXPECT_EQ(m.num_boundary_edges(), 4);
+  EXPECT_EQ(m.euler_characteristic(), 1);  // a disk
+}
+
+TEST(MeshTest, TriangleNeighborsAcrossSharedEdge) {
+  const TriMesh m = square();
+  // Triangle 0 = (0,1,2): edge opposite vertex 1 is (2,0), shared with
+  // triangle 1. Edges opposite vertices 0 and 2 are boundary.
+  const auto& n0 = m.tri_neighbors(0);
+  EXPECT_EQ(n0[0], -1);
+  EXPECT_EQ(n0[1], 1);
+  EXPECT_EQ(n0[2], -1);
+  const auto& n1 = m.tri_neighbors(1);
+  EXPECT_EQ(n1[1], -1);
+  EXPECT_EQ(n1[2], 0);
+}
+
+TEST(MeshTest, VertexNeighborsSorted) {
+  const TriMesh m = square();
+  const auto n0 = m.vertex_neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 2);
+  EXPECT_EQ(n0[2], 3);
+  const auto n1 = m.vertex_neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);  // vertex 1 is not connected to 3
+}
+
+TEST(MeshTest, AreasAndCentroids) {
+  const TriMesh m = square();
+  EXPECT_DOUBLE_EQ(m.signed_area(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.signed_area(1), 0.5);
+  const Point c = m.centroid(0);
+  EXPECT_NEAR(c.x, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MeshTest, ClockwiseTriangleRejected) {
+  EXPECT_THROW(TriMesh({{0, 0}, {1, 0}, {0, 1}}, {Triangle{{0, 2, 1}}}),
+               util::CheckError);
+}
+
+TEST(MeshTest, DegenerateTriangleRejected) {
+  EXPECT_THROW(TriMesh({{0, 0}, {1, 0}, {2, 0}}, {Triangle{{0, 1, 2}}}),
+               util::CheckError);
+}
+
+TEST(MeshTest, RepeatedVertexRejected) {
+  EXPECT_THROW(TriMesh({{0, 0}, {1, 0}, {0, 1}}, {Triangle{{0, 1, 1}}}),
+               util::CheckError);
+}
+
+TEST(MeshTest, OutOfRangeVertexRejected) {
+  EXPECT_THROW(TriMesh({{0, 0}, {1, 0}, {0, 1}}, {Triangle{{0, 1, 7}}}),
+               util::CheckError);
+}
+
+TEST(MeshTest, OverSharedEdgeRejected) {
+  // Three triangles sharing edge (0,1).
+  EXPECT_THROW(TriMesh({{0, 0}, {1, 0}, {0.5, 1}, {0.5, -1}, {0.5, 2}},
+                       {Triangle{{0, 1, 2}}, Triangle{{0, 3, 1}},
+                        Triangle{{0, 1, 4}}}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cm5::mesh

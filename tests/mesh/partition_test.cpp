@@ -1,0 +1,86 @@
+#include "cm5/mesh/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cm5/mesh/generate.hpp"
+
+namespace cm5::mesh {
+namespace {
+
+TEST(PartitionTest, BlockPartitionIsContiguousAndBalanced) {
+  const auto part = block_partition(100, 8);
+  EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+  const auto sizes = part_sizes(part, 8);
+  for (std::int32_t s : sizes) {
+    EXPECT_GE(s, 12);
+    EXPECT_LE(s, 13);
+  }
+}
+
+class RcbTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(RcbTest, BalancedOnGrid) {
+  const std::int32_t nparts = GetParam();
+  const TriMesh m = perturbed_grid(32, 32, 0.2, 9);
+  const auto part = rcb_vertex_partition(m, nparts);
+  const auto sizes = part_sizes(part, nparts);
+  const std::int32_t ideal = m.num_vertices() / nparts;
+  for (std::int32_t s : sizes) {
+    EXPECT_GE(s, ideal - 2);
+    EXPECT_LE(s, ideal + 2);
+  }
+}
+
+TEST_P(RcbTest, BalancedOnAnnulus) {
+  const std::int32_t nparts = GetParam();
+  const TriMesh m = airfoil_with_target(2048, 4);
+  const auto part = rcb_cell_partition(m, nparts);
+  const auto sizes = part_sizes(part, nparts);
+  const std::int32_t ideal = m.num_triangles() / nparts;
+  for (std::int32_t s : sizes) {
+    EXPECT_GE(s, ideal - 2);
+    EXPECT_LE(s, ideal + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, RcbTest,
+                         ::testing::Values(2, 3, 4, 7, 8, 16, 32));
+
+TEST(RcbDetailTest, PartsAreSpatiallyCompact) {
+  // Each RCB part's bounding box should be much smaller than the domain:
+  // compactness is what gives mesh partitions their low communication
+  // density.
+  const TriMesh m = perturbed_grid(32, 32, 0.2, 11);
+  const auto part = rcb_vertex_partition(m, 16);
+  for (PartId p = 0; p < 16; ++p) {
+    double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+    for (VertexId v = 0; v < m.num_vertices(); ++v) {
+      if (part[static_cast<std::size_t>(v)] != p) continue;
+      min_x = std::min(min_x, m.vertex(v).x);
+      max_x = std::max(max_x, m.vertex(v).x);
+      min_y = std::min(min_y, m.vertex(v).y);
+      max_y = std::max(max_y, m.vertex(v).y);
+    }
+    // Domain is ~31 x 31; a 16-part RCB gives boxes around 8 x 16.
+    EXPECT_LT((max_x - min_x) * (max_y - min_y), 31.0 * 31.0 / 8.0);
+  }
+}
+
+TEST(RcbDetailTest, SinglePartTrivial) {
+  const TriMesh m = perturbed_grid(4, 4, 0.1, 2);
+  const auto part = rcb_vertex_partition(m, 1);
+  for (PartId p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(RcbDetailTest, DeterministicWithDuplicateCoordinates) {
+  // All points identical: the index tie-break must still split evenly.
+  std::vector<Point> points(64, Point{1.0, 2.0});
+  const auto part = rcb_partition(points, 8);
+  const auto sizes = part_sizes(part, 8);
+  for (std::int32_t s : sizes) EXPECT_EQ(s, 8);
+}
+
+}  // namespace
+}  // namespace cm5::mesh

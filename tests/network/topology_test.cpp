@@ -1,0 +1,149 @@
+#include "cm5/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::net {
+namespace {
+
+TEST(TopologyTest, LevelsForCm5PartitionSizes) {
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(4)).levels(), 1);
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(16)).levels(), 2);
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(32)).levels(), 3);
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(64)).levels(), 3);
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(128)).levels(), 4);
+  EXPECT_EQ(FatTreeTopology(FatTreeConfig::cm5(256)).levels(), 4);
+}
+
+TEST(TopologyTest, NcaHeightWithinCluster) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  EXPECT_EQ(t.nca_height(0, 1), 1);
+  EXPECT_EQ(t.nca_height(0, 3), 1);
+  EXPECT_EQ(t.nca_height(4, 7), 1);
+}
+
+TEST(TopologyTest, NcaHeightAcrossClusters) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  EXPECT_EQ(t.nca_height(0, 4), 2);    // different quads, same 16-subtree
+  EXPECT_EQ(t.nca_height(0, 15), 2);
+  EXPECT_EQ(t.nca_height(0, 16), 3);   // across the root
+  EXPECT_EQ(t.nca_height(15, 16), 3);
+  EXPECT_EQ(t.nca_height(0, 31), 3);
+}
+
+TEST(TopologyTest, NcaIsSymmetric) {
+  FatTreeTopology t(FatTreeConfig::cm5(64));
+  for (NodeId a = 0; a < 64; a += 7) {
+    for (NodeId b = 0; b < 64; b += 5) {
+      if (a == b) continue;
+      EXPECT_EQ(t.nca_height(a, b), t.nca_height(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, PerNodeBandwidthProfile) {
+  FatTreeTopology t(FatTreeConfig::cm5(256));
+  EXPECT_DOUBLE_EQ(t.per_node_bw(1), 20e6);
+  EXPECT_DOUBLE_EQ(t.per_node_bw(2), 10e6);
+  EXPECT_DOUBLE_EQ(t.per_node_bw(3), 5e6);
+  // No further thinning above the listed levels.
+  EXPECT_DOUBLE_EQ(t.per_node_bw(4), 5e6);
+  EXPECT_DOUBLE_EQ(t.per_node_bw(9), 5e6);
+}
+
+TEST(TopologyTest, NodeLinkCapacities) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  for (NodeId n = 0; n < 32; ++n) {
+    EXPECT_DOUBLE_EQ(t.link(t.inject_link(n)).capacity, 20e6);
+    EXPECT_DOUBLE_EQ(t.link(t.eject_link(n)).capacity, 20e6);
+  }
+}
+
+TEST(TopologyTest, SubtreeLinkCapacitiesMatchThinning) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  // A cluster of 4 exports at 4 * 10 MB/s (its members' height-2 share).
+  EXPECT_DOUBLE_EQ(t.link(t.up_link(1, 0)).capacity, 40e6);
+  EXPECT_DOUBLE_EQ(t.link(t.down_link(1, 5)).capacity, 40e6);
+  // A 16-node subtree exports at 16 * 5 MB/s.
+  EXPECT_DOUBLE_EQ(t.link(t.up_link(2, 0)).capacity, 80e6);
+  EXPECT_DOUBLE_EQ(t.link(t.up_link(2, 31)).capacity, 80e6);
+}
+
+TEST(TopologyTest, RouteWithinClusterTouchesOnlyNodeLinks) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  const auto& path = t.route(0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], t.inject_link(0));
+  EXPECT_EQ(path[1], t.eject_link(2));
+}
+
+TEST(TopologyTest, RouteAcrossRootClimbsAndDescends) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  const auto& path = t.route(0, 31);  // NCA height 3
+  // inject, up L1, up L2, down L2, down L1, eject.
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[0], t.inject_link(0));
+  EXPECT_EQ(path[1], t.up_link(1, 0));
+  EXPECT_EQ(path[2], t.up_link(2, 0));
+  EXPECT_EQ(path[3], t.down_link(2, 31));
+  EXPECT_EQ(path[4], t.down_link(1, 31));
+  EXPECT_EQ(path[5], t.eject_link(31));
+}
+
+TEST(TopologyTest, RouteLinksAreDistinct) {
+  FatTreeTopology t(FatTreeConfig::cm5(256));
+  for (NodeId a : {0, 17, 100, 255}) {
+    for (NodeId b : {3, 64, 129, 200}) {
+      if (a == b) continue;
+      const auto& path = t.route(a, b);
+      std::set<LinkId> unique(path.begin(), path.end());
+      EXPECT_EQ(unique.size(), path.size()) << a << "->" << b;
+    }
+  }
+}
+
+TEST(TopologyTest, RouteToSelfIsAnError) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  EXPECT_THROW(t.route(3, 3), util::CheckError);
+}
+
+TEST(TopologyTest, LinkLevels) {
+  FatTreeTopology t(FatTreeConfig::cm5(32));
+  EXPECT_EQ(t.link_level(t.inject_link(0)), 0);
+  EXPECT_EQ(t.link_level(t.eject_link(31)), 0);
+  EXPECT_EQ(t.link_level(t.up_link(1, 0)), 1);
+  EXPECT_EQ(t.link_level(t.down_link(2, 20)), 2);
+}
+
+TEST(TopologyTest, NonPowerOfArityNodeCount) {
+  // 12 nodes: three clusters of 4 under one switch level above.
+  FatTreeTopology t(FatTreeConfig::cm5(12));
+  EXPECT_EQ(t.levels(), 2);
+  EXPECT_EQ(t.nca_height(0, 3), 1);
+  EXPECT_EQ(t.nca_height(0, 11), 2);
+  const auto& path = t.route(0, 11);
+  ASSERT_EQ(path.size(), 4u);
+}
+
+TEST(TopologyTest, SingleNodeMachineIsValid) {
+  FatTreeTopology t(FatTreeConfig::cm5(1));
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_GE(t.levels(), 1);
+}
+
+TEST(TopologyTest, InvalidConfigsThrow) {
+  FatTreeConfig bad = FatTreeConfig::cm5(0);
+  EXPECT_THROW(FatTreeTopology t(bad), util::CheckError);
+  FatTreeConfig bad_bw = FatTreeConfig::cm5(4);
+  bad_bw.per_node_bw_at_height = {-1.0};
+  EXPECT_THROW(FatTreeTopology t(bad_bw), util::CheckError);
+  FatTreeConfig no_bw = FatTreeConfig::cm5(4);
+  no_bw.per_node_bw_at_height = {};
+  EXPECT_THROW(FatTreeTopology t(no_bw), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cm5::net

@@ -1,0 +1,44 @@
+#include "cm5/net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cm5::net {
+namespace {
+
+TEST(WireTest, ZeroByteMessageCostsOnePacket) {
+  WireFormat w;
+  EXPECT_EQ(w.wire_bytes(0), 20);
+}
+
+TEST(WireTest, ExactMultiples) {
+  WireFormat w;
+  EXPECT_EQ(w.wire_bytes(16), 20);
+  EXPECT_EQ(w.wire_bytes(32), 40);
+  EXPECT_EQ(w.wire_bytes(1600), 2000);
+}
+
+TEST(WireTest, PartialLastPacket) {
+  WireFormat w;
+  EXPECT_EQ(w.wire_bytes(1), 20);
+  EXPECT_EQ(w.wire_bytes(17), 40);
+  EXPECT_EQ(w.wire_bytes(255), 320);  // 16 packets
+  EXPECT_EQ(w.wire_bytes(256), 320);
+  EXPECT_EQ(w.wire_bytes(257), 340);
+}
+
+TEST(WireTest, PaperSizes) {
+  // Sizes the paper sweeps: 256 B -> 320 wire, 512 -> 640, 1920 -> 2400,
+  // 2048 -> 2560.
+  WireFormat w;
+  EXPECT_EQ(w.wire_bytes(512), 640);
+  EXPECT_EQ(w.wire_bytes(1920), 2400);
+  EXPECT_EQ(w.wire_bytes(2048), 2560);
+}
+
+TEST(WireTest, EfficiencyIsEightyPercent) {
+  WireFormat w;
+  EXPECT_DOUBLE_EQ(w.efficiency(), 0.8);
+}
+
+}  // namespace
+}  // namespace cm5::net

@@ -1,0 +1,133 @@
+#include "cm5/sched/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+util::SimDuration broadcast_time(std::int32_t nprocs, BroadcastAlgorithm alg,
+                                 std::int64_t bytes, NodeId root = 0) {
+  Cm5Machine machine(MachineParams::cm5_defaults(nprocs));
+  return machine
+      .run([&](Node& node) { broadcast(node, alg, root, bytes); })
+      .makespan;
+}
+
+// --- data correctness --------------------------------------------------------
+
+class BroadcastRootTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(BroadcastRootTest, RecursiveDeliversFromAnyRoot) {
+  const NodeId root = GetParam();
+  Cm5Machine machine(MachineParams::cm5_defaults(16));
+  machine.run([&](Node& node) {
+    std::vector<std::byte> data;
+    if (node.self() == root) {
+      for (int k = 0; k < 40; ++k) {
+        data.push_back(static_cast<std::byte>(root * 3 + k));
+      }
+    }
+    const auto result = recursive_broadcast_data(node, root, data);
+    ASSERT_EQ(result.size(), 40u);
+    for (int k = 0; k < 40; ++k) {
+      EXPECT_EQ(result[static_cast<std::size_t>(k)],
+                static_cast<std::byte>(root * 3 + k));
+    }
+  });
+}
+
+TEST_P(BroadcastRootTest, LinearDeliversFromAnyRoot) {
+  const NodeId root = GetParam();
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  machine.run([&](Node& node) {
+    std::vector<std::byte> data;
+    if (node.self() == root) data.assign(16, static_cast<std::byte>(0xAB));
+    const auto result = linear_broadcast_data(node, root, data);
+    ASSERT_EQ(result.size(), 16u);
+    EXPECT_EQ(result[7], static_cast<std::byte>(0xAB));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, BroadcastRootTest,
+                         ::testing::Values(0, 1, 5, 7));
+
+// --- timing shapes from Figs. 10 and 11 --------------------------------------
+
+TEST(BroadcastTest, LinearIsFarWorseThanRecursive) {
+  // Fig. 10: LIB is the clear loser on 32 nodes.
+  const auto lib = broadcast_time(32, BroadcastAlgorithm::Linear, 1024);
+  const auto reb = broadcast_time(32, BroadcastAlgorithm::Recursive, 1024);
+  EXPECT_GT(lib, 3 * reb);
+}
+
+TEST(BroadcastTest, SystemWinsForSmallMessages) {
+  // Fig. 10: below ~1 KB the system broadcast is faster on 32 nodes.
+  const auto sys = broadcast_time(32, BroadcastAlgorithm::System, 64);
+  const auto reb = broadcast_time(32, BroadcastAlgorithm::Recursive, 64);
+  EXPECT_LT(sys, reb);
+}
+
+TEST(BroadcastTest, RecursiveWinsForLargeMessagesOn32Nodes) {
+  // Fig. 10: "REB performs better than the system broadcast when the
+  // message size is more than 1K byte."
+  const auto sys = broadcast_time(32, BroadcastAlgorithm::System, 4096);
+  const auto reb = broadcast_time(32, BroadcastAlgorithm::Recursive, 4096);
+  EXPECT_LT(reb, sys);
+}
+
+TEST(BroadcastTest, RecursiveWinsBeyond2KBOn256Nodes) {
+  // Fig. 11: "REB is better than the system when the message size is
+  // more than 2K bytes when the number of processors is 256."
+  const auto sys = broadcast_time(256, BroadcastAlgorithm::System, 4096);
+  const auto reb = broadcast_time(256, BroadcastAlgorithm::Recursive, 4096);
+  EXPECT_LT(reb, sys);
+  // ...and below the crossover the system broadcast still wins.
+  const auto sys_small = broadcast_time(256, BroadcastAlgorithm::System, 512);
+  const auto reb_small =
+      broadcast_time(256, BroadcastAlgorithm::Recursive, 512);
+  EXPECT_LT(sys_small, reb_small);
+}
+
+TEST(BroadcastTest, SystemTimeFlatAcrossMachineSizes) {
+  const auto t32 = broadcast_time(32, BroadcastAlgorithm::System, 2048);
+  const auto t256 = broadcast_time(256, BroadcastAlgorithm::System, 2048);
+  EXPECT_EQ(t32, t256);
+}
+
+TEST(BroadcastTest, RecursiveGrowsLogarithmically) {
+  const auto t32 = broadcast_time(32, BroadcastAlgorithm::Recursive, 0);
+  const auto t256 = broadcast_time(256, BroadcastAlgorithm::Recursive, 0);
+  // lg 256 / lg 32 = 8/5 rounds.
+  EXPECT_NEAR(static_cast<double>(t256) / static_cast<double>(t32), 1.6, 0.05);
+}
+
+TEST(BroadcastTest, MessageCounts) {
+  Cm5Machine machine(MachineParams::cm5_defaults(32));
+  const auto lib = machine.run([&](Node& node) {
+    run_linear_broadcast(node, 0, 128);
+  });
+  EXPECT_EQ(lib.network.flows_completed, 31);
+  const auto reb = machine.run([&](Node& node) {
+    run_recursive_broadcast(node, 0, 128);
+  });
+  EXPECT_EQ(reb.network.flows_completed, 31);  // a spanning tree: N-1 edges
+  const auto sys = machine.run([&](Node& node) {
+    run_system_broadcast(node, 0, 128);
+  });
+  EXPECT_EQ(sys.network.flows_completed, 0);  // control network, not data
+}
+
+TEST(BroadcastTest, NamesAreStable) {
+  EXPECT_STREQ(broadcast_name(BroadcastAlgorithm::Linear), "Linear");
+  EXPECT_STREQ(broadcast_name(BroadcastAlgorithm::Recursive), "Recursive");
+  EXPECT_STREQ(broadcast_name(BroadcastAlgorithm::System), "System");
+}
+
+}  // namespace
+}  // namespace cm5::sched

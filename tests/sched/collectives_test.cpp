@@ -1,0 +1,173 @@
+#include "cm5/sched/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cm5/sched/broadcast.hpp"
+#include "cm5/util/check.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+std::vector<std::byte> stamp(std::int32_t id, std::size_t len) {
+  std::vector<std::byte> out(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    out[k] = static_cast<std::byte>((id * 37 + static_cast<std::int32_t>(k)) % 256);
+  }
+  return out;
+}
+
+class CollectiveSizeTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(CollectiveSizeTest, AllGatherDataDeliversEveryContribution) {
+  const std::int32_t n = GetParam();
+  Cm5Machine machine(MachineParams::cm5_defaults(n));
+  machine.run([&](Node& node) {
+    // Variable-size contributions: node i contributes 8 + 3i bytes.
+    const auto mine = stamp(node.self(), 8 + 3 * static_cast<std::size_t>(node.self()));
+    const auto all = all_gather_data(node, mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (std::int32_t id = 0; id < n; ++id) {
+      EXPECT_EQ(all[static_cast<std::size_t>(id)],
+                stamp(id, 8 + 3 * static_cast<std::size_t>(id)))
+          << "node " << node.self() << " contribution " << id;
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, AllReduceSumsVectors) {
+  const std::int32_t n = GetParam();
+  Cm5Machine machine(MachineParams::cm5_defaults(n));
+  machine.run([&](Node& node) {
+    std::vector<double> values(17);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<double>(node.self()) +
+                  static_cast<double>(i) * 0.5;
+    }
+    all_reduce_sum(node, values);
+    const double node_sum = static_cast<double>(n) * (n - 1) / 2.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(values[i],
+                       node_sum + static_cast<double>(n) *
+                                      (static_cast<double>(i) * 0.5));
+    }
+  });
+}
+
+TEST_P(CollectiveSizeTest, GatherDataCollectsAtRoot) {
+  const std::int32_t n = GetParam();
+  for (const NodeId root : {0, n - 1}) {
+    Cm5Machine machine(MachineParams::cm5_defaults(n));
+    machine.run([&](Node& node) {
+      const auto mine = stamp(node.self(), 12);
+      const auto all = gather_data(node, root, mine);
+      if (node.self() == root) {
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+        for (std::int32_t id = 0; id < n; ++id) {
+          EXPECT_EQ(all[static_cast<std::size_t>(id)], stamp(id, 12));
+        }
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveSizeTest, ScatterDataDeliversOwnBlock) {
+  const std::int32_t n = GetParam();
+  for (const NodeId root : {0, 1}) {
+    Cm5Machine machine(MachineParams::cm5_defaults(n));
+    machine.run([&](Node& node) {
+      std::vector<std::vector<std::byte>> blocks;
+      if (node.self() == root) {
+        for (std::int32_t id = 0; id < n; ++id) blocks.push_back(stamp(id, 24));
+      }
+      const auto mine = scatter_data(node, root, blocks);
+      EXPECT_EQ(mine, stamp(node.self(), 24));
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, CollectiveSizeTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(CollectivesTest, AllGatherMessageCount) {
+  // Recursive doubling: every node sends once per round (lg N rounds).
+  Cm5Machine machine(MachineParams::cm5_defaults(16));
+  const auto r = machine.run([](Node& node) { all_gather(node, 64); });
+  EXPECT_EQ(r.network.flows_completed, 16 * 4);
+}
+
+TEST(CollectivesTest, DataNetworkReduceBeatsControlNetworkForLongVectors) {
+  // The crossover motivating all_reduce_sum: the control network
+  // combines one scalar at a time.
+  const std::int32_t n = 32;
+  auto dnet_time = [&](std::int64_t len) {
+    Cm5Machine machine(MachineParams::cm5_defaults(n));
+    return machine
+        .run([&](Node& node) {
+          std::vector<double> v(static_cast<std::size_t>(len), 1.0);
+          all_reduce_sum(node, v);
+        })
+        .makespan;
+  };
+  auto ctl_time = [&](std::int64_t len) {
+    Cm5Machine machine(MachineParams::cm5_defaults(n));
+    return machine
+        .run([&](Node& node) { control_network_vector_reduce(node, len); })
+        .makespan;
+  };
+  EXPECT_LT(ctl_time(4), dnet_time(4));        // short: control net wins
+  EXPECT_LT(dnet_time(8192), ctl_time(8192));  // long: data net wins
+}
+
+TEST(CollectivesTest, VanDeGeijnBeatsRebForLargeMessages) {
+  const std::int32_t n = 32;
+  const std::int64_t bytes = 256 << 10;
+  Cm5Machine machine(MachineParams::cm5_defaults(n));
+  const auto vdg = machine.run([&](Node& node) {
+    broadcast_scatter_allgather(node, 0, bytes);
+  });
+  const auto reb = machine.run([&](Node& node) {
+    sched::run_recursive_broadcast(node, 0, bytes);
+  });
+  EXPECT_LT(vdg.makespan, reb.makespan);
+}
+
+TEST(CollectivesTest, RebBeatsVanDeGeijnForSmallMessages) {
+  const std::int32_t n = 32;
+  const std::int64_t bytes = 512;  // divisible by 32
+  Cm5Machine machine(MachineParams::cm5_defaults(n));
+  const auto vdg = machine.run([&](Node& node) {
+    broadcast_scatter_allgather(node, 0, bytes);
+  });
+  const auto reb = machine.run([&](Node& node) {
+    sched::run_recursive_broadcast(node, 0, bytes);
+  });
+  EXPECT_LT(reb.makespan, vdg.makespan);
+}
+
+TEST(CollectivesTest, GatherScatterMessageCounts) {
+  // Binomial trees: exactly N-1 messages each.
+  Cm5Machine machine(MachineParams::cm5_defaults(16));
+  const auto g = machine.run([](Node& node) { gather(node, 0, 128); });
+  EXPECT_EQ(g.network.flows_completed, 15);
+  const auto s = machine.run([](Node& node) { scatter(node, 3, 128); });
+  EXPECT_EQ(s.network.flows_completed, 15);
+}
+
+TEST(CollectivesTest, NonDivisibleVdgRejected) {
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  EXPECT_THROW(machine.run([](Node& node) {
+                 broadcast_scatter_allgather(node, 0, 100);  // 100 % 8 != 0
+               }),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cm5::sched

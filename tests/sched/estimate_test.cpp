@@ -1,0 +1,133 @@
+#include "cm5/sched/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/executor.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+util::SimDuration simulated_time(const CommPattern& pattern,
+                                 Scheduler scheduler) {
+  Cm5Machine m(MachineParams::cm5_defaults(pattern.nprocs()));
+  ExecutorOptions options;
+  options.barrier_per_step = true;
+  return run_scheduled_pattern(m, scheduler, pattern, options).makespan;
+}
+
+TEST(EstimateTest, EmptyScheduleCostsNothing) {
+  const CommPattern empty(8);
+  const auto params = MachineParams::cm5_defaults(8);
+  EXPECT_EQ(estimate_schedule_time(build_greedy(empty), params), 0);
+}
+
+TEST(EstimateTest, SingleMessageMatchesFirstPrinciples) {
+  CommPattern p(8);
+  p.set(0, 1, 256);  // in-cluster
+  const auto params = MachineParams::cm5_defaults(8);
+  const auto t = estimate_schedule_time(build_greedy(p), params);
+  // o_send + latency + o_recv + 320 wire bytes at 20 MB/s, plus barrier.
+  const auto expected = params.send_overhead + params.net_latency +
+                        params.recv_overhead +
+                        util::transfer_time(320.0, 20e6) + params.ctl_latency;
+  EXPECT_EQ(t, expected);
+}
+
+TEST(EstimateTest, CrossRootMessageUsesSaturatedRate) {
+  CommPattern p(32);
+  p.set(0, 31, 1024);  // NCA height 3 -> 5 MB/s saturated
+  const auto params = MachineParams::cm5_defaults(32);
+  const auto t = estimate_schedule_time(build_greedy(p), params);
+  const auto expected = params.send_overhead + params.net_latency +
+                        params.recv_overhead +
+                        util::transfer_time(1280.0, 5e6) + params.ctl_latency;
+  EXPECT_EQ(t, expected);
+}
+
+TEST(EstimateTest, WithinFactorOfSimulationAcrossDensities) {
+  for (const double density : {0.1, 0.4, 0.8}) {
+    const auto pattern = patterns::exact_density(32, density, 256, 77);
+    for (const Scheduler s :
+         {Scheduler::Pairwise, Scheduler::Balanced, Scheduler::Greedy}) {
+      const auto params = MachineParams::cm5_defaults(32);
+      const double est = static_cast<double>(
+          estimate_schedule_time(build_schedule(s, pattern), params));
+      const double sim = static_cast<double>(simulated_time(pattern, s));
+      EXPECT_GT(est, 0.3 * sim) << scheduler_name(s) << " d=" << density;
+      EXPECT_LT(est, 3.0 * sim) << scheduler_name(s) << " d=" << density;
+    }
+  }
+}
+
+TEST(EstimateTest, MoreBytesCostMore) {
+  const auto params = MachineParams::cm5_defaults(16);
+  const auto small = patterns::exact_density(16, 0.5, 128, 3);
+  const auto large = patterns::exact_density(16, 0.5, 2048, 3);
+  EXPECT_LT(estimate_schedule_time(build_greedy(small), params),
+            estimate_schedule_time(build_greedy(large), params));
+}
+
+TEST(EstimateTest, PaperRuleFollowsDensityThreshold) {
+  EXPECT_EQ(recommend_scheduler_paper_rule(
+                patterns::exact_density(32, 0.10, 256, 1)),
+            Scheduler::Greedy);
+  EXPECT_EQ(recommend_scheduler_paper_rule(
+                patterns::exact_density(32, 0.49, 256, 1)),
+            Scheduler::Greedy);
+  EXPECT_EQ(recommend_scheduler_paper_rule(
+                patterns::exact_density(32, 0.75, 256, 1)),
+            Scheduler::Balanced);
+  EXPECT_EQ(recommend_scheduler_paper_rule(
+                CommPattern::complete_exchange(32, 256)),
+            Scheduler::Balanced);
+}
+
+TEST(EstimateTest, EstimatedRecommenderNeverPicksLinear) {
+  for (const double density : {0.1, 0.5, 0.9}) {
+    const auto pattern = patterns::exact_density(32, density, 256, 5);
+    const auto params = MachineParams::cm5_defaults(32);
+    EXPECT_NE(recommend_scheduler_estimated(pattern, params),
+              Scheduler::Linear);
+  }
+}
+
+TEST(EstimateTest, RecommendationBeatsOrTiesWorstChoiceInSimulation) {
+  // The point of the selector: its pick should simulate well. Require it
+  // to be within 30% of the best simulated candidate (and never the
+  // worst) across a density sweep.
+  for (const double density : {0.10, 0.35, 0.60, 0.85}) {
+    const auto pattern = patterns::exact_density(32, density, 256, 9);
+    const auto params = MachineParams::cm5_defaults(32);
+    const Scheduler pick = recommend_scheduler_estimated(pattern, params);
+
+    util::SimDuration best = util::kTimeNever, worst = 0, picked = 0;
+    for (const Scheduler s :
+         {Scheduler::Pairwise, Scheduler::Balanced, Scheduler::Greedy}) {
+      const auto t = simulated_time(pattern, s);
+      best = std::min(best, t);
+      worst = std::max(worst, t);
+      if (s == pick) picked = t;
+    }
+    ASSERT_GT(picked, 0) << "picked scheduler not in candidate sweep";
+    EXPECT_LT(static_cast<double>(picked), 1.3 * static_cast<double>(best))
+        << "density " << density;
+    // <= because two candidates can genuinely tie (e.g. Pairwise and
+    // Balanced simulate identically on some patterns).
+    EXPECT_LE(picked, worst) << "density " << density;
+  }
+}
+
+TEST(EstimateTest, NonPowerOfTwoFallsBackToGreedyOrLinear) {
+  const auto pattern = patterns::exact_density(12, 0.3, 256, 11);
+  const auto params = MachineParams::cm5_defaults(12);
+  const Scheduler pick = recommend_scheduler_estimated(pattern, params);
+  EXPECT_TRUE(pick == Scheduler::Greedy || pick == Scheduler::Linear);
+}
+
+}  // namespace
+}  // namespace cm5::sched

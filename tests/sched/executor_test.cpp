@@ -1,0 +1,133 @@
+#include "cm5/sched/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+using machine::Node;
+
+TEST(ExecutorTest, RunsASimpleScheduleToCompletion) {
+  CommPattern p(4);
+  p.set(0, 1, 256);
+  p.set(1, 0, 256);
+  p.set(2, 3, 128);
+  const CommSchedule schedule = build_greedy(p);
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto r = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule); });
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_EQ(r.network.flows_completed, 3);
+}
+
+TEST(ExecutorTest, DirectedCycleInOneStepDoesNotDeadlock) {
+  // Greedy's full-duplex slots can schedule 0->1, 1->2, 2->0 in a single
+  // step. Naive send-then-receive order would rendezvous-deadlock; the
+  // canonical in-step op ordering must not.
+  CommSchedule schedule(4);
+  const std::int32_t step = schedule.add_step();
+  schedule.add_send(step, 0, 1, 64);
+  schedule.add_send(step, 1, 2, 64);
+  schedule.add_send(step, 2, 0, 64);
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  const auto r = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule); });
+  EXPECT_EQ(r.network.flows_completed, 3);
+}
+
+TEST(ExecutorTest, LongerCycleAcrossWholeMachine) {
+  const std::int32_t n = 8;
+  CommSchedule schedule(n);
+  const std::int32_t step = schedule.add_step();
+  for (NodeId i = 0; i < n; ++i) {
+    schedule.add_send(step, i, static_cast<NodeId>((i + 1) % n), 64);
+  }
+  Cm5Machine machine(MachineParams::cm5_defaults(n));
+  const auto r = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule); });
+  EXPECT_EQ(r.network.flows_completed, n);
+}
+
+TEST(ExecutorTest, DataPlanDeliversRealPayloads) {
+  // Every processor sends its id repeated to every schedule peer; verify
+  // arrivals carry the sender's stamp.
+  const CommPattern p = CommPattern::complete_exchange(8, 16);
+  const CommSchedule schedule = build_balanced(p);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  machine.run([&](Node& node) {
+    std::map<NodeId, std::vector<std::byte>> received;
+    DataPlan plan;
+    plan.out = [&](NodeId) {
+      return std::vector<std::byte>(16, static_cast<std::byte>(node.self()));
+    };
+    plan.in = [&](NodeId peer, const machine::Message& msg) {
+      received[peer] = msg.data;
+    };
+    execute_schedule(node, schedule, {}, &plan);
+    EXPECT_EQ(received.size(), 7u);
+    for (const auto& [peer, data] : received) {
+      ASSERT_EQ(data.size(), 16u);
+      EXPECT_EQ(data[0], static_cast<std::byte>(peer));
+    }
+  });
+}
+
+TEST(ExecutorTest, BarrierPerStepStillCompletes) {
+  const CommPattern p = CommPattern::paper_pattern_p(64);
+  const CommSchedule schedule = build_greedy(p);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  ExecutorOptions options;
+  options.barrier_per_step = true;
+  const auto r = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule, options); });
+  EXPECT_EQ(r.network.flows_completed, p.num_messages());
+}
+
+TEST(ExecutorTest, BarriersNeverSpeedUpExecution) {
+  const CommPattern p = CommPattern::paper_pattern_p(256);
+  const CommSchedule schedule = build_greedy(p);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  const auto free_run = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule); });
+  ExecutorOptions options;
+  options.barrier_per_step = true;
+  const auto barrier_run = machine.run(
+      [&](Node& node) { execute_schedule(node, schedule, options); });
+  EXPECT_LE(free_run.makespan, barrier_run.makespan);
+}
+
+TEST(ExecutorTest, WrongMachineSizeRejected) {
+  const CommSchedule schedule(8);
+  Cm5Machine machine(MachineParams::cm5_defaults(4));
+  EXPECT_THROW(machine.run([&](Node& node) {
+                 execute_schedule(node, schedule);
+               }),
+               util::CheckError);
+}
+
+TEST(ExecutorTest, RunScheduledPatternConvenience) {
+  const CommPattern p = CommPattern::paper_pattern_p(256);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  const auto r = run_scheduled_pattern(machine, Scheduler::Greedy, p);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_EQ(r.network.flows_completed, p.num_messages());
+}
+
+TEST(ExecutorTest, DeterministicTiming) {
+  const CommPattern p = CommPattern::paper_pattern_p(512);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  const auto a = run_scheduled_pattern(machine, Scheduler::Balanced, p);
+  const auto b = run_scheduled_pattern(machine, Scheduler::Balanced, p);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+}  // namespace
+}  // namespace cm5::sched

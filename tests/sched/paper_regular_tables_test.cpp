@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/sim/trace.hpp"
+
+/// Pins the paper's *regular* schedule tables (Tables 1-4) by tracing
+/// the actual communication of the algorithm implementations on an
+/// 8-processor machine and checking each step's partner set.
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+using machine::Node;
+using sim::TraceEvent;
+using sim::TraceRecorder;
+
+/// Runs `program` and returns, per tag (= step in these algorithms),
+/// the set of (src, dst) transfers observed on the wire.
+std::map<std::int32_t, std::set<std::pair<int, int>>> traced_transfers(
+    std::int32_t nprocs, const machine::Program& program) {
+  Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+  TraceRecorder recorder;
+  m.run_traced(program, recorder.sink());
+  std::map<std::int32_t, std::set<std::pair<int, int>>> by_tag;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == TraceEvent::Kind::TransferComplete) {
+      by_tag[e.tag].insert({e.node, e.peer});
+    }
+  }
+  return by_tag;
+}
+
+TEST(PaperRegularTablesTest, Table1LinearExchangeStepTargets) {
+  // Table 1: in step i every other processor sends to processor i.
+  const auto by_tag = traced_transfers(8, [](Node& node) {
+    run_linear_exchange(node, 64);
+  });
+  ASSERT_EQ(by_tag.size(), 8u);
+  for (int step = 0; step < 8; ++step) {
+    const auto& transfers = by_tag.at(step);
+    ASSERT_EQ(transfers.size(), 7u) << "step " << step;
+    for (const auto& [src, dst] : transfers) {
+      EXPECT_EQ(dst, step);
+      EXPECT_NE(src, step);
+    }
+  }
+}
+
+TEST(PaperRegularTablesTest, Table2PairwiseExchangePairs) {
+  // Table 2: at step j processors i and i XOR j exchange messages.
+  const auto by_tag = traced_transfers(8, [](Node& node) {
+    run_pairwise_exchange(node, 64);
+  });
+  ASSERT_EQ(by_tag.size(), 7u);
+  for (int j = 1; j <= 7; ++j) {
+    const auto& transfers = by_tag.at(j);
+    ASSERT_EQ(transfers.size(), 8u) << "both directions of 4 pairs";
+    for (const auto& [src, dst] : transfers) {
+      EXPECT_EQ(dst, src ^ j);
+    }
+  }
+}
+
+TEST(PaperRegularTablesTest, Table3RecursiveExchangePairsAndSizes) {
+  // Table 3: step 1 pairs across distance 4, step 2 across 2, step 3
+  // across 1; every message carries n*N/2 bytes.
+  const std::int64_t n = 64;
+  const auto by_tag = traced_transfers(8, [&](Node& node) {
+    run_recursive_exchange(node, n);
+  });
+  ASSERT_EQ(by_tag.size(), 3u);
+  const int distances[] = {4, 2, 1};
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  TraceRecorder recorder;
+  m.run_traced([&](Node& node) { run_recursive_exchange(node, n); },
+               recorder.sink());
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind != TraceEvent::Kind::TransferComplete) continue;
+    EXPECT_EQ(e.bytes, n * 4) << "each REX message is n*N/2 bytes";
+    EXPECT_EQ(std::abs(e.node - e.peer), distances[e.tag]) << "step " << e.tag;
+  }
+}
+
+TEST(PaperRegularTablesTest, Table4BalancedExchangeStepOne) {
+  // Table 4 (derived from the virtual numbering): step 1 pairs the
+  // physical processors (7,0), (1,2), (3,4), (5,6).
+  const auto by_tag = traced_transfers(8, [](Node& node) {
+    run_balanced_exchange(node, 64);
+  });
+  const std::set<std::pair<int, int>> expected = {
+      {7, 0}, {0, 7}, {1, 2}, {2, 1}, {3, 4}, {4, 3}, {5, 6}, {6, 5}};
+  EXPECT_EQ(by_tag.at(1), expected);
+}
+
+TEST(PaperRegularTablesTest, BalancedCoversEveryPairExactlyOnce) {
+  const auto by_tag = traced_transfers(8, [](Node& node) {
+    run_balanced_exchange(node, 64);
+  });
+  std::set<std::pair<int, int>> all;
+  for (const auto& [tag, transfers] : by_tag) {
+    for (const auto& t : transfers) {
+      EXPECT_TRUE(all.insert(t).second) << "duplicate transfer";
+    }
+  }
+  EXPECT_EQ(all.size(), 8u * 7u);
+}
+
+}  // namespace
+}  // namespace cm5::sched

@@ -1,0 +1,96 @@
+#include "cm5/sched/pattern_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "cm5/patterns/synthetic.hpp"
+
+namespace cm5::sched {
+namespace {
+
+bool patterns_equal(const CommPattern& a, const CommPattern& b) {
+  if (a.nprocs() != b.nprocs()) return false;
+  for (NodeId i = 0; i < a.nprocs(); ++i) {
+    for (NodeId j = 0; j < a.nprocs(); ++j) {
+      if (i != j && a.at(i, j) != b.at(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(PatternIoTest, RoundTripsThroughText) {
+  const CommPattern original = CommPattern::paper_pattern_p(256);
+  const CommPattern parsed = pattern_from_text(pattern_to_text(original));
+  EXPECT_TRUE(patterns_equal(original, parsed));
+}
+
+TEST(PatternIoTest, RoundTripsRandomPatterns) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const CommPattern original = patterns::random_density(17, 0.4, 512, seed);
+    EXPECT_TRUE(patterns_equal(original,
+                               pattern_from_text(pattern_to_text(original))));
+  }
+}
+
+TEST(PatternIoTest, EmptyPatternRoundTrips) {
+  const CommPattern empty(4);
+  const CommPattern parsed = pattern_from_text(pattern_to_text(empty));
+  EXPECT_EQ(parsed.nprocs(), 4);
+  EXPECT_EQ(parsed.num_messages(), 0);
+}
+
+TEST(PatternIoTest, CommentsAndBlankLinesIgnored) {
+  const CommPattern p = pattern_from_text(
+      "# leading comment\n"
+      "cm5-pattern v1\n"
+      "\n"
+      "nprocs 4\n"
+      "0 1 100  # inline comment\n"
+      "\n"
+      "2 3 50\n");
+  EXPECT_EQ(p.at(0, 1), 100);
+  EXPECT_EQ(p.at(2, 3), 50);
+  EXPECT_EQ(p.num_messages(), 2);
+}
+
+TEST(PatternIoTest, MalformedInputsRejected) {
+  EXPECT_THROW(pattern_from_text(""), std::runtime_error);
+  EXPECT_THROW(pattern_from_text("bogus header\nnprocs 4\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n0 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n0 9 5\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n1 1 5\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n0 1 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n0 1 5\n0 1 6\n"),
+               std::runtime_error);
+  EXPECT_THROW(pattern_from_text("cm5-pattern v1\nnprocs 4\n0 1 5 junk\n"),
+               std::runtime_error);
+}
+
+TEST(PatternIoTest, SaveAndLoadFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cm5_pattern_io_test.txt")
+          .string();
+  const CommPattern original = patterns::ring(8, 2, 128);
+  save_pattern(original, path);
+  const CommPattern loaded = load_pattern(path);
+  EXPECT_TRUE(patterns_equal(original, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_pattern("/nonexistent/dir/pattern.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cm5::sched

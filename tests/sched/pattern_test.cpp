@@ -1,0 +1,91 @@
+#include "cm5/sched/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+TEST(PatternTest, StartsEmpty) {
+  CommPattern p(8);
+  EXPECT_EQ(p.num_messages(), 0);
+  EXPECT_EQ(p.total_bytes(), 0);
+  EXPECT_DOUBLE_EQ(p.density(), 0.0);
+  EXPECT_EQ(p.at(0, 1), 0);
+}
+
+TEST(PatternTest, SetAndGet) {
+  CommPattern p(4);
+  p.set(0, 1, 256);
+  p.set(2, 3, 512);
+  EXPECT_EQ(p.at(0, 1), 256);
+  EXPECT_EQ(p.at(1, 0), 0);
+  EXPECT_EQ(p.num_messages(), 2);
+  EXPECT_EQ(p.total_bytes(), 768);
+  EXPECT_DOUBLE_EQ(p.avg_message_bytes(), 384.0);
+}
+
+TEST(PatternTest, OverwriteUpdatesAggregates) {
+  CommPattern p(4);
+  p.set(0, 1, 100);
+  p.set(0, 1, 300);
+  EXPECT_EQ(p.num_messages(), 1);
+  EXPECT_EQ(p.total_bytes(), 300);
+  p.set(0, 1, 0);  // clearing removes the message
+  EXPECT_EQ(p.num_messages(), 0);
+  EXPECT_EQ(p.total_bytes(), 0);
+}
+
+TEST(PatternTest, DiagonalIsRejected) {
+  CommPattern p(4);
+  EXPECT_THROW(p.set(2, 2, 10), util::CheckError);
+  EXPECT_EQ(p.at(2, 2), 0);
+}
+
+TEST(PatternTest, CompleteExchange) {
+  const CommPattern p = CommPattern::complete_exchange(8, 256);
+  EXPECT_EQ(p.num_messages(), 56);
+  EXPECT_EQ(p.total_bytes(), 56 * 256);
+  EXPECT_DOUBLE_EQ(p.density(), 1.0);
+  EXPECT_TRUE(p.is_symmetric());
+}
+
+TEST(PatternTest, PaperPatternPMatchesTable6) {
+  const CommPattern p = CommPattern::paper_pattern_p();
+  EXPECT_EQ(p.nprocs(), 8);
+  // 34 marked entries in Table 6.
+  EXPECT_EQ(p.num_messages(), 34);
+  // Spot checks against the printed matrix.
+  EXPECT_EQ(p.at(0, 1), 1);
+  EXPECT_EQ(p.at(0, 2), 0);
+  EXPECT_EQ(p.at(1, 7), 1);
+  EXPECT_EQ(p.at(2, 0), 0);
+  EXPECT_EQ(p.at(7, 6), 1);
+  EXPECT_EQ(p.at(7, 7), 0);
+  // The pattern is asymmetric (e.g. 0->5 but not 5->0).
+  EXPECT_EQ(p.at(0, 5), 1);
+  EXPECT_EQ(p.at(5, 0), 0);
+  EXPECT_FALSE(p.is_symmetric());
+}
+
+TEST(PatternTest, PaperPatternPScales) {
+  const CommPattern p = CommPattern::paper_pattern_p(256);
+  EXPECT_EQ(p.at(0, 1), 256);
+  EXPECT_EQ(p.total_bytes(), 34 * 256);
+  EXPECT_DOUBLE_EQ(p.avg_message_bytes(), 256.0);
+}
+
+TEST(PatternTest, DensityOfPaperPattern) {
+  const CommPattern p = CommPattern::paper_pattern_p();
+  EXPECT_NEAR(p.density(), 34.0 / 56.0, 1e-12);
+}
+
+TEST(PatternTest, SingleProcessorPattern) {
+  CommPattern p(1);
+  EXPECT_EQ(p.num_messages(), 0);
+  EXPECT_DOUBLE_EQ(p.density(), 0.0);
+}
+
+}  // namespace
+}  // namespace cm5::sched

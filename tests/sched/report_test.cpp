@@ -1,0 +1,84 @@
+#include "cm5/sched/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/builders.hpp"
+
+namespace cm5::sched {
+namespace {
+
+TEST(ReportTest, CompleteExchangePairwise) {
+  const std::int32_t n = 8;
+  const auto pattern = CommPattern::complete_exchange(n, 100);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(n));
+  const ScheduleReport r = analyze_schedule(build_pairwise(pattern), topo);
+  EXPECT_EQ(r.nprocs, n);
+  EXPECT_EQ(r.busy_steps, n - 1);
+  EXPECT_EQ(r.messages, n * (n - 1));
+  EXPECT_EQ(r.total_bytes, 100 * n * (n - 1));
+  // Every processor active in every step; exchanges = 2 msgs per proc.
+  EXPECT_DOUBLE_EQ(r.avg_busy_fraction, 1.0);
+  EXPECT_EQ(r.max_ops_per_proc_step, 2);
+  EXPECT_DOUBLE_EQ(r.send_imbalance, 1.0);
+}
+
+TEST(ReportTest, LinearScheduleShowsReceiverSerialization) {
+  const std::int32_t n = 8;
+  const auto pattern = CommPattern::complete_exchange(n, 100);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(n));
+  const ScheduleReport r = analyze_schedule(build_linear(pattern), topo);
+  // In step i the receiver handles N-1 messages — the LEX pathology as a
+  // single diagnostic number.
+  EXPECT_EQ(r.max_ops_per_proc_step, n - 1);
+  EXPECT_DOUBLE_EQ(r.avg_busy_fraction, 1.0);  // everyone sends or receives
+}
+
+TEST(ReportTest, SparsePatternShowsIdleProcessors) {
+  CommPattern p(8);
+  p.set(0, 1, 64);
+  p.set(2, 3, 64);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(8));
+  const ScheduleReport r = analyze_schedule(build_greedy(p), topo);
+  EXPECT_EQ(r.busy_steps, 1);
+  EXPECT_EQ(r.messages, 2);
+  // 4 of 8 processors participate.
+  EXPECT_DOUBLE_EQ(r.avg_busy_fraction, 0.5);
+  // Two senders of equal bytes among 8 procs: max/mean = 64 / (128/8).
+  EXPECT_DOUBLE_EQ(r.send_imbalance, 4.0);
+}
+
+TEST(ReportTest, BalancedVsPairwiseCrossingsVisible) {
+  const std::int32_t n = 32;
+  const auto pattern = CommPattern::complete_exchange(n, 64);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(n));
+  const auto pex = analyze_schedule(build_pairwise(pattern), topo);
+  const auto bex = analyze_schedule(build_balanced(pattern), topo);
+  EXPECT_EQ(pex.root_crossings.total_crossings,
+            bex.root_crossings.total_crossings);
+  EXPECT_GT(pex.root_crossings.fully_crossing_steps,
+            bex.root_crossings.fully_crossing_steps);
+}
+
+TEST(ReportTest, RenderMentionsKeyNumbers) {
+  const auto pattern = CommPattern::paper_pattern_p(256);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(8));
+  const std::string text =
+      analyze_schedule(build_greedy(pattern), topo).to_string();
+  EXPECT_NE(text.find("8 procs"), std::string::npos);
+  EXPECT_NE(text.find("6 busy steps"), std::string::npos);
+  EXPECT_NE(text.find("messages 34"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyScheduleIsAllZeros) {
+  const CommPattern empty(4);
+  const net::FatTreeTopology topo(net::FatTreeConfig::cm5(4));
+  const ScheduleReport r = analyze_schedule(build_greedy(empty), topo);
+  EXPECT_EQ(r.busy_steps, 0);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_DOUBLE_EQ(r.avg_busy_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.send_imbalance, 0.0);
+}
+
+}  // namespace
+}  // namespace cm5::sched

@@ -1,0 +1,125 @@
+#include "cm5/sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+TEST(ScheduleTest, AddSendCreatesBothSides) {
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_send(step, 0, 1, 256);
+  ASSERT_EQ(s.ops(step, 0).size(), 1u);
+  ASSERT_EQ(s.ops(step, 1).size(), 1u);
+  EXPECT_EQ(s.ops(step, 0)[0].kind, Op::Kind::Send);
+  EXPECT_EQ(s.ops(step, 0)[0].peer, 1);
+  EXPECT_EQ(s.ops(step, 0)[0].send_bytes, 256);
+  EXPECT_EQ(s.ops(step, 1)[0].kind, Op::Kind::Recv);
+  EXPECT_EQ(s.ops(step, 1)[0].peer, 0);
+  EXPECT_EQ(s.ops(step, 1)[0].recv_bytes, 256);
+}
+
+TEST(ScheduleTest, AddExchangeMirrors) {
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_exchange(step, 2, 3, 100, 200);
+  EXPECT_EQ(s.ops(step, 2)[0].send_bytes, 100);
+  EXPECT_EQ(s.ops(step, 2)[0].recv_bytes, 200);
+  EXPECT_EQ(s.ops(step, 3)[0].send_bytes, 200);
+  EXPECT_EQ(s.ops(step, 3)[0].recv_bytes, 100);
+}
+
+TEST(ScheduleTest, NumMessagesCountsDirections) {
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_send(step, 0, 1, 10);
+  s.add_exchange(step, 2, 3, 10, 10);
+  EXPECT_EQ(s.num_messages(), 3);  // one send + two halves of the exchange
+}
+
+TEST(ScheduleTest, BusyStepsIgnoreEmpty) {
+  CommSchedule s(4);
+  s.add_step();  // empty
+  const std::int32_t step = s.add_step();
+  s.add_send(step, 0, 1, 10);
+  s.add_step();  // empty
+  EXPECT_EQ(s.num_steps(), 3);
+  EXPECT_EQ(s.num_busy_steps(), 1);
+  s.trim_trailing_empty_steps();
+  EXPECT_EQ(s.num_steps(), 2);  // leading empty step is kept
+}
+
+TEST(ScheduleTest, ValidateAcceptsExactCover) {
+  CommPattern p(4);
+  p.set(0, 1, 100);
+  p.set(1, 0, 50);
+  p.set(2, 3, 75);
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_exchange(step, 0, 1, 100, 50);
+  s.add_send(step, 2, 3, 75);
+  EXPECT_NO_THROW(s.validate_against(p));
+}
+
+TEST(ScheduleTest, ValidateRejectsMissingMessage) {
+  CommPattern p(4);
+  p.set(0, 1, 100);
+  p.set(2, 3, 75);
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_send(step, 0, 1, 100);
+  EXPECT_THROW(s.validate_against(p), util::CheckError);
+}
+
+TEST(ScheduleTest, ValidateRejectsWrongBytes) {
+  CommPattern p(4);
+  p.set(0, 1, 100);
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_send(step, 0, 1, 99);
+  EXPECT_THROW(s.validate_against(p), util::CheckError);
+}
+
+TEST(ScheduleTest, ValidateRejectsDuplicateDelivery) {
+  CommPattern p(4);
+  p.set(0, 1, 100);
+  CommSchedule s(4);
+  s.add_send(s.add_step(), 0, 1, 100);
+  s.add_send(s.add_step(), 0, 1, 100);
+  EXPECT_THROW(s.validate_against(p), util::CheckError);
+}
+
+TEST(ScheduleTest, ToStringShowsPaperStyleRows) {
+  CommSchedule s(4);
+  const std::int32_t step = s.add_step();
+  s.add_exchange(step, 0, 1, 10, 10);
+  s.add_send(step, 2, 3, 10);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("0<->1"), std::string::npos);
+  EXPECT_NE(str.find("2->3"), std::string::npos);
+}
+
+TEST(ScheduleTest, CrossingAnalysis) {
+  net::FatTreeTopology topo(net::FatTreeConfig::cm5(8));
+  CommSchedule s(8);
+  std::int32_t step = s.add_step();
+  s.add_exchange(step, 0, 1, 10, 10);  // in-cluster
+  s.add_exchange(step, 4, 5, 10, 10);  // in-cluster
+  step = s.add_step();
+  s.add_exchange(step, 0, 4, 10, 10);  // crosses the root (height 2)
+  s.add_exchange(step, 1, 5, 10, 10);  // crosses the root
+
+  const StepTrafficStats stats = analyze_crossings(s, topo, 2);
+  ASSERT_EQ(stats.crossings_per_step.size(), 2u);
+  EXPECT_EQ(stats.crossings_per_step[0], 0);
+  // An exchange is two directed messages; both cross.
+  EXPECT_EQ(stats.crossings_per_step[1], 4);
+  EXPECT_EQ(stats.max_crossings, 4);
+  EXPECT_EQ(stats.total_crossings, 4);
+  EXPECT_EQ(stats.fully_crossing_steps, 1);
+}
+
+}  // namespace
+}  // namespace cm5::sched

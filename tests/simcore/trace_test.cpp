@@ -1,0 +1,184 @@
+#include "cm5/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sim {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+using machine::Node;
+
+TEST(TraceTest, SimpleMessageProducesOrderedEvents) {
+  Cm5Machine m(MachineParams::cm5_defaults(2));
+  TraceRecorder recorder;
+  m.run_traced(
+      [](Node& node) {
+        if (node.self() == 0) {
+          node.send_block(1, 256);
+        } else {
+          (void)node.receive_block(0);
+        }
+      },
+      recorder.sink());
+
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::SendPosted), 1);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::RecvPosted), 1);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::TransferStart), 1);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::TransferComplete), 1);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::NodeDone), 2);
+
+  // Per node, event times are non-decreasing (nodes may run ahead of
+  // one another, so the global stream is only sorted via sorted()).
+  const auto& events = recorder.events();
+  for (net::NodeId n = 0; n < 2; ++n) {
+    util::SimTime last = 0;
+    for (const TraceEvent& e : events) {
+      if (e.node != n) continue;
+      EXPECT_LE(last, e.time);
+      last = e.time;
+    }
+  }
+  const auto sorted = recorder.sorted();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].time, sorted[i].time);
+  }
+
+  // The transfer start follows the (later of the) two postings and
+  // carries the message metadata.
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::TransferStart) {
+      EXPECT_EQ(e.node, 0);
+      EXPECT_EQ(e.peer, 1);
+      EXPECT_EQ(e.bytes, 256);
+    }
+  }
+}
+
+TEST(TraceTest, ComputeEventsCarryDuration) {
+  Cm5Machine m(MachineParams::cm5_defaults(1));
+  TraceRecorder recorder;
+  m.run_traced([](Node& node) { node.compute(util::from_us(123)); },
+               recorder.sink());
+  ASSERT_EQ(recorder.count(TraceEvent::Kind::Compute), 1);
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == TraceEvent::Kind::Compute) {
+      EXPECT_EQ(e.bytes, util::from_us(123));
+      EXPECT_EQ(e.time, util::from_us(123));
+    }
+  }
+}
+
+TEST(TraceTest, GlobalOpsTraced) {
+  Cm5Machine m(MachineParams::cm5_defaults(4));
+  TraceRecorder recorder;
+  m.run_traced([](Node& node) { node.barrier(); }, recorder.sink());
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::GlobalOpEnter), 4);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::GlobalOpComplete), 1);
+}
+
+TEST(TraceTest, ExchangeMessageCountMatchesCounters) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  TraceRecorder recorder;
+  const auto r = m.run_traced(
+      [](Node& node) {
+        sched::run_pairwise_exchange(node, 64);
+      },
+      recorder.sink());
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::TransferComplete),
+            r.network.flows_completed);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::SendPosted), 8 * 7);
+}
+
+TEST(TraceTest, ForNodeFiltersBothRoles) {
+  Cm5Machine m(MachineParams::cm5_defaults(4));
+  TraceRecorder recorder;
+  m.run_traced(
+      [](Node& node) {
+        if (node.self() == 0) node.send_block(3, 64);
+        if (node.self() == 3) (void)node.receive_block(0);
+      },
+      recorder.sink());
+  const auto node3 = recorder.for_node(3);
+  bool saw_transfer = false;
+  for (const TraceEvent& e : node3) {
+    if (e.kind == TraceEvent::Kind::TransferComplete) saw_transfer = true;
+  }
+  EXPECT_TRUE(saw_transfer);
+}
+
+TEST(TraceTest, RenderProducesReadableLines) {
+  Cm5Machine m(MachineParams::cm5_defaults(2));
+  TraceRecorder recorder;
+  m.run_traced(
+      [](Node& node) {
+        if (node.self() == 0) {
+          node.send_block(1, 128, /*tag=*/7);
+        } else {
+          (void)node.receive_block(0, 7);
+        }
+      },
+      recorder.sink());
+  const std::string text = recorder.render();
+  EXPECT_NE(text.find("send -> 1"), std::string::npos);
+  EXPECT_NE(text.find("tag 7"), std::string::npos);
+  EXPECT_NE(text.find("done"), std::string::npos);
+  // Truncation marker appears when limited.
+  const std::string limited = recorder.render(1);
+  EXPECT_NE(limited.find("more events"), std::string::npos);
+}
+
+TEST(TraceTest, TimelineShowsComputeAndTransfer) {
+  Cm5Machine m(MachineParams::cm5_defaults(2));
+  TraceRecorder recorder;
+  m.run_traced(
+      [](Node& node) {
+        if (node.self() == 0) {
+          node.compute(util::from_ms(1));
+          node.send_block(1, 64 << 10);  // ~4 ms of transfer
+        } else {
+          (void)node.receive_block(0);
+        }
+      },
+      recorder.sink());
+  const std::string bars = recorder.timeline(2, 40);
+  EXPECT_NE(bars.find("node   0"), std::string::npos);
+  EXPECT_NE(bars.find('#'), std::string::npos);  // node 0's compute
+  EXPECT_NE(bars.find('='), std::string::npos);  // the transfer
+  EXPECT_NE(bars.find('.'), std::string::npos);  // node 1 idle at start
+  // Two node rows of exactly `width` glyphs.
+  EXPECT_EQ(std::count(bars.begin(), bars.end(), '\n'), 3);
+}
+
+TEST(TraceTest, TimelineEmptyWhenNothingHappened) {
+  Cm5Machine m(MachineParams::cm5_defaults(2));
+  TraceRecorder recorder;
+  m.run_traced([](Node&) {}, recorder.sink());
+  EXPECT_TRUE(recorder.timeline(2).empty());
+}
+
+TEST(TraceTest, UntracedRunHasNoOverheadPath) {
+  // Plain run() must behave identically with tracing never installed.
+  Cm5Machine m(MachineParams::cm5_defaults(4));
+  const auto a = m.run([](Node& node) {
+    if (node.self() == 0) node.send_block(1, 64);
+    if (node.self() == 1) (void)node.receive_block(0);
+  });
+  TraceRecorder recorder;
+  const auto b = m.run_traced(
+      [](Node& node) {
+        if (node.self() == 0) node.send_block(1, 64);
+        if (node.self() == 1) (void)node.receive_block(0);
+      },
+      recorder.sink());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace cm5::sim

@@ -1,0 +1,137 @@
+#include "cm5/sparse/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/partition.hpp"
+#include "cm5/util/rng.hpp"
+
+namespace cm5::sparse {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+std::vector<double> random_rhs(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.next_double() * 2.0 - 1.0;
+  return b;
+}
+
+double residual_norm(const CsrMatrix& a, std::span<const double> x,
+                     std::span<const double> b) {
+  std::vector<double> ax(x.size());
+  a.multiply(x, ax);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += (b[i] - ax[i]) * (b[i] - ax[i]);
+  }
+  return std::sqrt(sum);
+}
+
+TEST(CgSerialTest, SolvesLaplacianSystem) {
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.1, 1);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 7);
+  const CgResult r = cg_solve(a, b, 500, 1e-10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, r.x, b), 1e-8);
+}
+
+TEST(CgSerialTest, ZeroRhsGivesZeroSolution) {
+  const mesh::TriMesh m = mesh::perturbed_grid(6, 6, 0.1, 2);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  const CgResult r = cg_solve(a, b, 100, 1e-12);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (double v : r.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CgSerialTest, IterationCapRespected) {
+  const mesh::TriMesh m = mesh::perturbed_grid(16, 16, 0.1, 3);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 9);
+  const CgResult r = cg_solve(a, b, 3, 1e-14);
+  EXPECT_LE(r.iterations, 3);
+  EXPECT_FALSE(r.converged);
+}
+
+struct DistCgCase {
+  std::int32_t nprocs;
+  sched::Scheduler scheduler;
+};
+
+class DistributedCgTest : public ::testing::TestWithParam<DistCgCase> {};
+
+TEST_P(DistributedCgTest, MatchesSerialSolution) {
+  const auto& c = GetParam();
+  const mesh::TriMesh m = mesh::perturbed_grid(16, 16, 0.15, 4);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 11);
+  const auto part = mesh::rcb_vertex_partition(m, c.nprocs);
+  const mesh::HaloPlan halo = mesh::build_vertex_halo(m, part, c.nprocs);
+
+  const CgResult serial = cg_solve(a, b, 500, 1e-10);
+  ASSERT_TRUE(serial.converged);
+
+  std::vector<std::vector<double>> per_node(
+      static_cast<std::size_t>(c.nprocs));
+  std::vector<CgResult> results(static_cast<std::size_t>(c.nprocs));
+  Cm5Machine machine(MachineParams::cm5_defaults(c.nprocs));
+  machine.run([&](machine::Node& node) {
+    results[static_cast<std::size_t>(node.self())] = cg_solve_distributed(
+        node, a, b, part, halo, c.scheduler, 500, 1e-10);
+  });
+
+  // Assemble the global solution from owned entries.
+  std::vector<double> x(b.size(), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    x[i] = results[static_cast<std::size_t>(part[i])].x[i];
+  }
+  EXPECT_LT(residual_norm(a, x, b), 1e-8);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    diff = std::max(diff, std::abs(x[i] - serial.x[i]));
+  }
+  EXPECT_LT(diff, 1e-7);
+  // All nodes agree on the iteration count (reductions are global).
+  for (const auto& r : results) {
+    EXPECT_EQ(r.iterations, results[0].iterations);
+    EXPECT_TRUE(r.converged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedCgTest,
+    ::testing::Values(DistCgCase{4, sched::Scheduler::Greedy},
+                      DistCgCase{8, sched::Scheduler::Greedy},
+                      DistCgCase{8, sched::Scheduler::Linear},
+                      DistCgCase{8, sched::Scheduler::Pairwise},
+                      DistCgCase{8, sched::Scheduler::Balanced},
+                      DistCgCase{16, sched::Scheduler::Greedy}));
+
+TEST(DistributedCgTest, ChargesCommunicationAndCompute) {
+  const mesh::TriMesh m = mesh::perturbed_grid(16, 16, 0.15, 5);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 13);
+  const auto part = mesh::rcb_vertex_partition(m, 8);
+  const mesh::HaloPlan halo = mesh::build_vertex_halo(m, part, 8);
+  Cm5Machine machine(MachineParams::cm5_defaults(8));
+  const auto run = machine.run([&](machine::Node& node) {
+    (void)cg_solve_distributed(node, a, b, part, halo,
+                               sched::Scheduler::Greedy, 50, 1e-10);
+  });
+  EXPECT_GT(run.makespan, 0);
+  EXPECT_GT(run.network.flows_completed, 0);
+  for (const auto& counters : run.node_counters) {
+    EXPECT_GT(counters.global_ops, 0);  // dot products on the control net
+    EXPECT_GT(counters.compute_time, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cm5::sparse

@@ -1,0 +1,73 @@
+#include "cm5/sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/mesh/generate.hpp"
+
+namespace cm5::sparse {
+namespace {
+
+using Triplet = std::tuple<std::int32_t, std::int32_t, double>;
+
+TEST(CsrTest, FromTripletsBasic) {
+  const std::vector<Triplet> triplets = {
+      {0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, triplets);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.nonzeros(), 4);
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrTest, DuplicateTripletsSum) {
+  const std::vector<Triplet> triplets = {{0, 0, 1.0}, {0, 0, 2.5}};
+  const CsrMatrix m = CsrMatrix::from_triplets(1, triplets);
+  EXPECT_EQ(m.nonzeros(), 1);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 3.5);
+}
+
+TEST(CsrTest, MultiplyRowsTouchesOnlyRequestedRows) {
+  const std::vector<Triplet> triplets = {
+      {0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(3, triplets);
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y = {-9.0, -9.0, -9.0};
+  const std::vector<std::int32_t> rows = {0, 2};
+  m.multiply_rows(rows, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -9.0);  // untouched
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(CsrTest, MeshLaplacianStructure) {
+  const mesh::TriMesh m = mesh::perturbed_grid(8, 8, 0.1, 1);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  EXPECT_EQ(a.rows(), m.num_vertices());
+  EXPECT_TRUE(a.is_symmetric(0.0));
+  // Row sums of L = D - Adj are zero, so A = L + I has row sums of 1.
+  std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  a.multiply(ones, y);
+  for (double v : y) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(CsrTest, MeshLaplacianIsPositiveDefiniteQuadraticForm) {
+  const mesh::TriMesh m = mesh::perturbed_grid(6, 6, 0.1, 2);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  // x^T A x = x^T x + sum over edges (x_u - x_v)^2 > 0 for x != 0.
+  std::vector<double> x(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = (i % 3 == 0) ? 1.0 : -0.5;
+  }
+  std::vector<double> y(x.size());
+  a.multiply(x, y);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) quad += x[i] * y[i];
+  EXPECT_GT(quad, 0.0);
+}
+
+}  // namespace
+}  // namespace cm5::sparse

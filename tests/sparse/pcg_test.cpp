@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cm5/mesh/generate.hpp"
+#include "cm5/mesh/partition.hpp"
+#include "cm5/sparse/cg.hpp"
+#include "cm5/util/rng.hpp"
+
+namespace cm5::sparse {
+namespace {
+
+std::vector<double> random_rhs(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.next_double() * 2.0 - 1.0;
+  return b;
+}
+
+double residual_norm(const CsrMatrix& a, std::span<const double> x,
+                     std::span<const double> b) {
+  std::vector<double> ax(x.size());
+  a.multiply(x, ax);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += (b[i] - ax[i]) * (b[i] - ax[i]);
+  }
+  return std::sqrt(sum);
+}
+
+TEST(PcgTest, SolvesLaplacianSystem) {
+  const mesh::TriMesh m = mesh::perturbed_grid(14, 14, 0.15, 2);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 3);
+  const CgResult r = pcg_solve(a, b, 500, 1e-10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, r.x, b), 1e-8);
+}
+
+TEST(PcgTest, MatchesUnpreconditionedSolution) {
+  const mesh::TriMesh m = mesh::perturbed_grid(10, 10, 0.15, 4);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 5);
+  const CgResult plain = cg_solve(a, b, 500, 1e-12);
+  const CgResult pre = pcg_solve(a, b, 500, 1e-12);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pre.converged);
+  for (std::size_t i = 0; i < plain.x.size(); ++i) {
+    EXPECT_NEAR(pre.x[i], plain.x[i], 1e-8);
+  }
+}
+
+TEST(PcgTest, PreconditioningHelpsOnScaledSystem) {
+  // Badly scaled diagonal: Jacobi preconditioning shines here. Build
+  // D*A*D with D = diag(1, 10, 1, 10, ...) from a Laplacian.
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.15, 6);
+  const CsrMatrix base = CsrMatrix::mesh_laplacian(m);
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> triplets;
+  for (std::int32_t r = 0; r < base.rows(); ++r) {
+    const auto cols = base.row_cols(r);
+    const auto vals = base.row_vals(r);
+    const double dr = (r % 2 == 0) ? 1.0 : 10.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double dc = (cols[k] % 2 == 0) ? 1.0 : 10.0;
+      triplets.emplace_back(r, cols[k], dr * vals[k] * dc);
+    }
+  }
+  const CsrMatrix scaled = CsrMatrix::from_triplets(base.rows(), triplets);
+  const auto b = random_rhs(scaled.rows(), 7);
+
+  const CgResult plain = cg_solve(scaled, b, 2000, 1e-10);
+  const CgResult pre = pcg_solve(scaled, b, 2000, 1e-10);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(PcgDistributedTest, MatchesSerialPcg) {
+  const mesh::TriMesh m = mesh::perturbed_grid(14, 14, 0.15, 9);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 10);
+  const std::int32_t nprocs = 8;
+  const auto part = mesh::rcb_vertex_partition(m, nprocs);
+  const mesh::HaloPlan halo = mesh::build_vertex_halo(m, part, nprocs);
+
+  const CgResult serial = pcg_solve(a, b, 500, 1e-10);
+  ASSERT_TRUE(serial.converged);
+
+  std::vector<CgResult> results(static_cast<std::size_t>(nprocs));
+  machine::Cm5Machine machine(machine::MachineParams::cm5_defaults(nprocs));
+  machine.run([&](machine::Node& node) {
+    results[static_cast<std::size_t>(node.self())] = pcg_solve_distributed(
+        node, a, b, part, halo, sched::Scheduler::Greedy, 500, 1e-10);
+  });
+  double diff = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const auto owner = static_cast<std::size_t>(part[i]);
+    diff = std::max(diff, std::abs(results[owner].x[i] - serial.x[i]));
+  }
+  EXPECT_LT(diff, 1e-7);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, results[0].iterations);
+  }
+}
+
+TEST(PcgDistributedTest, SameCommunicationVolumeAsPlainCg) {
+  // Jacobi preconditioning is local: per-iteration flows must match CG.
+  const mesh::TriMesh m = mesh::perturbed_grid(12, 12, 0.15, 11);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const auto b = random_rhs(a.rows(), 12);
+  const std::int32_t nprocs = 4;
+  const auto part = mesh::rcb_vertex_partition(m, nprocs);
+  const mesh::HaloPlan halo = mesh::build_vertex_halo(m, part, nprocs);
+  const auto pattern = halo.pattern(sizeof(double));
+
+  machine::Cm5Machine machine(machine::MachineParams::cm5_defaults(nprocs));
+  std::int32_t iterations = 0;
+  const auto run = machine.run([&](machine::Node& node) {
+    const auto r = pcg_solve_distributed(node, a, b, part, halo,
+                                         sched::Scheduler::Greedy, 7, 1e-30);
+    if (node.self() == 0) iterations = r.iterations;
+  });
+  EXPECT_EQ(iterations, 7);
+  EXPECT_EQ(run.network.flows_completed, 7 * pattern.num_messages());
+}
+
+TEST(PcgTest, ZeroRhsConvergesImmediately) {
+  const mesh::TriMesh m = mesh::perturbed_grid(6, 6, 0.1, 8);
+  const CsrMatrix a = CsrMatrix::mesh_laplacian(m);
+  const std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  const CgResult r = pcg_solve(a, b, 100, 1e-12);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace cm5::sparse

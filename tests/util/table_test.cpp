@@ -1,0 +1,65 @@
+#include "cm5/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm5/util/check.hpp"
+
+namespace cm5::util {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"Algorithm", "Time"});
+  t.add_row({"Pairwise", "1.766"});
+  t.add_row({"Greedy", "1.597"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Algorithm | Time  |"), std::string::npos);
+  EXPECT_NE(out.find("| Pairwise  | 1.766 |"), std::string::npos);
+  EXPECT_NE(out.find("| Greedy    | 1.597 |"), std::string::npos);
+}
+
+TEST(TableTest, WideCellStretchesColumn) {
+  TextTable t({"A"});
+  t.add_row({"a-very-long-cell"});
+  EXPECT_NE(t.render().find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorProducesRule) {
+  TextTable t({"A", "B"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  const std::string out = t.render();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable t({}), CheckError);
+}
+
+TEST(TableTest, FmtFormatsPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.76634, 3), "1.766");
+  EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::fmt(0.5, 0), "0");  // rounds to even
+}
+
+TEST(TableTest, RowCount) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cm5::util

@@ -1,0 +1,58 @@
+#include "cm5/util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cm5::util {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(from_us(1), 1000);
+  EXPECT_EQ(from_us(88), 88'000);
+  EXPECT_EQ(from_ms(3), 3'000'000);
+  EXPECT_EQ(from_seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(from_seconds(0.5), 500'000'000);
+}
+
+TEST(TimeTest, FromSecondsClampsNegativeToZero) {
+  EXPECT_EQ(from_seconds(-1.0), 0);
+  EXPECT_EQ(from_seconds(0.0), 0);
+}
+
+TEST(TimeTest, FromSecondsSaturatesAtNever) {
+  EXPECT_EQ(from_seconds(1e300), kTimeNever);
+}
+
+TEST(TimeTest, ToSecondsRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.125)), 0.125);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_us(from_us(88)), 88.0);
+}
+
+TEST(TimeTest, TransferTimeBasics) {
+  // 20 bytes at 20 MB/s = 1 us.
+  EXPECT_EQ(transfer_time(20.0, 20e6), from_us(1));
+  // Zero bytes take zero time.
+  EXPECT_EQ(transfer_time(0.0, 20e6), 0);
+  // Nonzero bytes at any positive rate take nonzero time.
+  EXPECT_GT(transfer_time(1e-3, 1e12), 0);
+}
+
+TEST(TimeTest, TransferTimeRoundsUp) {
+  // 1 byte at 3 GB/s is a fractional nanosecond -> rounds up to 1 ns.
+  EXPECT_EQ(transfer_time(1.0, 3e9), 1);
+}
+
+TEST(TimeTest, TransferTimeZeroRateNeverFinishes) {
+  EXPECT_EQ(transfer_time(100.0, 0.0), kTimeNever);
+  EXPECT_EQ(transfer_time(100.0, -5.0), kTimeNever);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(500), "500 ns");
+  EXPECT_EQ(format_duration(from_us(88)), "88.000 us");
+  EXPECT_EQ(format_duration(from_ms(2)), "2.000 ms");
+  EXPECT_EQ(format_duration(from_seconds(14.78)), "14.780 s");
+}
+
+}  // namespace
+}  // namespace cm5::util
