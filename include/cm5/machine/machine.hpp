@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,6 +52,13 @@ class Node {
   /// Blocking receive; src/tag may be wildcards (kAnyNode / kAnyTag).
   Message receive_block(NodeId src = kAnyNode, std::int32_t tag = kAnyTag);
 
+  /// Blocking receive with a virtual-time deadline `timeout` from now.
+  /// Returns nullopt if nothing matched by the deadline (the node
+  /// resumes exactly at the deadline; recv overhead is charged only on
+  /// success). The fault-observing primitive resilient executors build on.
+  std::optional<Message> receive_timeout(NodeId src, std::int32_t tag,
+                                         util::SimDuration timeout);
+
   /// Full-duplex exchange (CMMD_swap): sends `bytes` to `peer` while
   /// receiving the peer's message of the same call; both directions
   /// move simultaneously, unlike the serialized send/receive pair of
@@ -82,6 +90,13 @@ class Node {
 
   /// Global barrier; all nodes resume together.
   void barrier();
+  /// Barrier with a deadline `timeout` from now; false if it expired
+  /// before every live node arrived (this node's arrival is withdrawn).
+  bool try_barrier(util::SimDuration timeout);
+  /// Raw control-network concatenation of per-node byte strings (dead
+  /// nodes contribute nothing). Charged like a barrier. The resilient
+  /// executor's agreement primitive.
+  std::vector<std::byte> global_concat(std::span<const std::byte> data);
   /// Global sum; every node receives the total.
   double reduce_sum(double x);
   std::int64_t reduce_sum_i64(std::int64_t x);
@@ -126,12 +141,21 @@ class Cm5Machine {
   /// (see cm5::sim::TraceRecorder for a convenient collector).
   sim::RunResult run_traced(const Program& program, sim::TraceSink sink);
 
+  /// Installs a fault plan applied to every subsequent run (validated
+  /// against the partition size). Clear with clear_fault_plan().
+  void set_fault_plan(sim::FaultPlan plan);
+  void clear_fault_plan() { fault_plan_.reset(); }
+  const std::optional<sim::FaultPlan>& fault_plan() const noexcept {
+    return fault_plan_;
+  }
+
   const MachineParams& params() const noexcept { return params_; }
   const net::FatTreeTopology& topology() const noexcept { return topo_; }
 
  private:
   MachineParams params_;
   net::FatTreeTopology topo_;
+  std::optional<sim::FaultPlan> fault_plan_;
 };
 
 }  // namespace cm5::machine

@@ -70,6 +70,15 @@ class FluidNetwork {
   /// Number of currently active flows.
   std::size_t active_flows() const noexcept { return active_.size(); }
 
+  /// Scales the capacity of one link to `scale` x its topology capacity,
+  /// effective from time `now` (fluid state up to `now` progresses at the
+  /// old rates first). Used by the fault-injection layer to model link
+  /// degradation; `scale` must be >= 0 (0 stalls the link entirely).
+  void set_link_capacity_scale(util::SimTime now, LinkId link, double scale);
+
+  /// Current capacity scale of a link (1.0 unless degraded).
+  double link_capacity_scale(LinkId link) const;
+
   const NetworkStats& stats() const noexcept { return stats_; }
   const FatTreeTopology& topology() const noexcept { return topo_; }
 
@@ -89,6 +98,7 @@ class FluidNetwork {
   const FatTreeTopology& topo_;
   std::vector<Active> active_;
   std::vector<double> link_load_;  // bytes/s per link at current rates
+  std::vector<double> capacity_scale_;  // degradation multipliers (1 = healthy)
   util::SimTime now_ = 0;
   bool rates_dirty_ = false;
   FlowId next_id_ = 0;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "cm5/machine/params.hpp"
 #include "cm5/net/topology.hpp"
 #include "cm5/sched/builders.hpp"
@@ -26,6 +28,13 @@
 ///     paper's runtime is step-synchronized).
 
 namespace cm5::sched {
+
+/// Per-step analytic cost: for each step, the maximum over processors of
+/// that processor's serialized message costs (overhead + latency + wire
+/// time at the saturated per-node rate of the message's NCA height).
+/// Used by the resilient executor to derive per-step timeouts.
+std::vector<util::SimDuration> estimate_step_times(
+    const CommSchedule& schedule, const machine::MachineParams& params);
 
 /// Analytic estimate of the step-synchronized execution time of
 /// `schedule` on a machine described by `params` (whose tree must match

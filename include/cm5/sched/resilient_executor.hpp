@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/schedule.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file resilient_executor.hpp
+/// Fault-tolerant schedule execution: the answer to "what happens to
+/// LEX/PEX/BEX/GS schedules when the machine misbehaves?".
+///
+/// execute_schedule (executor.hpp) assumes a perfect machine: a single
+/// dropped message stalls a rendezvous forever, a dead node deadlocks
+/// the partition. The resilient executor layers a classic reliability
+/// protocol over the same canonical op order:
+///
+///   * per-step timeouts derived from estimate_step_times();
+///   * bounded retry with exponential backoff (in virtual time);
+///   * acks carrying copy sequence numbers (at-least-once delivery of
+///     dropped messages; stale NACK suppression);
+///   * receiver-side corruption detection (modelling a payload
+///     checksum via Message::corrupted) triggering resend;
+///   * schedule repair: after every step, live nodes agree via the
+///     control network on the suspected-dead set, excise those nodes
+///     from the remaining steps, and report partial delivery honestly.
+///
+/// Acks travel on tags >= ResilientOptions::ack_tag_base, which the
+/// default FaultPlan::control_tag_floor exempts from probabilistic
+/// faults — they model hardware-acknowledged control traffic.
+
+namespace cm5::sched {
+
+struct ResilientOptions {
+  /// Max copies of one message a sender transmits (and max receive
+  /// windows a receiver waits) before suspecting the peer dead.
+  std::int32_t max_attempts = 8;
+  /// Per-step timeout = max(min_timeout, timeout_factor * estimated
+  /// step time from estimate_step_times()).
+  double timeout_factor = 4.0;
+  util::SimDuration min_timeout = util::from_us(200);
+  /// Backoff before the k-th resend is backoff_base << (k-1).
+  util::SimDuration backoff_base = util::from_us(100);
+  /// Data messages use data_tag_base + step.
+  std::int32_t data_tag_base = 1000;
+  /// Ack messages use ack_tag_base + step; keep this at or above the
+  /// plan's control_tag_floor so acks stay reliable.
+  std::int32_t ack_tag_base = 1 << 30;
+  /// Re-run the same program fault-free to measure makespan overhead
+  /// (skipped automatically when no fault plan is installed).
+  bool measure_fault_free_baseline = true;
+};
+
+/// A directed schedule edge that no surviving node could confirm.
+struct LostEdge {
+  std::int32_t step = 0;
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::int64_t bytes = 0;
+};
+
+struct ResilientRunReport {
+  std::int64_t edges_total = 0;      ///< directed messages in the schedule
+  std::int64_t edges_delivered = 0;  ///< confirmed by a surviving receiver
+  std::int64_t retries = 0;          ///< copies sent beyond the first
+  std::int64_t recv_timeouts = 0;    ///< receive windows that expired
+  std::int64_t corrupt_detected = 0; ///< checksum failures (NACKed)
+  std::int32_t repairs = 0;          ///< schedule-repair events (dead-set growth)
+  std::vector<NodeId> dead_nodes;    ///< agreed dead set, ascending
+  std::vector<LostEdge> lost_edges;  ///< sorted by (step, src, dst)
+  util::SimTime makespan = 0;
+  /// Makespan of the identical program with faults disabled (equals
+  /// `makespan` when no plan was installed / baseline not measured).
+  util::SimTime fault_free_makespan = 0;
+  sim::RunResult run;
+
+  /// Fraction of schedule edges confirmed delivered.
+  double delivery_rate() const noexcept {
+    return edges_total == 0
+               ? 1.0
+               : static_cast<double>(edges_delivered) /
+                     static_cast<double>(edges_total);
+  }
+  /// makespan / fault_free_makespan (1.0 when no baseline).
+  double makespan_overhead() const noexcept {
+    return fault_free_makespan <= 0
+               ? 1.0
+               : static_cast<double>(makespan) /
+                     static_cast<double>(fault_free_makespan);
+  }
+  std::string to_string() const;
+};
+
+/// Runs `schedule` on `machine` (with whatever fault plan the machine
+/// carries) under the resilient protocol and reports what happened.
+/// Every run with the same machine, schedule, options, and plan seed is
+/// bit-for-bit reproducible.
+ResilientRunReport run_resilient_schedule(machine::Cm5Machine& machine,
+                                          const CommSchedule& schedule,
+                                          const ResilientOptions& options = {});
+
+/// Object wrapper over run_resilient_schedule for repeated runs of one
+/// schedule (the schedule is copied in).
+class ResilientExecutor {
+ public:
+  explicit ResilientExecutor(CommSchedule schedule,
+                             ResilientOptions options = {})
+      : schedule_(std::move(schedule)), options_(options) {}
+
+  ResilientRunReport run(machine::Cm5Machine& machine) const {
+    return run_resilient_schedule(machine, schedule_, options_);
+  }
+
+  const CommSchedule& schedule() const noexcept { return schedule_; }
+  const ResilientOptions& options() const noexcept { return options_; }
+
+ private:
+  CommSchedule schedule_;
+  ResilientOptions options_;
+};
+
+}  // namespace cm5::sched

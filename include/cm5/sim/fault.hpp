@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file fault.hpp
+/// Deterministic fault injection for simulated runs.
+///
+/// A FaultPlan describes what goes wrong during a run: probabilistic
+/// per-message faults (drop, corrupt, delay) plus a timeline of exact
+/// virtual-time faults (fail-stop node death, link degradation) and
+/// targeted drops of specific messages. Install one on a Kernel with
+/// Kernel::set_fault_plan() before run().
+///
+/// Determinism: probabilistic decisions are stateless hashes of
+/// (plan seed, per-run transfer sequence number). The kernel assigns
+/// sequence numbers in its deterministic execution order, so a fixed
+/// seed gives a bit-for-bit reproducible faulty run — same RunResult,
+/// same fault trace events — across repeats and across platforms.
+/// Every injected fault is emitted as a TraceEvent (Fault* kinds).
+
+namespace cm5::sim {
+
+/// Per-message fault verdict, produced by FaultPlan::decide().
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  util::SimDuration extra_delay = 0;
+};
+
+struct FaultPlan {
+  /// Seed for all probabilistic decisions in this plan.
+  std::uint64_t seed = 1;
+
+  /// Per-message probabilities, evaluated independently per transfer.
+  /// A dropped message is never also corrupted; delay composes with both.
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double delay_prob = 0.0;
+  /// Extra in-flight latency applied when a delay fault fires.
+  util::SimDuration delay = 0;
+
+  /// Messages smaller than this are exempt from probabilistic faults.
+  /// Lets a plan target bulk data while sparing tiny control messages.
+  std::int64_t min_fault_bytes = 1;
+
+  /// Messages with tag >= this are exempt from probabilistic faults —
+  /// they model hardware-acknowledged control traffic (the resilient
+  /// executor's acks live here, so acks themselves are reliable).
+  std::int32_t control_tag_floor = 1 << 30;
+
+  /// Drops the `nth` (0-based) transfer from `src` to `dst`. Exact and
+  /// seed-independent; useful for reproducing one specific loss.
+  struct TargetedDrop {
+    net::NodeId src = -1;
+    net::NodeId dst = -1;
+    std::int64_t nth = 0;
+  };
+  std::vector<TargetedDrop> targeted_drops;
+
+  /// Fail-stop death: at `time` the node stops executing, its pending
+  /// communication is cancelled and peers blocked on it see
+  /// PeerFailedError (untimed ops) or a timeout (timed ops).
+  struct NodeDeath {
+    net::NodeId node = -1;
+    util::SimTime time = 0;
+  };
+  std::vector<NodeDeath> deaths;
+
+  /// Link degradation: at `time`, scale the capacity of the node's
+  /// inject and eject links by `factor` (0 stalls them entirely).
+  struct LinkDegrade {
+    net::NodeId node = -1;
+    util::SimTime time = 0;
+    double factor = 1.0;
+  };
+  std::vector<LinkDegrade> degrades;
+
+  /// Evaluates the probabilistic faults for one transfer. `seq` is the
+  /// kernel's per-run transfer sequence number; `bytes`/`tag` gate the
+  /// exemptions above. Pure function of (plan, seq, bytes, tag).
+  FaultDecision decide(std::int64_t seq, std::int64_t bytes,
+                       std::int32_t tag) const;
+
+  /// True if any fault source is configured at all.
+  bool empty() const noexcept {
+    return drop_prob <= 0.0 && corrupt_prob <= 0.0 && delay_prob <= 0.0 &&
+           targeted_drops.empty() && deaths.empty() && degrades.empty();
+  }
+
+  /// Throws std::invalid_argument on out-of-range probabilities,
+  /// negative times/factors, or node ids outside [0, nprocs).
+  void validate(std::int32_t nprocs) const;
+};
+
+}  // namespace cm5::sim

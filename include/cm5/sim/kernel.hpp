@@ -16,6 +16,7 @@
 
 #include "cm5/net/fluid_network.hpp"
 #include "cm5/net/topology.hpp"
+#include "cm5/sim/fault.hpp"
 #include "cm5/sim/message.hpp"
 #include "cm5/sim/trace.hpp"
 #include "cm5/util/time.hpp"
@@ -49,6 +50,23 @@ class DeadlockError : public std::runtime_error {
 
 /// Thrown from nodes when the run is aborted because another node failed.
 class AbortError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown inside a node program when its node is killed by a fail-stop
+/// fault (FaultPlan::deaths). Derives from AbortError so an unprepared
+/// program unwinds quietly; programs must not catch it.
+class NodeKilledError : public AbortError {
+ public:
+  using AbortError::AbortError;
+};
+
+/// Thrown from a blocking communication call when the peer node died:
+/// sends/swaps to a dead node, and untimed receives waiting specifically
+/// on a node that fails. Timed receives report death as a timeout
+/// instead (a real machine cannot distinguish the two at the deadline).
+class PeerFailedError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -108,6 +126,22 @@ class NodeHandle {
   /// Blocking receive, matching (src, tag); kAnyNode / kAnyTag wildcard.
   Message post_receive(NodeId src, std::int32_t tag);
 
+  /// Blocking receive with a deadline `timeout` from now (virtual time).
+  /// Returns nullopt if no matching message was delivered by the
+  /// deadline; the node resumes exactly at the deadline. A message whose
+  /// transfer matched before the deadline but completes after it is
+  /// still delivered (the wire was already committed). Foundation of the
+  /// resilient executor's retry loop.
+  std::optional<Message> post_receive_timeout(NodeId src, std::int32_t tag,
+                                              util::SimDuration timeout);
+
+  /// Global-op barrier with a deadline `timeout` from now. Returns true
+  /// if every live node arrived (resuming at the usual release time);
+  /// false if the deadline passed first, in which case this node's
+  /// arrival is withdrawn and it resumes at the deadline. A false return
+  /// leaves the other participants still waiting.
+  bool try_barrier(util::SimDuration timeout, util::SimDuration duration);
+
   /// Full-duplex exchange (CMMD_swap): blocks until the peer posts the
   /// matching swap, then both directions transfer *simultaneously*;
   /// returns the peer's message once both transfers complete. Both sides
@@ -129,6 +163,8 @@ class NodeHandle {
  private:
   friend class Kernel;
   NodeHandle(Kernel* kernel, NodeId id) : kernel_(kernel), id_(id) {}
+  std::optional<Message> receive_impl(NodeId src, std::int32_t tag,
+                                      std::optional<util::SimDuration> timeout);
   Kernel* kernel_;
   NodeId id_;
 };
@@ -157,6 +193,21 @@ class Kernel {
   /// order; it must not call back into the kernel.
   void set_trace(TraceSink sink) { trace_ = std::move(sink); }
 
+  /// Installs a fault plan for subsequent runs (validated against the
+  /// topology; throws std::invalid_argument on a bad plan). With a plan
+  /// installed the usual end-of-run cleanliness checks (no unmatched
+  /// sends, no in-flight transfers) are relaxed — faults legitimately
+  /// strand traffic.
+  void set_fault_plan(FaultPlan plan);
+
+  /// Removes the fault plan; subsequent runs are fault-free.
+  void clear_fault_plan() { fault_plan_.reset(); }
+
+  /// The installed plan, if any.
+  const std::optional<FaultPlan>& fault_plan() const noexcept {
+    return fault_plan_;
+  }
+
  private:
   friend class NodeHandle;
 
@@ -178,6 +229,8 @@ class Kernel {
     NodeId src_filter;
     std::int32_t tag_filter;
     util::SimTime post_time;
+    /// Absolute timeout deadline, if the receive was posted timed.
+    std::optional<util::SimTime> deadline;
   };
 
   enum class TransferKind : std::uint8_t {
@@ -193,6 +246,12 @@ class Kernel {
     std::int32_t tag;
     std::vector<std::byte> payload;
     TransferKind kind;
+    // Fault-injection state (all inert without a FaultPlan).
+    bool dropped = false;
+    bool corrupt = false;
+    /// The receive this transfer consumed when it matched; restored (or
+    /// timed out) if the transfer is dropped. Empty for swaps.
+    std::optional<PendingRecv> recv_info;
   };
 
   struct PendingSwap {
@@ -219,6 +278,29 @@ class Kernel {
     }
   };
 
+  enum class TimerKind : std::uint8_t { Recv, Barrier };
+
+  /// Deadline of a timed wait. Timers are never cancelled: a stale timer
+  /// is detected at fire time via the owner's wait generation and state.
+  struct Timer {
+    util::SimTime time;
+    std::int64_t seq;
+    NodeId node;
+    std::int64_t generation;
+    TimerKind kind;
+    bool operator>(const Timer& other) const noexcept {
+      return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+  };
+
+  /// One entry of the plan's exact-time fault timeline.
+  struct TimedFault {
+    util::SimTime time;
+    bool is_death;
+    NodeId node;
+    double factor;  ///< degrade factor (unused for deaths)
+  };
+
   struct NodeState {
     util::SimTime clock = 0;
     NodeStatus status = NodeStatus::Runnable;
@@ -235,6 +317,13 @@ class Kernel {
     // Full-duplex swap accounting: transfers (own outgoing + incoming)
     // still in flight; the node wakes when this returns to zero.
     std::int32_t swap_remaining = 0;
+    // Fault / timed-wait state.
+    bool killed = false;      ///< fail-stop fault fired for this node
+    bool timed_out = false;   ///< current wake is a timeout, not a delivery
+    bool peer_failed = false; ///< current wake means the peer died
+    std::int64_t wait_generation = 0;  ///< bumped at each timed-wait arm
+    std::optional<util::SimTime> gop_deadline;  ///< try_barrier deadline
+    std::vector<std::byte> gop_result;  ///< this node's copy of the result
     NodeCounters counters;
   };
 
@@ -242,16 +331,22 @@ class Kernel {
   void schedule_next(std::unique_lock<std::mutex>& lock);
   void wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me);
   void yield(std::unique_lock<std::mutex>& lock, NodeId me);
-  void start_transfer(util::SimTime match_time, PendingSend&& send, NodeId dst);
+  void start_transfer(util::SimTime match_time, PendingSend&& send, NodeId dst,
+                      std::optional<PendingRecv> recv_info);
   void start_raw_transfer(util::SimTime match_time, NodeId src, NodeId dst,
                           std::int32_t tag, std::int64_t user_bytes,
                           std::int64_t wire_bytes, util::SimDuration latency,
-                          std::vector<std::byte> payload, TransferKind kind);
+                          std::vector<std::byte> payload, TransferKind kind,
+                          std::optional<PendingRecv> recv_info);
   void process_flow_start(const QueuedEvent& ev);
   void process_completions(util::SimTime t);
+  void fire_timer(const Timer& timer);
+  void apply_death(NodeId node, util::SimTime t);
+  void apply_degrade(NodeId node, util::SimTime t, double factor);
+  void maybe_complete_global_op(util::SimTime now, NodeId completer);
+  void recompute_gop_max_arrival();
   void wake_node(NodeId id, util::SimTime t);
   void check_abort(NodeId me) const;
-  [[noreturn]] void raise_deadlock(NodeId me);
   std::string deadlock_report() const;
   void node_main(const NodeProgram& program, NodeId id);
   void emit(TraceEvent::Kind kind, util::SimTime time, NodeId node,
@@ -295,6 +390,19 @@ class Kernel {
   } gop_;
 
   TraceSink trace_;
+
+  // Fault injection (inert unless a plan is installed).
+  std::optional<FaultPlan> fault_plan_;
+  std::vector<TimedFault> fault_timeline_;  ///< time-sorted deaths/degrades
+  std::size_t fault_cursor_ = 0;
+  /// Per (src, dst) count of matched transfers, for targeted drops.
+  std::vector<std::int64_t> pair_send_count_;
+  std::int32_t killed_count_ = 0;
+
+  // Timed-wait deadlines.
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timer_queue_;
+  std::int64_t timer_seq_ = 0;
 
   // Error handling.
   bool abort_ = false;

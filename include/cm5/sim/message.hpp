@@ -31,6 +31,10 @@ struct Message {
   std::int32_t tag = 0;
   std::int64_t size = 0;
   std::vector<std::byte> data;
+  /// Set by the fault-injection layer when the payload was corrupted in
+  /// flight. Resilient receivers treat this like a failed checksum; for
+  /// real payloads a byte is additionally flipped in `data`.
+  bool corrupted = false;
 
   bool is_phantom() const noexcept { return data.empty() && size > 0; }
 };

@@ -33,6 +33,14 @@ struct TraceEvent {
     GlobalOpEnter,     ///< node arrived at a control-network operation
     GlobalOpComplete,  ///< all nodes released (node = last arriver)
     NodeDone,          ///< node program returned
+    // Fault-injection events (emitted only when a FaultPlan is installed).
+    FaultDrop,     ///< message dropped in flight (node = src, peer = dst)
+    FaultCorrupt,  ///< payload corrupted in flight (node = src, peer = dst)
+    FaultDelay,    ///< extra latency injected (`bytes` = delay in ns)
+    FaultDegrade,  ///< node's links degraded (`bytes` = scale * 1e6)
+    FaultKill,     ///< fail-stop node death
+    WaitTimeout,   ///< a timed receive/barrier expired (`tag` meaningful
+                   ///< for receives; peer = awaited src or kAnyNode)
   };
 
   Kind kind{};

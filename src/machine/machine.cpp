@@ -74,6 +74,13 @@ Message Node::receive_block(NodeId src, std::int32_t tag) {
   return msg;
 }
 
+std::optional<Message> Node::receive_timeout(NodeId src, std::int32_t tag,
+                                             util::SimDuration timeout) {
+  std::optional<Message> msg = handle_.post_receive_timeout(src, tag, timeout);
+  if (msg) handle_.advance(params_->recv_overhead);
+  return msg;
+}
+
 Message Node::swap_block(NodeId peer, std::int64_t bytes, std::int32_t tag) {
   CM5_CHECK(bytes >= 0);
   handle_.advance(params_->send_overhead);
@@ -126,6 +133,14 @@ void Node::compute_copy_bytes(std::int64_t bytes) {
 }
 
 void Node::barrier() { handle_.global_op({}, params_->ctl_latency); }
+
+bool Node::try_barrier(util::SimDuration timeout) {
+  return handle_.try_barrier(timeout, params_->ctl_latency);
+}
+
+std::vector<std::byte> Node::global_concat(std::span<const std::byte> data) {
+  return handle_.global_op(data, params_->ctl_latency);
+}
 
 double Node::reduce_sum(double x) {
   std::array<std::byte, sizeof(double)> buf;
@@ -209,6 +224,7 @@ Cm5Machine::Cm5Machine(MachineParams params)
 
 sim::RunResult Cm5Machine::run(const Program& program) {
   sim::Kernel kernel(topo_);
+  if (fault_plan_) kernel.set_fault_plan(*fault_plan_);
   return kernel.run([this, &program](sim::NodeHandle& handle) {
     Node node(handle, params_);
     program(node);
@@ -218,11 +234,17 @@ sim::RunResult Cm5Machine::run(const Program& program) {
 sim::RunResult Cm5Machine::run_traced(const Program& program,
                                       sim::TraceSink sink) {
   sim::Kernel kernel(topo_);
+  if (fault_plan_) kernel.set_fault_plan(*fault_plan_);
   kernel.set_trace(std::move(sink));
   return kernel.run([this, &program](sim::NodeHandle& handle) {
     Node node(handle, params_);
     program(node);
   });
+}
+
+void Cm5Machine::set_fault_plan(sim::FaultPlan plan) {
+  plan.validate(topo_.num_nodes());
+  fault_plan_ = std::move(plan);
 }
 
 }  // namespace cm5::machine

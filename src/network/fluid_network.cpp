@@ -21,6 +21,22 @@ FluidNetwork::FluidNetwork(const FatTreeTopology& topo) : topo_(topo) {
   stats_.link_busy_seconds.assign(static_cast<std::size_t>(topo_.num_links()),
                                   0.0);
   link_load_.assign(static_cast<std::size_t>(topo_.num_links()), 0.0);
+  capacity_scale_.assign(static_cast<std::size_t>(topo_.num_links()), 1.0);
+}
+
+void FluidNetwork::set_link_capacity_scale(util::SimTime now, LinkId link,
+                                           double scale) {
+  CM5_CHECK_MSG(now >= now_, "time must not go backwards");
+  CM5_CHECK_MSG(link >= 0 && link < topo_.num_links(), "bad link id");
+  CM5_CHECK_MSG(scale >= 0.0, "capacity scale must be non-negative");
+  if (rates_dirty_) resolve_rates();
+  progress_to(now);
+  capacity_scale_[static_cast<std::size_t>(link)] = scale;
+  rates_dirty_ = true;
+}
+
+double FluidNetwork::link_capacity_scale(LinkId link) const {
+  return capacity_scale_[static_cast<std::size_t>(link)];
 }
 
 void FluidNetwork::progress_to(util::SimTime t) {
@@ -32,7 +48,8 @@ void FluidNetwork::progress_to(util::SimTime t) {
     }
     for (std::size_t l = 0; l < link_load_.size(); ++l) {
       if (link_load_[l] <= 0.0) continue;
-      const double cap = topo_.link(static_cast<LinkId>(l)).capacity;
+      const double cap =
+          topo_.link(static_cast<LinkId>(l)).capacity * capacity_scale_[l];
       stats_.link_busy_seconds[l] +=
           dt * std::min(1.0, cap > 0.0 ? link_load_[l] / cap : 1.0);
     }
@@ -69,7 +86,8 @@ void FluidNetwork::resolve_rates() {
   routes.reserve(active_.size());
   std::vector<double> caps(static_cast<std::size_t>(topo_.num_links()));
   for (std::int32_t l = 0; l < topo_.num_links(); ++l) {
-    caps[static_cast<std::size_t>(l)] = topo_.link(l).capacity;
+    caps[static_cast<std::size_t>(l)] =
+        topo_.link(l).capacity * capacity_scale_[static_cast<std::size_t>(l)];
   }
   for (const Active& f : active_) {
     routes.push_back(FlowRoute{topo_.route(f.src, f.dst)});

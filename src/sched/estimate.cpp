@@ -7,7 +7,7 @@
 
 namespace cm5::sched {
 
-util::SimDuration estimate_schedule_time(
+std::vector<util::SimDuration> estimate_step_times(
     const CommSchedule& schedule, const machine::MachineParams& params) {
   CM5_CHECK_MSG(params.tree.num_nodes == schedule.nprocs(),
                 "params sized for a different machine");
@@ -24,7 +24,8 @@ util::SimDuration estimate_schedule_time(
                                rate);
   };
 
-  util::SimDuration total = 0;
+  std::vector<util::SimDuration> step_times;
+  step_times.reserve(static_cast<std::size_t>(schedule.num_steps()));
   for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
     util::SimDuration step_time = 0;
     for (NodeId p = 0; p < schedule.nprocs(); ++p) {
@@ -46,6 +47,16 @@ util::SimDuration estimate_schedule_time(
       }
       step_time = std::max(step_time, proc_time);
     }
+    step_times.push_back(step_time);
+  }
+  return step_times;
+}
+
+util::SimDuration estimate_schedule_time(
+    const CommSchedule& schedule, const machine::MachineParams& params) {
+  util::SimDuration total = 0;
+  for (const util::SimDuration step_time :
+       estimate_step_times(schedule, params)) {
     if (step_time > 0) total += step_time + params.ctl_latency;  // barrier
   }
   return total;

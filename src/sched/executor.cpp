@@ -43,6 +43,15 @@ OpKey key_for(NodeId self, const Op& op) {
 
 }  // namespace
 
+std::vector<Op> ordered_ops(const CommSchedule& schedule, std::int32_t step,
+                            NodeId self) {
+  std::vector<Op> ops = schedule.ops(step, self);
+  std::sort(ops.begin(), ops.end(), [&](const Op& x, const Op& y) {
+    return key_for(self, x) < key_for(self, y);
+  });
+  return ops;
+}
+
 void execute_schedule(machine::Node& node, const CommSchedule& schedule,
                       const ExecutorOptions& options, const DataPlan* data) {
   CM5_CHECK_MSG(schedule.nprocs() == node.nprocs(),
@@ -66,10 +75,7 @@ void execute_schedule(machine::Node& node, const CommSchedule& schedule,
   };
 
   for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
-    std::vector<Op> ops = schedule.ops(step, self);
-    std::sort(ops.begin(), ops.end(), [&](const Op& x, const Op& y) {
-      return key_for(self, x) < key_for(self, y);
-    });
+    const std::vector<Op> ops = ordered_ops(schedule, step, self);
     const std::int32_t tag = options.tag_base + step;
     for (const Op& op : ops) {
       switch (op.kind) {

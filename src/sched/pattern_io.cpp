@@ -7,9 +7,16 @@
 namespace cm5::sched {
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("pattern parse error at line " +
-                           std::to_string(line) + ": " + what);
+/// Largest accepted machine size. A pattern file is O(nprocs^2) memory
+/// after parsing; an absurd header must fail cleanly, not allocate.
+constexpr std::int64_t kMaxNprocs = 4096;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what,
+                       const std::string& line_text = {}) {
+  std::string msg =
+      "pattern parse error at line " + std::to_string(line_no) + ": " + what;
+  if (!line_text.empty()) msg += " — \"" + line_text + "\"";
+  throw std::runtime_error(msg);
 }
 
 }  // namespace
@@ -48,30 +55,52 @@ CommPattern pattern_from_text(const std::string& text) {
     return false;
   };
 
+  auto expect_no_trailing = [&](std::istringstream& is_line) {
+    std::string extra;
+    if (is_line >> extra) fail(line_no, "trailing tokens: " + extra, line);
+  };
+
   if (!next_content_line()) fail(line_no, "empty input");
-  if (line.rfind("cm5-pattern v1", 0) != 0) fail(line_no, "bad magic header");
+  {
+    std::istringstream magic(line);
+    std::string word, version;
+    magic >> word >> version;
+    if (word != "cm5-pattern" || version != "v1") {
+      fail(line_no, "bad magic header (expected \"cm5-pattern v1\")", line);
+    }
+    expect_no_trailing(magic);
+  }
 
   if (!next_content_line()) fail(line_no, "missing nprocs line");
   std::istringstream header(line);
   std::string keyword;
-  std::int32_t nprocs = 0;
-  header >> keyword >> nprocs;
-  if (keyword != "nprocs" || nprocs < 1) fail(line_no, "bad nprocs line");
+  std::int64_t nprocs = 0;
+  if (!(header >> keyword >> nprocs) || keyword != "nprocs" || nprocs < 1) {
+    fail(line_no, "bad nprocs line (expected \"nprocs <count>\")", line);
+  }
+  if (nprocs > kMaxNprocs) {
+    fail(line_no,
+         "nprocs " + std::to_string(nprocs) + " exceeds the supported maximum " +
+             std::to_string(kMaxNprocs),
+         line);
+  }
+  expect_no_trailing(header);
 
-  CommPattern pattern(nprocs);
+  CommPattern pattern(static_cast<std::int32_t>(nprocs));
   while (next_content_line()) {
     std::istringstream row(line);
     std::int64_t src, dst, bytes;
-    if (!(row >> src >> dst >> bytes)) fail(line_no, "expected 'src dst bytes'");
-    std::string extra;
-    if (row >> extra) fail(line_no, "trailing tokens: " + extra);
-    if (src < 0 || src >= nprocs || dst < 0 || dst >= nprocs) {
-      fail(line_no, "processor id out of range");
+    if (!(row >> src >> dst >> bytes)) {
+      fail(line_no, "expected 'src dst bytes'", line);
     }
-    if (src == dst) fail(line_no, "diagonal entry");
-    if (bytes < 1) fail(line_no, "bytes must be positive");
+    expect_no_trailing(row);
+    if (src < 0 || src >= nprocs || dst < 0 || dst >= nprocs) {
+      fail(line_no, "processor id out of range", line);
+    }
+    if (src == dst) fail(line_no, "diagonal entry", line);
+    if (bytes < 1) fail(line_no, "bytes must be positive", line);
     if (pattern.at(static_cast<NodeId>(src), static_cast<NodeId>(dst)) != 0) {
-      fail(line_no, "duplicate entry");
+      fail(line_no, "duplicate entry", line);
     }
     pattern.set(static_cast<NodeId>(src), static_cast<NodeId>(dst), bytes);
   }

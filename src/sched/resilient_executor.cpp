@@ -1,0 +1,340 @@
+#include "cm5/sched/resilient_executor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "cm5/sched/estimate.hpp"
+#include "cm5/sched/executor.hpp"
+#include "cm5/util/check.hpp"
+
+namespace cm5::sched {
+namespace {
+
+constexpr std::byte kAckOk{1};
+constexpr std::byte kAckCorrupt{2};
+
+/// What one node learned during a resilient run. Slots live in a vector
+/// owned by run_resilient_schedule; the kernel serializes node programs,
+/// so writes need no synchronization. A node killed by the fault plan
+/// leaves whatever its last end-of-step flush recorded.
+struct NodeLedger {
+  std::vector<std::uint64_t> delivered;  // step * nprocs + src (dst = owner)
+  std::int64_t retries = 0;
+  std::int64_t recv_timeouts = 0;
+  std::int64_t corrupt_detected = 0;
+  std::int32_t repairs = 0;
+  std::vector<std::uint8_t> dead;  // final agreed view (1 = dead)
+  bool excommunicated = false;
+};
+
+/// The per-node protocol. One instance per node program invocation.
+class NodeSession {
+ public:
+  NodeSession(machine::Node& node, const CommSchedule& schedule,
+              const ResilientOptions& opts,
+              const std::vector<util::SimDuration>& step_est,
+              NodeLedger& ledger)
+      : node_(node),
+        schedule_(schedule),
+        opts_(opts),
+        step_est_(step_est),
+        ledger_(ledger),
+        self_(node.self()),
+        n_(node.nprocs()),
+        mask_bytes_((static_cast<std::size_t>(n_) + 7) / 8) {
+    suspected_.assign(static_cast<std::size_t>(n_), 0);
+    ledger_.dead.assign(static_cast<std::size_t>(n_), 0);
+  }
+
+  void run() {
+    for (std::int32_t step = 0; step < schedule_.num_steps(); ++step) {
+      timeout_ = std::max(
+          opts_.min_timeout,
+          static_cast<util::SimDuration>(
+              opts_.timeout_factor *
+              static_cast<double>(step_est_[static_cast<std::size_t>(step)])));
+      if (!ledger_.excommunicated) {
+        for (const Op& op : ordered_ops(schedule_, step, self_)) {
+          switch (op.kind) {
+            case Op::Kind::Send:
+              send_edge(step, op.peer, op.send_bytes);
+              break;
+            case Op::Kind::Recv:
+              recv_edge(step, op.peer, op.recv_bytes);
+              break;
+            case Op::Kind::Exchange:
+              // Figure 2: the lower-numbered processor receives first.
+              if (self_ < op.peer) {
+                recv_edge(step, op.peer, op.recv_bytes);
+                send_edge(step, op.peer, op.send_bytes);
+              } else {
+                send_edge(step, op.peer, op.send_bytes);
+                recv_edge(step, op.peer, op.recv_bytes);
+              }
+              break;
+          }
+        }
+      }
+      agree_on_dead();
+    }
+  }
+
+ private:
+  std::int32_t data_tag(std::int32_t step) const {
+    return opts_.data_tag_base + step;
+  }
+  std::int32_t ack_tag(std::int32_t step) const {
+    return opts_.ack_tag_base + step;
+  }
+  util::SimDuration backoff(std::int32_t resend_index) const {
+    return opts_.backoff_base
+           << std::min<std::int32_t>(resend_index, 20);  // cap the shift
+  }
+
+  void send_ack(NodeId peer, std::int32_t step, bool ok,
+                std::int32_t copy_index) {
+    const std::array<std::byte, 2> payload{
+        ok ? kAckOk : kAckCorrupt,
+        static_cast<std::byte>(copy_index & 0xff)};
+    node_.send_async_data(peer, payload, ack_tag(step));
+  }
+
+  /// Sender half of one directed edge: async copies until an ACK, a
+  /// final NACK at the attempt limit, or the limit itself.
+  void send_edge(std::int32_t step, NodeId peer, std::int64_t bytes) {
+    if (ledger_.dead[static_cast<std::size_t>(peer)]) return;  // excised
+    std::int32_t sent = 0;
+    auto send_copy = [&] {
+      node_.send_async(peer, bytes, data_tag(step));
+      ++sent;
+    };
+    send_copy();
+    bool acked = false;
+    // Each verdict (ACK/NACK) and each timeout consumes one window; the
+    // receiver issues at most max_attempts verdicts, so 2 * max_attempts
+    // windows bound the loop even with stale NACKs in flight.
+    for (std::int32_t window = 0; window < 2 * opts_.max_attempts; ++window) {
+      const std::optional<machine::Message> resp =
+          node_.receive_timeout(peer, ack_tag(step), timeout_);
+      if (!resp) {
+        ++ledger_.recv_timeouts;
+        if (sent >= opts_.max_attempts) break;
+        node_.compute(backoff(sent - 1));
+        send_copy();
+        ++ledger_.retries;
+        continue;
+      }
+      CM5_CHECK_MSG(resp->data.size() == 2, "malformed resilient ack");
+      if (resp->data[0] == kAckOk) {
+        acked = true;
+        break;
+      }
+      // NACK for copy `idx` (receiver-side copy count). If we have sent
+      // more copies than the receiver had seen, a newer copy's verdict
+      // is still pending — wait for it instead of resending.
+      const std::int32_t idx = std::to_integer<std::int32_t>(resp->data[1]);
+      if (idx < sent - 1) continue;
+      if (sent >= opts_.max_attempts) break;
+      node_.compute(backoff(sent - 1));
+      send_copy();
+      ++ledger_.retries;
+    }
+    if (!acked) suspected_[static_cast<std::size_t>(peer)] = 1;
+  }
+
+  /// Receiver half of one directed edge: wait windows until an
+  /// uncorrupted copy arrives; ACK it (NACK corrupted copies).
+  void recv_edge(std::int32_t step, NodeId peer, std::int64_t bytes) {
+    if (ledger_.dead[static_cast<std::size_t>(peer)]) return;  // excised
+    std::int32_t copies = 0;
+    bool got = false;
+    for (std::int32_t window = 0; window < opts_.max_attempts; ++window) {
+      const std::optional<machine::Message> msg =
+          node_.receive_timeout(peer, data_tag(step), timeout_);
+      if (!msg) {
+        ++ledger_.recv_timeouts;
+        continue;
+      }
+      ++copies;
+      CM5_CHECK_MSG(msg->size == bytes, "resilient data of unexpected size");
+      if (msg->corrupted) {  // models a failed payload checksum
+        ++ledger_.corrupt_detected;
+        send_ack(peer, step, /*ok=*/false, copies - 1);
+        continue;
+      }
+      send_ack(peer, step, /*ok=*/true, copies - 1);
+      ledger_.delivered.push_back(
+          static_cast<std::uint64_t>(step) * static_cast<std::uint64_t>(n_) +
+          static_cast<std::uint64_t>(peer));
+      got = true;
+      break;
+    }
+    if (!got) suspected_[static_cast<std::size_t>(peer)] = 1;
+  }
+
+  /// End-of-step agreement: concatenate suspicion bitmasks through the
+  /// control network; the union becomes the new agreed dead set. Growth
+  /// is a repair event — later steps excise the newly dead. A node that
+  /// finds *itself* excommunicated keeps joining the global ops (so the
+  /// survivors' concatenations stay well-formed) but contributes nothing
+  /// and performs no further data communication.
+  void agree_on_dead() {
+    std::vector<std::byte> mask(mask_bytes_, std::byte{0});
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n_); ++i) {
+      if (ledger_.dead[i] != 0 || suspected_[i] != 0) {
+        mask[i / 8] |= std::byte{1} << (i % 8);
+      }
+    }
+    const std::vector<std::byte> all =
+        ledger_.excommunicated ? node_.global_concat({})
+                               : node_.global_concat(mask);
+    CM5_CHECK_MSG(all.size() % mask_bytes_ == 0,
+                  "agreement concatenation of unexpected size");
+    std::vector<std::uint8_t> agreed = ledger_.dead;
+    for (std::size_t base = 0; base < all.size(); base += mask_bytes_) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(n_); ++i) {
+        if ((all[base + i / 8] & (std::byte{1} << (i % 8))) != std::byte{0}) {
+          agreed[i] = 1;
+        }
+      }
+    }
+    if (agreed != ledger_.dead) {
+      ++ledger_.repairs;
+      ledger_.dead = std::move(agreed);
+      if (ledger_.dead[static_cast<std::size_t>(self_)] != 0) {
+        ledger_.excommunicated = true;
+      }
+    }
+    suspected_ = ledger_.dead;  // carry confirmed deaths into next masks
+  }
+
+  machine::Node& node_;
+  const CommSchedule& schedule_;
+  const ResilientOptions& opts_;
+  const std::vector<util::SimDuration>& step_est_;
+  NodeLedger& ledger_;
+  const NodeId self_;
+  const std::int32_t n_;
+  const std::size_t mask_bytes_;
+  std::vector<std::uint8_t> suspected_;
+  util::SimDuration timeout_ = 0;
+};
+
+}  // namespace
+
+ResilientRunReport run_resilient_schedule(machine::Cm5Machine& machine,
+                                          const CommSchedule& schedule,
+                                          const ResilientOptions& options) {
+  CM5_CHECK_MSG(schedule.nprocs() == machine.topology().num_nodes(),
+                "schedule built for a different machine size");
+  CM5_CHECK_MSG(options.max_attempts >= 1, "max_attempts must be >= 1");
+  CM5_CHECK_MSG(options.data_tag_base < options.ack_tag_base,
+                "data tags must stay below ack tags");
+  if (machine.fault_plan()) {
+    CM5_CHECK_MSG(options.ack_tag_base >= machine.fault_plan()->control_tag_floor,
+                  "ack tags must be fault-exempt (>= control_tag_floor)");
+  }
+
+  const std::vector<util::SimDuration> step_est =
+      estimate_step_times(schedule, machine.params());
+  const std::int32_t n = schedule.nprocs();
+
+  std::vector<NodeLedger> ledgers(static_cast<std::size_t>(n));
+  auto make_program = [&](std::vector<NodeLedger>& slots) {
+    return [&](machine::Node& node) {
+      NodeSession session(node, schedule, options, step_est,
+                          slots[static_cast<std::size_t>(node.self())]);
+      session.run();
+    };
+  };
+
+  ResilientRunReport report;
+  report.run = machine.run(make_program(ledgers));
+  report.makespan = report.run.makespan;
+
+  if (options.measure_fault_free_baseline && machine.fault_plan()) {
+    const sim::FaultPlan saved = *machine.fault_plan();
+    machine.clear_fault_plan();
+    std::vector<NodeLedger> baseline_slots(static_cast<std::size_t>(n));
+    report.fault_free_makespan = machine.run(make_program(baseline_slots)).makespan;
+    machine.set_fault_plan(saved);
+  } else {
+    report.fault_free_makespan = report.makespan;
+  }
+
+  // Merge the per-node ledgers.
+  std::unordered_set<std::uint64_t> delivered;  // (step * n + src) * n + dst
+  std::vector<std::uint8_t> dead(static_cast<std::size_t>(n), 0);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    const NodeLedger& ledger = ledgers[static_cast<std::size_t>(dst)];
+    for (const std::uint64_t key : ledger.delivered) {
+      delivered.insert(key * static_cast<std::uint64_t>(n) +
+                       static_cast<std::uint64_t>(dst));
+    }
+    report.retries += ledger.retries;
+    report.recv_timeouts += ledger.recv_timeouts;
+    report.corrupt_detected += ledger.corrupt_detected;
+    report.repairs = std::max(report.repairs, ledger.repairs);
+    for (std::size_t i = 0; i < ledger.dead.size(); ++i) {
+      dead[i] |= ledger.dead[i];
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (dead[static_cast<std::size_t>(i)] != 0) report.dead_nodes.push_back(i);
+  }
+
+  // Enumerate the schedule's directed edges from the send side and
+  // classify each against the delivered set.
+  for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
+    for (NodeId p = 0; p < n; ++p) {
+      for (const Op& op : schedule.ops(step, p)) {
+        if (op.kind == Op::Kind::Recv) continue;  // mirror of a Send
+        ++report.edges_total;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(step) * static_cast<std::uint64_t>(n) +
+             static_cast<std::uint64_t>(p)) *
+                static_cast<std::uint64_t>(n) +
+            static_cast<std::uint64_t>(op.peer);
+        if (delivered.count(key) != 0) {
+          ++report.edges_delivered;
+        } else {
+          report.lost_edges.push_back(
+              LostEdge{step, p, op.peer, op.send_bytes});
+        }
+      }
+    }
+  }
+  std::sort(report.lost_edges.begin(), report.lost_edges.end(),
+            [](const LostEdge& a, const LostEdge& b) {
+              return std::tie(a.step, a.src, a.dst) <
+                     std::tie(b.step, b.src, b.dst);
+            });
+  return report;
+}
+
+std::string ResilientRunReport::to_string() const {
+  std::ostringstream os;
+  os << "resilient run: " << edges_delivered << '/' << edges_total
+     << " edges delivered (" << static_cast<int>(delivery_rate() * 100.0 + 0.5)
+     << "%), " << retries << " retries, " << recv_timeouts << " timeouts, "
+     << corrupt_detected << " corrupt, " << repairs << " repairs\n";
+  os << "  makespan " << util::format_duration(makespan) << " (fault-free "
+     << util::format_duration(fault_free_makespan) << ", overhead "
+     << makespan_overhead() << "x)\n";
+  if (!dead_nodes.empty()) {
+    os << "  dead nodes:";
+    for (const NodeId d : dead_nodes) os << ' ' << d;
+    os << '\n';
+  }
+  for (const LostEdge& e : lost_edges) {
+    os << "  lost: step " << e.step << "  " << e.src << " -> " << e.dst << "  "
+       << e.bytes << " B\n";
+  }
+  return os.str();
+}
+
+}  // namespace cm5::sched

@@ -1,0 +1,72 @@
+#include "cm5/sim/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cm5/util/rng.hpp"
+
+namespace cm5::sim {
+namespace {
+
+/// Uniform double in [0, 1) from a hashed 64-bit value.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(std::int64_t seq, std::int64_t bytes,
+                                std::int32_t tag) const {
+  FaultDecision d;
+  if (bytes < min_fault_bytes || tag >= control_tag_floor) return d;
+  // One stateless stream per transfer: hash (seed, seq) and draw three
+  // independent uniforms. Stateless means decisions don't depend on how
+  // many other transfers happened to be inspected before this one.
+  util::SplitMix64 h(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(seq + 1)));
+  const double u_drop = to_unit(h.next());
+  const double u_corrupt = to_unit(h.next());
+  const double u_delay = to_unit(h.next());
+  d.drop = u_drop < drop_prob;
+  d.corrupt = !d.drop && u_corrupt < corrupt_prob;
+  if (u_delay < delay_prob) d.extra_delay = delay;
+  return d;
+}
+
+void FaultPlan::validate(std::int32_t nprocs) const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("FaultPlan: " + what);
+  };
+  auto check_prob = [&](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      bad(std::string(name) + " must be in [0, 1]");
+    }
+  };
+  check_prob(drop_prob, "drop_prob");
+  check_prob(corrupt_prob, "corrupt_prob");
+  check_prob(delay_prob, "delay_prob");
+  if (delay < 0) bad("delay must be non-negative");
+  if (min_fault_bytes < 0) bad("min_fault_bytes must be non-negative");
+  auto check_node = [&](net::NodeId n, const char* what) {
+    if (n < 0 || n >= nprocs) {
+      bad(std::string(what) + " node " + std::to_string(n) +
+          " out of range for " + std::to_string(nprocs) + " procs");
+    }
+  };
+  for (const TargetedDrop& t : targeted_drops) {
+    check_node(t.src, "targeted drop src");
+    check_node(t.dst, "targeted drop dst");
+    if (t.src == t.dst) bad("targeted drop src == dst");
+    if (t.nth < 0) bad("targeted drop nth must be non-negative");
+  }
+  for (const NodeDeath& death : deaths) {
+    check_node(death.node, "death");
+    if (death.time < 0) bad("death time must be non-negative");
+  }
+  for (const LinkDegrade& deg : degrades) {
+    check_node(deg.node, "degrade");
+    if (deg.time < 0) bad("degrade time must be non-negative");
+    if (deg.factor < 0.0) bad("degrade factor must be non-negative");
+  }
+}
+
+}  // namespace cm5::sim

@@ -51,6 +51,10 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
   std::unique_lock lock(k.mutex_);
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  if (k.nodes_[idx(dst)]->killed) {
+    throw PeerFailedError("send failed: node " + std::to_string(dst) +
+                          " is dead");
+  }
   ++me.counters.sends;
   me.counters.bytes_sent += user_bytes;
   k.emit(TraceEvent::Kind::SendPosted, me.clock, id_, dst, user_bytes, tag);
@@ -66,8 +70,9 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
        receiver.posted_recv->tag_filter == tag)) {
     const util::SimTime match =
         std::max(me.clock, receiver.posted_recv->post_time);
+    Kernel::PendingRecv recv = *receiver.posted_recv;
     receiver.posted_recv.reset();
-    k.start_transfer(match, std::move(ps), dst);
+    k.start_transfer(match, std::move(ps), dst, std::move(recv));
   } else {
     k.send_queues_[idx(dst)].push_back(std::move(ps));
   }
@@ -79,6 +84,11 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
   me.blocked_on.clear();
+  if (me.peer_failed) {
+    me.peer_failed = false;
+    throw PeerFailedError("send failed: node " + std::to_string(dst) +
+                          " died before receiving");
+  }
 }
 
 void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
@@ -97,8 +107,15 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   ++me.counters.sends;
   me.counters.bytes_sent += user_bytes;
-  ++me.async_in_flight;
   k.emit(TraceEvent::Kind::SendPosted, me.clock, id_, dst, user_bytes, tag);
+  if (k.nodes_[idx(dst)]->killed) {
+    // Fire-and-forget into a dead node: silently lost, like a real NIC.
+    k.emit(TraceEvent::Kind::FaultDrop, me.clock, id_, dst, user_bytes, tag);
+    k.yield(lock, id_);
+    k.check_abort(id_);
+    return;
+  }
+  ++me.async_in_flight;
 
   Kernel::PendingSend ps{id_,     tag,      user_bytes,
                          wire_bytes, latency, std::move(payload),
@@ -111,8 +128,9 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
        receiver.posted_recv->tag_filter == tag)) {
     const util::SimTime match =
         std::max(me.clock, receiver.posted_recv->post_time);
+    Kernel::PendingRecv recv = *receiver.posted_recv;
     receiver.posted_recv.reset();
-    k.start_transfer(match, std::move(ps), dst);
+    k.start_transfer(match, std::move(ps), dst, std::move(recv));
   } else {
     k.send_queues_[idx(dst)].push_back(std::move(ps));
   }
@@ -139,16 +157,44 @@ void NodeHandle::wait_async_sends() {
 }
 
 Message NodeHandle::post_receive(NodeId src, std::int32_t tag) {
+  std::optional<Message> msg = receive_impl(src, tag, std::nullopt);
+  CM5_CHECK_MSG(msg.has_value(), "untimed receive returned without message");
+  return std::move(*msg);
+}
+
+std::optional<Message> NodeHandle::post_receive_timeout(
+    NodeId src, std::int32_t tag, util::SimDuration timeout) {
+  CM5_CHECK_MSG(timeout >= 0, "receive timeout must be non-negative");
+  return receive_impl(src, tag, timeout);
+}
+
+std::optional<Message> NodeHandle::receive_impl(
+    NodeId src, std::int32_t tag, std::optional<util::SimDuration> timeout) {
   Kernel& k = *kernel_;
   CM5_CHECK_MSG(src == kAnyNode || (src >= 0 && src < k.topo_.num_nodes()),
                 "receive: bad source filter");
   std::unique_lock lock(k.mutex_);
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  if (!timeout && src != kAnyNode && k.nodes_[idx(src)]->killed) {
+    throw PeerFailedError("receive failed: node " + std::to_string(src) +
+                          " is dead");
+  }
   ++me.counters.receives;
   CM5_CHECK_MSG(!me.posted_recv && !me.recv_ready,
                 "only one outstanding receive per node");
   k.emit(TraceEvent::Kind::RecvPosted, me.clock, id_, src, 0, tag);
+
+  std::optional<util::SimTime> deadline;
+  if (timeout) {
+    deadline = me.clock + *timeout;
+    // Timers are armed unconditionally and validated at fire time; the
+    // generation distinguishes this wait from any later one.
+    ++me.wait_generation;
+    k.timer_queue_.push(Kernel::Timer{*deadline, k.timer_seq_++, id_,
+                                      me.wait_generation,
+                                      Kernel::TimerKind::Recv});
+  }
 
   auto& queue = k.send_queues_[idx(id_)];
   auto it = std::find_if(queue.begin(), queue.end(),
@@ -160,9 +206,10 @@ Message NodeHandle::post_receive(NodeId src, std::int32_t tag) {
     Kernel::PendingSend ps = std::move(*it);
     queue.erase(it);
     const util::SimTime match = std::max(me.clock, ps.post_time);
-    k.start_transfer(match, std::move(ps), id_);
+    k.start_transfer(match, std::move(ps), id_,
+                     Kernel::PendingRecv{src, tag, me.clock, deadline});
   } else {
-    me.posted_recv = Kernel::PendingRecv{src, tag, me.clock};
+    me.posted_recv = Kernel::PendingRecv{src, tag, me.clock, deadline};
   }
 
   me.status = Kernel::NodeStatus::Blocked;
@@ -173,6 +220,15 @@ Message NodeHandle::post_receive(NodeId src, std::int32_t tag) {
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
   me.blocked_on.clear();
+  if (me.timed_out) {
+    me.timed_out = false;
+    return std::nullopt;
+  }
+  if (me.peer_failed) {
+    me.peer_failed = false;
+    throw PeerFailedError("receive failed: node " + std::to_string(src) +
+                          " died");
+  }
   CM5_CHECK_MSG(me.recv_ready, "woken without a delivered message");
   me.recv_ready = false;
   return std::move(me.inbox);
@@ -191,6 +247,10 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
   std::unique_lock lock(k.mutex_);
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  if (k.nodes_[idx(peer)]->killed) {
+    throw PeerFailedError("swap failed: node " + std::to_string(peer) +
+                          " is dead");
+  }
   ++me.counters.sends;
   ++me.counters.receives;
   me.counters.bytes_sent += user_bytes;
@@ -209,11 +269,11 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
     // Both directions enter the network together — full duplex.
     k.start_raw_transfer(match, id_, peer, tag, user_bytes, wire_bytes,
                          latency, std::move(payload),
-                         Kernel::TransferKind::Swap);
+                         Kernel::TransferKind::Swap, std::nullopt);
     k.start_raw_transfer(match, peer, id_, tag, other.user_bytes,
                          other.wire_bytes, other.latency,
                          std::move(other.payload),
-                         Kernel::TransferKind::Swap);
+                         Kernel::TransferKind::Swap, std::nullopt);
     me.swap_remaining = 2;
     k.nodes_[idx(peer)]->swap_remaining = 2;
   } else {
@@ -229,6 +289,11 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
   me.blocked_on.clear();
+  if (me.peer_failed) {
+    me.peer_failed = false;
+    throw PeerFailedError("swap failed: node " + std::to_string(peer) +
+                          " died");
+  }
   CM5_CHECK_MSG(me.recv_ready, "swap woken without a delivered message");
   me.recv_ready = false;
   return std::move(me.inbox);
@@ -248,43 +313,59 @@ std::vector<std::byte> NodeHandle::global_op(
   g.contributions[idx(id_)].assign(contribution.begin(), contribution.end());
   g.waiting[idx(id_)] = true;
   g.max_arrival = std::max(g.max_arrival, me.clock);
+  g.duration = std::max(g.duration, duration);
   ++g.arrivals;
-
-  if (g.arrivals == k.topo_.num_nodes()) {
-    // Last arriver: complete the operation and release everyone.
-    const util::SimTime release = g.max_arrival + duration;
-    g.result.clear();
-    for (auto& c : g.contributions) {
-      g.result.insert(g.result.end(), c.begin(), c.end());
-      c.clear();
-    }
-    g.arrivals = 0;
-    g.max_arrival = 0;
-    ++g.generation;
-    k.emit(TraceEvent::Kind::GlobalOpComplete, release, id_);
-    for (NodeId n = 0; n < k.topo_.num_nodes(); ++n) {
-      if (!g.waiting[idx(n)]) continue;
-      g.waiting[idx(n)] = false;
-      if (n == id_) continue;  // self handled below
-      k.wake_node(n, release);
-    }
-    me.clock = release;
-    me.status = Kernel::NodeStatus::Runnable;
-    me.has_token = false;
-    k.schedule_next(lock);
-    k.wait_for_token(lock, id_);
-    k.check_abort(id_);
-    return g.result;
-  }
 
   me.status = Kernel::NodeStatus::Blocked;
   me.blocked_on = "global_op (control network)";
   me.has_token = false;
+  k.maybe_complete_global_op(me.clock, id_);
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
   me.blocked_on.clear();
-  return g.result;
+  return std::move(me.gop_result);
+}
+
+bool NodeHandle::try_barrier(util::SimDuration timeout,
+                             util::SimDuration duration) {
+  Kernel& k = *kernel_;
+  CM5_CHECK(duration >= 0);
+  CM5_CHECK_MSG(timeout >= 0, "barrier timeout must be non-negative");
+  std::unique_lock lock(k.mutex_);
+  k.check_abort(id_);
+  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  ++me.counters.global_ops;
+
+  k.emit(TraceEvent::Kind::GlobalOpEnter, me.clock, id_);
+  auto& g = k.gop_;
+  g.contributions[idx(id_)].clear();
+  g.waiting[idx(id_)] = true;
+  g.max_arrival = std::max(g.max_arrival, me.clock);
+  g.duration = std::max(g.duration, duration);
+  ++g.arrivals;
+
+  const util::SimTime deadline = me.clock + timeout;
+  me.gop_deadline = deadline;
+  ++me.wait_generation;
+  k.timer_queue_.push(Kernel::Timer{deadline, k.timer_seq_++, id_,
+                                    me.wait_generation,
+                                    Kernel::TimerKind::Barrier});
+
+  me.status = Kernel::NodeStatus::Blocked;
+  me.blocked_on = "try_barrier (control network)";
+  me.has_token = false;
+  k.maybe_complete_global_op(me.clock, id_);
+  k.schedule_next(lock);
+  k.wait_for_token(lock, id_);
+  k.check_abort(id_);
+  me.blocked_on.clear();
+  me.gop_deadline.reset();
+  if (me.timed_out) {
+    me.timed_out = false;
+    return false;
+  }
+  return true;
 }
 
 // -------------------------------------------------------------------- Kernel
@@ -299,9 +380,18 @@ void Kernel::emit(TraceEvent::Kind kind, util::SimTime time, NodeId node,
   trace_(TraceEvent{kind, time, node, peer, bytes, tag});
 }
 
-void Kernel::check_abort(NodeId) const {
+void Kernel::check_abort(NodeId me) const {
   if (deadlock_) throw DeadlockError(deadlock_message_);
   if (abort_) throw AbortError("run aborted because another node failed");
+  if (nodes_[idx(me)]->killed) {
+    throw NodeKilledError("node " + std::to_string(me) +
+                          " killed by fault plan");
+  }
+}
+
+void Kernel::set_fault_plan(FaultPlan plan) {
+  plan.validate(topo_.num_nodes());
+  fault_plan_ = std::move(plan);
 }
 
 void Kernel::wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me) {
@@ -330,19 +420,47 @@ void Kernel::start_raw_transfer(util::SimTime match_time, NodeId src,
                                 std::int64_t wire_bytes,
                                 util::SimDuration latency,
                                 std::vector<std::byte> payload,
-                                TransferKind kind) {
+                                TransferKind kind,
+                                std::optional<PendingRecv> recv_info) {
   const auto transfer_id = static_cast<std::int64_t>(transfers_.size());
-  transfers_.push_back(
-      Transfer{src, dst, user_bytes, tag, std::move(payload), kind});
-  event_queue_.push(QueuedEvent{match_time + latency, event_seq_++,
-                                transfer_id, wire_bytes, src, dst});
+  bool dropped = false;
+  bool corrupt = false;
+  util::SimDuration extra_delay = 0;
+  // Swaps model the control-coupled full-duplex exchange and are exempt
+  // from per-message faults (degrade/death still affect them).
+  if (fault_plan_ && kind != TransferKind::Swap) {
+    const std::size_t pair =
+        idx(src) * static_cast<std::size_t>(topo_.num_nodes()) + idx(dst);
+    const std::int64_t nth = pair_send_count_[pair]++;
+    for (const FaultPlan::TargetedDrop& td : fault_plan_->targeted_drops) {
+      if (td.src == src && td.dst == dst && td.nth == nth) dropped = true;
+    }
+    if (!dropped) {
+      const FaultDecision d =
+          fault_plan_->decide(transfer_id, user_bytes, tag);
+      dropped = d.drop;
+      corrupt = d.corrupt;
+      extra_delay = d.extra_delay;
+    }
+    if (extra_delay > 0) {
+      emit(TraceEvent::Kind::FaultDelay, match_time, src, dst, extra_delay,
+           tag);
+    }
+  }
+  transfers_.push_back(Transfer{src, dst, user_bytes, tag, std::move(payload),
+                                kind, dropped, corrupt,
+                                std::move(recv_info)});
+  event_queue_.push(QueuedEvent{match_time + latency + extra_delay,
+                                event_seq_++, transfer_id, wire_bytes, src,
+                                dst});
 }
 
 void Kernel::start_transfer(util::SimTime match_time, PendingSend&& send,
-                            NodeId dst) {
+                            NodeId dst, std::optional<PendingRecv> recv_info) {
   start_raw_transfer(match_time, send.src, dst, send.tag, send.user_bytes,
                      send.wire_bytes, send.latency, std::move(send.payload),
-                     send.async ? TransferKind::Async : TransferKind::Sync);
+                     send.async ? TransferKind::Async : TransferKind::Sync,
+                     std::move(recv_info));
 }
 
 void Kernel::process_flow_start(const QueuedEvent& ev) {
@@ -368,31 +486,98 @@ void Kernel::process_completions(util::SimTime t) {
     emit(TraceEvent::Kind::TransferComplete, t, tr.src, tr.dst, tr.user_bytes,
          tr.tag);
 
-    NodeState& receiver = *nodes_[idx(tr.dst)];
-    CM5_CHECK_MSG(!receiver.recv_ready, "receiver already holds a message");
-    receiver.inbox =
-        Message{tr.src, tr.tag, tr.user_bytes, std::move(tr.payload)};
-    receiver.recv_ready = true;
-
     NodeState& sender = *nodes_[idx(tr.src)];
-    switch (tr.kind) {
-      case TransferKind::Sync:
-        wake_node(tr.dst, t);
-        wake_node(tr.src, t);
-        break;
-      case TransferKind::Async:
-        wake_node(tr.dst, t);
+    NodeState& receiver = *nodes_[idx(tr.dst)];
+    const bool sender_waiting =
+        !sender.killed && sender.status == NodeStatus::Blocked;
+
+    if (tr.dropped) {
+      emit(TraceEvent::Kind::FaultDrop, t, tr.src, tr.dst, tr.user_bytes,
+           tr.tag);
+      // The rendezvous looks complete from the sender's side; only the
+      // receiver's copy is lost.
+      if (tr.kind == TransferKind::Sync) {
+        if (sender_waiting) wake_node(tr.src, t);
+      } else {
         --sender.async_in_flight;
         CM5_CHECK(sender.async_in_flight >= 0);
-        if (sender.waiting_async_drain && sender.async_in_flight == 0) {
+        if (!sender.killed && sender.waiting_async_drain &&
+            sender.async_in_flight == 0) {
+          sender.waiting_async_drain = false;
+          wake_node(tr.src, t);
+        }
+      }
+      // Re-arm the consumed receive, or let it time out if its deadline
+      // already passed while the doomed transfer was in flight. recv_info
+      // is empty if the deadline timer already fired for this wait.
+      if (tr.recv_info && !receiver.killed &&
+          receiver.status == NodeStatus::Blocked) {
+        const PendingRecv recv = *tr.recv_info;
+        if (recv.deadline && *recv.deadline <= t) {
+          receiver.timed_out = true;
+          emit(TraceEvent::Kind::WaitTimeout, t, tr.dst, recv.src_filter, 0,
+               recv.tag_filter);
+          wake_node(tr.dst, t);
+        } else {
+          auto& queue = send_queues_[idx(tr.dst)];
+          auto it = std::find_if(
+              queue.begin(), queue.end(), [&](const PendingSend& s) {
+                return (recv.src_filter == kAnyNode ||
+                        s.src == recv.src_filter) &&
+                       (recv.tag_filter == kAnyTag ||
+                        s.tag == recv.tag_filter);
+              });
+          if (it != queue.end()) {
+            PendingSend ps = std::move(*it);
+            queue.erase(it);
+            start_transfer(std::max(t, ps.post_time), std::move(ps), tr.dst,
+                           recv);
+          } else {
+            receiver.posted_recv = recv;
+          }
+        }
+      }
+      continue;
+    }
+
+    if (tr.corrupt) {
+      emit(TraceEvent::Kind::FaultCorrupt, t, tr.src, tr.dst, tr.user_bytes,
+           tr.tag);
+      if (!tr.payload.empty()) tr.payload[0] ^= std::byte{0x01};
+    }
+
+    // A killed (or, under faults, already-finished) receiver swallows
+    // the delivery; the wire transfer still happened.
+    const bool deliver =
+        !receiver.killed && receiver.status != NodeStatus::Done;
+    if (deliver) {
+      CM5_CHECK_MSG(!receiver.recv_ready, "receiver already holds a message");
+      receiver.inbox = Message{tr.src, tr.tag, tr.user_bytes,
+                               std::move(tr.payload), tr.corrupt};
+      receiver.recv_ready = true;
+    }
+
+    switch (tr.kind) {
+      case TransferKind::Sync:
+        if (deliver) wake_node(tr.dst, t);
+        if (sender_waiting) wake_node(tr.src, t);
+        break;
+      case TransferKind::Async:
+        if (deliver) wake_node(tr.dst, t);
+        --sender.async_in_flight;
+        CM5_CHECK(sender.async_in_flight >= 0);
+        if (!sender.killed && sender.waiting_async_drain &&
+            sender.async_in_flight == 0) {
           sender.waiting_async_drain = false;
           wake_node(tr.src, t);
         }
         break;
       case TransferKind::Swap:
         // Each endpoint waits for both directions of the exchange.
-        if (--receiver.swap_remaining == 0) wake_node(tr.dst, t);
-        if (--sender.swap_remaining == 0) wake_node(tr.src, t);
+        if (--receiver.swap_remaining == 0 && deliver) wake_node(tr.dst, t);
+        if (--sender.swap_remaining == 0 && sender_waiting) {
+          wake_node(tr.src, t);
+        }
         break;
     }
   }
@@ -420,27 +605,49 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
       }
     }
 
-    // Earliest pending event: a delayed flow start or a fluid completion.
+    // Earliest pending event. Ties resolve by category, in this order:
+    // flow starts, fluid completions, timed faults, wait deadlines.
     util::SimTime ev_t = util::kTimeNever;
-    bool ev_is_queue = false;
-    if (!event_queue_.empty()) {
-      ev_t = event_queue_.top().time;
-      ev_is_queue = true;
-    }
-    if (const auto fc = fluid_->next_event()) {
-      if (*fc < ev_t) {
-        ev_t = *fc;
-        ev_is_queue = false;
+    int ev_cat = -1;
+    const auto consider = [&](util::SimTime t, int cat) {
+      if (t < ev_t) {
+        ev_t = t;
+        ev_cat = cat;
       }
+    };
+    if (!event_queue_.empty()) consider(event_queue_.top().time, 0);
+    if (const auto fc = fluid_->next_event()) consider(*fc, 1);
+    if (fault_cursor_ < fault_timeline_.size()) {
+      consider(fault_timeline_[fault_cursor_].time, 2);
     }
+    if (!timer_queue_.empty()) consider(timer_queue_.top().time, 3);
 
     if (ev_t != util::kTimeNever && (best == -1 || ev_t <= best_t)) {
-      if (ev_is_queue) {
-        const QueuedEvent ev = event_queue_.top();
-        event_queue_.pop();
-        process_flow_start(ev);
-      } else {
-        process_completions(ev_t);
+      switch (ev_cat) {
+        case 0: {
+          const QueuedEvent ev = event_queue_.top();
+          event_queue_.pop();
+          process_flow_start(ev);
+          break;
+        }
+        case 1:
+          process_completions(ev_t);
+          break;
+        case 2: {
+          const TimedFault f = fault_timeline_[fault_cursor_++];
+          if (f.is_death) {
+            apply_death(f.node, f.time);
+          } else {
+            apply_degrade(f.node, f.time, f.factor);
+          }
+          break;
+        }
+        default: {
+          const Timer timer = timer_queue_.top();
+          timer_queue_.pop();
+          fire_timer(timer);
+          break;
+        }
       }
       continue;
     }
@@ -470,6 +677,180 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
   }
 }
 
+void Kernel::recompute_gop_max_arrival() {
+  // Waiting nodes' clocks are frozen at their arrival times, so the max
+  // arrival can be rebuilt exactly after a withdrawal.
+  gop_.max_arrival = 0;
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (gop_.waiting[idx(n)]) {
+      gop_.max_arrival = std::max(gop_.max_arrival, nodes_[idx(n)]->clock);
+    }
+  }
+}
+
+void Kernel::maybe_complete_global_op(util::SimTime now, NodeId completer) {
+  auto& g = gop_;
+  const std::int32_t expected = topo_.num_nodes() - killed_count_;
+  if (g.arrivals == 0 || g.arrivals < expected) return;
+  const util::SimTime release = std::max(g.max_arrival, now) + g.duration;
+  g.result.clear();
+  for (auto& c : g.contributions) {
+    g.result.insert(g.result.end(), c.begin(), c.end());
+    c.clear();
+  }
+  g.arrivals = 0;
+  g.max_arrival = 0;
+  g.duration = 0;
+  ++g.generation;
+  emit(TraceEvent::Kind::GlobalOpComplete, release, completer);
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (!g.waiting[idx(n)]) continue;
+    g.waiting[idx(n)] = false;
+    NodeState& st = *nodes_[idx(n)];
+    st.gop_result = g.result;
+    st.gop_deadline.reset();
+    wake_node(n, release);
+  }
+}
+
+void Kernel::fire_timer(const Timer& timer) {
+  NodeState& st = *nodes_[idx(timer.node)];
+  // A timer is stale if the wait it was armed for is over: the node
+  // moved on (generation), was killed, or the wait state is gone.
+  if (st.killed || st.status != NodeStatus::Blocked) return;
+  if (st.wait_generation != timer.generation) return;
+  if (timer.kind == TimerKind::Recv) {
+    if (st.posted_recv) {
+      if (!st.posted_recv->deadline || *st.posted_recv->deadline != timer.time) {
+        return;  // a different (newer) wait owns this node
+      }
+      const PendingRecv recv = *st.posted_recv;
+      st.posted_recv.reset();
+      st.timed_out = true;
+      emit(TraceEvent::Kind::WaitTimeout, timer.time, timer.node,
+           recv.src_filter, 0, recv.tag_filter);
+      wake_node(timer.node, timer.time);
+      return;
+    }
+    // The receive was consumed by an in-flight transfer. If that transfer
+    // is doomed to be dropped, the receiver must still time out at its
+    // deadline — it cannot observe a wire that will never deliver. A
+    // healthy in-flight transfer instead commits the delivery (the timer
+    // is stale; the message may complete after the deadline).
+    for (auto& slot : transfers_) {
+      if (!slot || slot->dst != timer.node || !slot->recv_info) continue;
+      const PendingRecv& recv = *slot->recv_info;
+      if (!recv.deadline || *recv.deadline != timer.time) continue;
+      if (!slot->dropped) return;  // delivery committed
+      slot->recv_info.reset();     // completion must not re-arm the wait
+      st.timed_out = true;
+      emit(TraceEvent::Kind::WaitTimeout, timer.time, timer.node,
+           recv.src_filter, 0, recv.tag_filter);
+      wake_node(timer.node, timer.time);
+      return;
+    }
+  } else {
+    if (!st.gop_deadline || *st.gop_deadline != timer.time) return;
+    if (!gop_.waiting[idx(timer.node)]) return;
+    gop_.waiting[idx(timer.node)] = false;
+    --gop_.arrivals;
+    gop_.contributions[idx(timer.node)].clear();
+    recompute_gop_max_arrival();
+    st.gop_deadline.reset();
+    st.timed_out = true;
+    emit(TraceEvent::Kind::WaitTimeout, timer.time, timer.node);
+    wake_node(timer.node, timer.time);
+  }
+}
+
+void Kernel::apply_degrade(NodeId node, util::SimTime t, double factor) {
+  fluid_->set_link_capacity_scale(t, topo_.inject_link(node), factor);
+  fluid_->set_link_capacity_scale(t, topo_.eject_link(node), factor);
+  emit(TraceEvent::Kind::FaultDegrade, t, node, -1,
+       static_cast<std::int64_t>(factor * 1e6));
+}
+
+void Kernel::apply_death(NodeId node, util::SimTime t) {
+  NodeState& st = *nodes_[idx(node)];
+  if (st.killed || st.status == NodeStatus::Done) return;
+  st.killed = true;
+  ++killed_count_;
+  emit(TraceEvent::Kind::FaultKill, t, node);
+  st.posted_recv.reset();
+  st.waiting_async_drain = false;
+
+  // Withdraw the dead node from a global op it is waiting in.
+  if (gop_.waiting[idx(node)]) {
+    gop_.waiting[idx(node)] = false;
+    --gop_.arrivals;
+    gop_.contributions[idx(node)].clear();
+    recompute_gop_max_arrival();
+  }
+  st.gop_deadline.reset();
+
+  // Its queued outgoing sends vanish.
+  for (auto& q : send_queues_) {
+    std::erase_if(q, [&](const PendingSend& s) { return s.src == node; });
+  }
+
+  // Queued sends toward it will never match: async ones are lost, and
+  // rendezvous senders are woken to fail with PeerFailedError.
+  for (PendingSend& s : send_queues_[idx(node)]) {
+    NodeState& sender = *nodes_[idx(s.src)];
+    emit(TraceEvent::Kind::FaultDrop, t, s.src, node, s.user_bytes, s.tag);
+    if (s.async) {
+      --sender.async_in_flight;
+      CM5_CHECK(sender.async_in_flight >= 0);
+      if (!sender.killed && sender.waiting_async_drain &&
+          sender.async_in_flight == 0) {
+        sender.waiting_async_drain = false;
+        wake_node(s.src, t);
+      }
+    } else if (!sender.killed && sender.status == NodeStatus::Blocked) {
+      sender.peer_failed = true;
+      wake_node(s.src, t);
+    }
+  }
+  send_queues_[idx(node)].clear();
+
+  // Pending swap posts involving the dead node.
+  std::erase_if(pending_swaps_, [&](const PendingSwap& s) {
+    if (s.poster == node) return true;
+    if (s.peer == node) {
+      NodeState& poster = *nodes_[idx(s.poster)];
+      if (!poster.killed && poster.status == NodeStatus::Blocked) {
+        poster.peer_failed = true;
+        wake_node(s.poster, t);
+      }
+      return true;
+    }
+    return false;
+  });
+
+  // Untimed receives waiting specifically on the dead node fail now;
+  // timed receives simply run to their deadline (a real machine cannot
+  // tell a dead peer from a silent one).
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (n == node) continue;
+    NodeState& other = *nodes_[idx(n)];
+    if (other.killed || other.status != NodeStatus::Blocked) continue;
+    if (other.posted_recv && other.posted_recv->src_filter == node &&
+        !other.posted_recv->deadline) {
+      other.posted_recv.reset();
+      other.peer_failed = true;
+      wake_node(n, t);
+    }
+  }
+
+  // Wake the dead node itself so its thread can unwind (its next kernel
+  // call throws NodeKilledError).
+  st.clock = std::max(st.clock, t);
+  if (st.status == NodeStatus::Blocked) st.status = NodeStatus::Runnable;
+
+  // Its departure may complete a global op among the survivors.
+  maybe_complete_global_op(t, node);
+}
+
 std::string Kernel::deadlock_report() const {
   std::ostringstream os;
   os << "simulation deadlock: all nodes blocked, no events pending\n";
@@ -487,6 +868,7 @@ std::string Kernel::deadlock_report() const {
         os << "blocked on " << st.blocked_on;
         break;
     }
+    if (st.killed) os << " [killed]";
     os << '\n';
   }
   return os.str();
@@ -562,6 +944,26 @@ RunResult Kernel::run(const NodeProgram& program) {
   gop_ = GlobalOpState{};
   gop_.contributions.resize(static_cast<std::size_t>(n));
   gop_.waiting.assign(static_cast<std::size_t>(n), false);
+  timer_queue_ = {};
+  timer_seq_ = 0;
+  killed_count_ = 0;
+  fault_timeline_.clear();
+  fault_cursor_ = 0;
+  pair_send_count_.clear();
+  if (fault_plan_) {
+    for (const FaultPlan::NodeDeath& d : fault_plan_->deaths) {
+      fault_timeline_.push_back(TimedFault{d.time, true, d.node, 0.0});
+    }
+    for (const FaultPlan::LinkDegrade& d : fault_plan_->degrades) {
+      fault_timeline_.push_back(TimedFault{d.time, false, d.node, d.factor});
+    }
+    std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
+                     [](const TimedFault& a, const TimedFault& b) {
+                       return a.time < b.time;
+                     });
+    pair_send_count_.assign(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  }
   done_count_ = 0;
   run_finished_ = false;
   abort_ = false;
@@ -586,14 +988,17 @@ RunResult Kernel::run(const NodeProgram& program) {
   if (deadlock_) throw DeadlockError(deadlock_message_);
 
   // Undelivered traffic after a clean exit is a program bug (a message was
-  // sent asynchronously and never received).
-  for (const auto& q : send_queues_) {
-    CM5_CHECK_MSG(q.empty(), "program ended with unmatched sends pending");
+  // sent asynchronously and never received) — unless faults were active,
+  // which legitimately strand traffic.
+  if (!fault_plan_) {
+    for (const auto& q : send_queues_) {
+      CM5_CHECK_MSG(q.empty(), "program ended with unmatched sends pending");
+    }
+    CM5_CHECK_MSG(pending_swaps_.empty(),
+                  "program ended with unmatched swaps pending");
+    CM5_CHECK_MSG(event_queue_.empty() && fluid_->active_flows() == 0,
+                  "program ended with transfers still in flight");
   }
-  CM5_CHECK_MSG(pending_swaps_.empty(),
-                "program ended with unmatched swaps pending");
-  CM5_CHECK_MSG(event_queue_.empty() && fluid_->active_flows() == 0,
-                "program ended with transfers still in flight");
 
   RunResult result;
   result.finish_time.reserve(static_cast<std::size_t>(n));

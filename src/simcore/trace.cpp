@@ -30,6 +30,18 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "global done";
     case TraceEvent::Kind::NodeDone:
       return "done";
+    case TraceEvent::Kind::FaultDrop:
+      return "FAULT drop ->";
+    case TraceEvent::Kind::FaultCorrupt:
+      return "FAULT corrupt ->";
+    case TraceEvent::Kind::FaultDelay:
+      return "FAULT delay ->";
+    case TraceEvent::Kind::FaultDegrade:
+      return "FAULT degrade";
+    case TraceEvent::Kind::FaultKill:
+      return "FAULT kill";
+    case TraceEvent::Kind::WaitTimeout:
+      return "wait timeout";
   }
   return "?";
 }
@@ -45,8 +57,14 @@ std::string to_string(const TraceEvent& event) {
     case TraceEvent::Kind::SwapPosted:
     case TraceEvent::Kind::TransferStart:
     case TraceEvent::Kind::TransferComplete:
+    case TraceEvent::Kind::FaultDrop:
+    case TraceEvent::Kind::FaultCorrupt:
       os << ' ' << event.peer << "  (" << event.bytes << " B, tag "
          << event.tag << ')';
+      break;
+    case TraceEvent::Kind::FaultDelay:
+      os << ' ' << event.peer << "  (+" << util::format_duration(event.bytes)
+         << ", tag " << event.tag << ')';
       break;
     case TraceEvent::Kind::RecvPosted:
       if (event.peer >= 0) {

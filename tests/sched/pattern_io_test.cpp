@@ -76,6 +76,68 @@ TEST(PatternIoTest, MalformedInputsRejected) {
                std::runtime_error);
 }
 
+TEST(PatternIoTest, DiagnosticsNameTheOffendingLine) {
+  // Table-driven: each malformed input must fail with a message that
+  // carries the 1-based line number and a recognizable reason, so a user
+  // can fix the file without reading the parser.
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* expect_in_message;  // substring of e.what()
+  } const cases[] = {
+      {"empty input", "", "line 0: empty input"},
+      {"bad magic", "bogus header\nnprocs 4\n", "line 1: bad magic header"},
+      {"magic trailing junk", "cm5-pattern v1 extra\nnprocs 4\n",
+       "line 1: trailing tokens: extra"},
+      {"missing nprocs", "cm5-pattern v1\n", "missing nprocs line"},
+      {"nprocs zero", "cm5-pattern v1\nnprocs 0\n", "line 2: bad nprocs line"},
+      {"nprocs not a number", "cm5-pattern v1\nnprocs lots\n",
+       "line 2: bad nprocs line"},
+      {"nprocs absurd", "cm5-pattern v1\nnprocs 1000000\n",
+       "exceeds the supported maximum 4096"},
+      {"nprocs trailing junk", "cm5-pattern v1\nnprocs 4 5\n",
+       "line 2: trailing tokens: 5"},
+      {"short row", "cm5-pattern v1\nnprocs 4\n0 1\n",
+       "line 3: expected 'src dst bytes'"},
+      {"row trailing junk", "cm5-pattern v1\nnprocs 4\n0 1 5 junk\n",
+       "line 3: trailing tokens: junk"},
+      {"dst out of range", "cm5-pattern v1\nnprocs 4\n0 9 5\n",
+       "line 3: processor id out of range"},
+      {"negative src", "cm5-pattern v1\nnprocs 4\n-1 2 5\n",
+       "line 3: processor id out of range"},
+      {"diagonal", "cm5-pattern v1\nnprocs 4\n1 1 5\n", "line 3: diagonal"},
+      {"zero bytes", "cm5-pattern v1\nnprocs 4\n0 1 0\n",
+       "line 3: bytes must be positive"},
+      {"duplicate", "cm5-pattern v1\nnprocs 4\n0 1 5\n\n# c\n0 1 6\n",
+       "line 6: duplicate entry"},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)pattern_from_text(c.text);
+      ADD_FAILURE() << c.name << ": expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.name << ": message was \"" << e.what() << '"';
+    }
+  }
+}
+
+TEST(PatternIoTest, ErrorMessageQuotesTheLineText) {
+  try {
+    (void)pattern_from_text("cm5-pattern v1\nnprocs 4\n0 9 5\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("\"0 9 5\""), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PatternIoTest, MaximumSupportedNprocsParses) {
+  const CommPattern p = pattern_from_text("cm5-pattern v1\nnprocs 4096\n");
+  EXPECT_EQ(p.nprocs(), 4096);
+}
+
 TEST(PatternIoTest, SaveAndLoadFile) {
   const auto path =
       (std::filesystem::temp_directory_path() / "cm5_pattern_io_test.txt")

@@ -1,0 +1,227 @@
+#include "cm5/sched/resilient_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/machine/params.hpp"
+#include "cm5/patterns/synthetic.hpp"
+#include "cm5/sched/builders.hpp"
+#include "cm5/sched/pattern.hpp"
+#include "cm5/sim/fault.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sched {
+namespace {
+
+using util::from_us;
+
+machine::Cm5Machine make_machine(std::int32_t n) {
+  return machine::Cm5Machine(machine::MachineParams::cm5_defaults(n));
+}
+
+CommSchedule balanced_exchange_schedule(std::int32_t n, std::int64_t bytes) {
+  return build_schedule(Scheduler::Balanced,
+                        CommPattern::complete_exchange(n, bytes));
+}
+
+TEST(ResilientExecutorTest, FaultFreeRunDeliversEverythingWithoutRetries) {
+  auto machine = make_machine(8);
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule);
+
+  EXPECT_EQ(report.edges_total, 8 * 7);
+  EXPECT_EQ(report.edges_delivered, report.edges_total);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.recv_timeouts, 0);
+  EXPECT_EQ(report.corrupt_detected, 0);
+  EXPECT_EQ(report.repairs, 0);
+  EXPECT_TRUE(report.dead_nodes.empty());
+  EXPECT_TRUE(report.lost_edges.empty());
+  EXPECT_EQ(report.fault_free_makespan, report.makespan);
+}
+
+TEST(ResilientExecutorTest, DropsAreRetriedToFullDeliveryForAllSchedulers) {
+  // 2% probabilistic drop: every scheduler's schedule must still deliver
+  // 100% of its edges, necessarily with retries.
+  for (const Scheduler s : {Scheduler::Linear, Scheduler::Pairwise,
+                            Scheduler::Balanced, Scheduler::Greedy}) {
+    auto machine = make_machine(8);
+    sim::FaultPlan plan;
+    plan.seed = 99;
+    plan.drop_prob = 0.02;
+    machine.set_fault_plan(plan);
+
+    const CommSchedule schedule =
+        build_schedule(s, CommPattern::complete_exchange(8, 512));
+    ResilientOptions options;
+    options.measure_fault_free_baseline = false;
+    const ResilientRunReport report =
+        run_resilient_schedule(machine, schedule, options);
+
+    EXPECT_EQ(report.edges_delivered, report.edges_total)
+        << "scheduler " << static_cast<int>(s) << ":\n"
+        << report.to_string();
+    EXPECT_GT(report.retries, 0) << "scheduler " << static_cast<int>(s);
+    EXPECT_TRUE(report.lost_edges.empty());
+    EXPECT_TRUE(report.dead_nodes.empty());
+  }
+}
+
+TEST(ResilientExecutorTest, CorruptionIsDetectedAndResent) {
+  auto machine = make_machine(8);
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.corrupt_prob = 0.05;
+  machine.set_fault_plan(plan);
+
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+  ResilientOptions options;
+  options.measure_fault_free_baseline = false;
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule, options);
+
+  EXPECT_EQ(report.edges_delivered, report.edges_total)
+      << report.to_string();
+  EXPECT_GT(report.corrupt_detected, 0);
+  EXPECT_GT(report.retries, 0);  // each corrupt copy forces a resend
+}
+
+TEST(ResilientExecutorTest, FailStopIsRepairedAndLostEdgesAreExact) {
+  const std::int32_t n = 8;
+  const NodeId dead = 5;
+  auto machine = make_machine(n);
+  sim::FaultPlan plan;
+  plan.deaths.push_back({dead, 0});  // dead before the schedule starts
+  machine.set_fault_plan(plan);
+
+  const CommSchedule schedule = balanced_exchange_schedule(n, 512);
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule);
+
+  ASSERT_EQ(report.dead_nodes.size(), 1u) << report.to_string();
+  EXPECT_EQ(report.dead_nodes[0], dead);
+  EXPECT_GE(report.repairs, 1);
+
+  // Exactly the edges touching the dead node are lost...
+  std::vector<LostEdge> expected;
+  for (std::int32_t step = 0; step < schedule.num_steps(); ++step) {
+    for (NodeId p = 0; p < n; ++p) {
+      for (const Op& op : schedule.ops(step, p)) {
+        if (op.kind == Op::Kind::Recv) continue;
+        if (p == dead || op.peer == dead) {
+          expected.push_back(LostEdge{step, p, op.peer, op.send_bytes});
+        }
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const LostEdge& a, const LostEdge& b) {
+              return std::tie(a.step, a.src, a.dst) <
+                     std::tie(b.step, b.src, b.dst);
+            });
+  ASSERT_EQ(report.lost_edges.size(), expected.size()) << report.to_string();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(report.lost_edges[i].step, expected[i].step);
+    EXPECT_EQ(report.lost_edges[i].src, expected[i].src);
+    EXPECT_EQ(report.lost_edges[i].dst, expected[i].dst);
+    EXPECT_EQ(report.lost_edges[i].bytes, expected[i].bytes);
+  }
+  // ...and everything else was delivered by the repaired schedule.
+  EXPECT_EQ(report.edges_delivered,
+            report.edges_total -
+                static_cast<std::int64_t>(expected.size()));
+}
+
+TEST(ResilientExecutorTest, MidScheduleDeathStillTerminatesAndReportsHonestly) {
+  // Kill a node midway: edges confirmed before the death stay delivered,
+  // the rest of its edges are reported lost, and every survivor finishes.
+  const std::int32_t n = 8;
+  auto machine = make_machine(n);
+  sim::FaultPlan plan;
+  plan.deaths.push_back({2, util::from_us(1000)});
+  machine.set_fault_plan(plan);
+
+  const CommSchedule schedule = balanced_exchange_schedule(n, 512);
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule);
+
+  ASSERT_EQ(report.dead_nodes.size(), 1u) << report.to_string();
+  EXPECT_EQ(report.dead_nodes[0], 2);
+  EXPECT_GE(report.repairs, 1);
+  // Every lost edge touches the dead node.
+  for (const LostEdge& e : report.lost_edges) {
+    EXPECT_TRUE(e.src == 2 || e.dst == 2)
+        << "edge " << e.src << "->" << e.dst << " lost without a dead endpoint";
+  }
+  EXPECT_EQ(report.edges_delivered + static_cast<std::int64_t>(
+                                         report.lost_edges.size()),
+            report.edges_total);
+}
+
+TEST(ResilientExecutorTest, IrregularPatternSurvivesDropsAndDelays) {
+  auto machine = make_machine(16);
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_prob = 0.01;
+  plan.delay_prob = 0.1;
+  plan.delay = from_us(100);
+  machine.set_fault_plan(plan);
+
+  const CommPattern pattern = patterns::random_density(16, 0.4, 512, 11);
+  const CommSchedule schedule = build_schedule(Scheduler::Greedy, pattern);
+  ResilientOptions options;
+  options.measure_fault_free_baseline = false;
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule, options);
+
+  EXPECT_EQ(report.edges_total, pattern.num_messages());
+  EXPECT_EQ(report.edges_delivered, report.edges_total)
+      << report.to_string();
+}
+
+TEST(ResilientExecutorTest, FaultyRunsAreDeterministic) {
+  auto run_once = [] {
+    auto machine = make_machine(8);
+    sim::FaultPlan plan;
+    plan.seed = 1234;
+    plan.drop_prob = 0.03;
+    plan.corrupt_prob = 0.02;
+    machine.set_fault_plan(plan);
+    const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+    return run_resilient_schedule(machine, schedule);
+  };
+  const ResilientRunReport a = run_once();
+  const ResilientRunReport b = run_once();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.recv_timeouts, b.recv_timeouts);
+  EXPECT_EQ(a.corrupt_detected, b.corrupt_detected);
+  EXPECT_EQ(a.edges_delivered, b.edges_delivered);
+  EXPECT_EQ(a.run.finish_time, b.run.finish_time);
+}
+
+TEST(ResilientExecutorTest, OverheadIsReportedAgainstFaultFreeBaseline) {
+  auto machine = make_machine(8);
+  sim::FaultPlan plan;
+  plan.seed = 21;
+  plan.drop_prob = 0.05;
+  machine.set_fault_plan(plan);
+
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule);
+
+  EXPECT_GT(report.fault_free_makespan, 0);
+  EXPECT_GE(report.makespan, report.fault_free_makespan);
+  EXPECT_GE(report.makespan_overhead(), 1.0);
+  // The summary renders without crashing and mentions the key numbers.
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("edges delivered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cm5::sched

@@ -1,0 +1,428 @@
+#include "cm5/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/kernel.hpp"
+#include "cm5/sim/trace.hpp"
+#include "cm5/util/time.hpp"
+
+namespace cm5::sim {
+namespace {
+
+using util::from_us;
+using util::SimTime;
+
+net::FatTreeTopology make_topo(std::int32_t n) {
+  return net::FatTreeTopology(net::FatTreeConfig::cm5(n));
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, DecideIsPureAndRespectsExemptions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_prob = 0.5;
+  plan.corrupt_prob = 0.5;
+  plan.min_fault_bytes = 100;
+  plan.control_tag_floor = 1000;
+
+  const FaultDecision a = plan.decide(7, 200, 3);
+  const FaultDecision b = plan.decide(7, 200, 3);
+  EXPECT_EQ(a.drop, b.drop);
+  EXPECT_EQ(a.corrupt, b.corrupt);
+  EXPECT_EQ(a.extra_delay, b.extra_delay);
+  // A dropped message is never also corrupted.
+  EXPECT_FALSE(a.drop && a.corrupt);
+
+  // Small messages and control tags are exempt.
+  for (std::int64_t seq = 0; seq < 64; ++seq) {
+    const FaultDecision small = plan.decide(seq, 99, 3);
+    EXPECT_FALSE(small.drop || small.corrupt || small.extra_delay > 0);
+    const FaultDecision control = plan.decide(seq, 200, 1000);
+    EXPECT_FALSE(control.drop || control.corrupt || control.extra_delay > 0);
+  }
+
+  // With probability 0.5 and many sequence numbers, both outcomes occur.
+  int drops = 0;
+  for (std::int64_t seq = 0; seq < 256; ++seq) {
+    if (plan.decide(seq, 200, 3).drop) ++drops;
+  }
+  EXPECT_GT(drops, 64);
+  EXPECT_LT(drops, 192);
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadPlans) {
+  FaultPlan plan;
+  plan.drop_prob = 1.5;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.deaths.push_back({9, from_us(1)});
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.degrades.push_back({0, from_us(1), -0.5});
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.targeted_drops.push_back({0, 0, 0});  // self-loop
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.drop_prob = 0.3;
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+// ---------------------------------------------------------------------------
+// Timed waits (no faults involved)
+// ---------------------------------------------------------------------------
+
+TEST(TimedWaitTest, ReceiveTimeoutExpiresAtExactDeadline) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    if (h.id() == 1) {
+      const auto m = h.post_receive_timeout(0, 5, from_us(30));
+      EXPECT_FALSE(m.has_value());
+      EXPECT_EQ(h.now(), from_us(30));  // resumes exactly at the deadline
+    }
+  });
+  EXPECT_EQ(r.finish_time[1], from_us(30));
+}
+
+TEST(TimedWaitTest, ReceiveTimeoutDeliversWhenMessageArrivesInTime) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, 5, 64, 2000, 0, {});
+    } else if (h.id() == 1) {
+      const auto m = h.post_receive_timeout(0, 5, from_us(500));
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->src, 0);
+      EXPECT_EQ(m->size, 64);
+      EXPECT_EQ(h.now(), from_us(100));  // 2000 B at 20 MB/s
+    }
+  });
+}
+
+TEST(TimedWaitTest, ReceiveAfterTimeoutStillMatchesTheMessage) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.advance(from_us(50));  // sender shows up after the deadline
+      h.post_send(1, 5, 64, 2000, 0, {});
+    } else if (h.id() == 1) {
+      EXPECT_FALSE(h.post_receive_timeout(0, 5, from_us(10)).has_value());
+      const Message m = h.post_receive(0, 5);  // second attempt succeeds
+      EXPECT_EQ(m.size, 64);
+    }
+  });
+}
+
+TEST(TimedWaitTest, TryBarrierSucceedsWhenAllArrive) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    h.advance(from_us(10 * h.id()));
+    EXPECT_TRUE(h.try_barrier(from_us(100), from_us(4)));
+  });
+  // All release together: max arrival 30 us + 4 us duration.
+  for (SimTime t : r.finish_time) EXPECT_EQ(t, from_us(34));
+}
+
+TEST(TimedWaitTest, TryBarrierTimesOutOnStragglerThenSucceedsOnRetry) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  std::vector<int> false_returns(4, 0);
+  kernel.run([&](NodeHandle& h) {
+    if (h.id() == 0) h.advance(from_us(1000));  // straggler
+    while (!h.try_barrier(from_us(100), from_us(4))) {
+      ++false_returns[static_cast<std::size_t>(h.id())];
+    }
+  });
+  EXPECT_EQ(false_returns[0], 0);  // straggler never times out
+  for (int i = 1; i < 4; ++i) EXPECT_GT(false_returns[i], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Drops
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, TargetedDropLosesExactlyThatMessage) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.targeted_drops.push_back({0, 1, 0});  // first 0->1 transfer
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, 5, 64, 2000, 0, {});  // dropped in flight
+      h.post_send(1, 5, 65, 2000, 0, {});  // delivered
+    } else if (h.id() == 1) {
+      // The timed receive survives the dropped first copy and matches
+      // the second send.
+      const auto m = h.post_receive_timeout(0, 5, from_us(10000));
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->size, 65);
+    }
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultDrop), 1);
+}
+
+TEST(FaultInjectionTest, DroppedMessageTimesOutTheReceiver) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.targeted_drops.push_back({0, 1, 0});
+  kernel.set_fault_plan(plan);
+
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, 5, 64, 2000, 0, {});  // sender completes regardless
+    } else if (h.id() == 1) {
+      EXPECT_FALSE(h.post_receive_timeout(0, 5, from_us(40)).has_value());
+    }
+  });
+  EXPECT_EQ(r.finish_time[1], from_us(40));
+}
+
+// ---------------------------------------------------------------------------
+// Corruption / delay / degradation
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, CorruptionSetsFlagAndFlipsPayloadByte) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  kernel.set_fault_plan(plan);
+
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, 5, 4, 20, 0,
+                  {std::byte{0xAA}, std::byte{0xBB}, std::byte{0xCC},
+                   std::byte{0xDD}});
+    } else if (h.id() == 1) {
+      const Message m = h.post_receive(0, 5);
+      EXPECT_TRUE(m.corrupted);
+      EXPECT_EQ(m.data[0], std::byte{0xAB});  // low bit flipped
+      EXPECT_EQ(m.data[1], std::byte{0xBB});  // rest intact
+    }
+  });
+}
+
+TEST(FaultInjectionTest, DelayFaultAddsExactLatency) {
+  auto run_once = [](bool with_delay) {
+    auto topo = make_topo(4);
+    Kernel kernel(topo);
+    if (with_delay) {
+      FaultPlan plan;
+      plan.delay_prob = 1.0;
+      plan.delay = from_us(50);
+      kernel.set_fault_plan(plan);
+    }
+    return kernel
+        .run([](NodeHandle& h) {
+          if (h.id() == 0) {
+            h.post_send(1, 5, 64, 2000, from_us(5), {});
+          } else if (h.id() == 1) {
+            (void)h.post_receive(0, 5);
+          }
+        })
+        .makespan;
+  };
+  EXPECT_EQ(run_once(true), run_once(false) + from_us(50));
+}
+
+TEST(FaultInjectionTest, DegradeHalvesInjectBandwidth) {
+  auto run_once = [](double factor) {
+    auto topo = make_topo(4);
+    Kernel kernel(topo);
+    FaultPlan plan;
+    plan.degrades.push_back({0, 0, factor});
+    kernel.set_fault_plan(plan);
+    return kernel
+        .run([](NodeHandle& h) {
+          if (h.id() == 0) {
+            h.post_send(1, 5, 64, 2000, 0, {});
+          } else if (h.id() == 1) {
+            (void)h.post_receive(0, 5);
+          }
+        })
+        .makespan;
+  };
+  // 2000 B at 20 MB/s = 100 us healthy; half capacity doubles it.
+  EXPECT_EQ(run_once(1.0), from_us(100));
+  EXPECT_EQ(run_once(0.5), from_us(200));
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, KilledNodeStopsAndPeersObserveFailure) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.deaths.push_back({1, from_us(10)});
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  bool node1_survived_past_death = false;
+  const RunResult r = kernel.run([&](NodeHandle& h) {
+    if (h.id() == 1) {
+      h.advance(from_us(100));  // killed at 10 us, mid-compute
+      node1_survived_past_death = true;
+    } else if (h.id() == 0) {
+      h.advance(from_us(20));
+      // Blocking send to a dead node fails immediately.
+      EXPECT_THROW(h.post_send(1, 5, 64, 2000, 0, {}), PeerFailedError);
+      // Untimed receive from a dead node fails too.
+      EXPECT_THROW((void)h.post_receive(1, 5), PeerFailedError);
+      // A timed receive reports death as an ordinary timeout.
+      EXPECT_FALSE(h.post_receive_timeout(1, 5, from_us(30)).has_value());
+      // Swaps with a dead peer fail.
+      EXPECT_THROW((void)h.post_swap(1, 5, 64, 2000, 0, {}), PeerFailedError);
+    }
+  });
+  EXPECT_FALSE(node1_survived_past_death);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultKill), 1);
+  // Direct execution charges compute eagerly, so the kill lands at the
+  // node's next kernel interaction — after the whole advance().
+  EXPECT_EQ(r.finish_time[1], from_us(100));
+}
+
+TEST(FaultInjectionTest, DeathReleasesBlockedPeersAndGlobalOps) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.deaths.push_back({2, from_us(50)});
+  kernel.set_fault_plan(plan);
+
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    if (h.id() == 2) {
+      h.advance(from_us(1000));  // dies at 50 us instead
+      return;
+    }
+    if (h.id() == 0) {
+      // Already blocked sending to node 2 when it dies.
+      EXPECT_THROW(h.post_send(2, 5, 64, 2000, 0, {}), PeerFailedError);
+    }
+    // Survivors complete a global op without the dead node.
+    (void)h.global_op({}, from_us(4));
+  });
+  // The global op completes among the three survivors after the death.
+  for (NodeId n : {0, 1, 3}) {
+    EXPECT_GE(r.finish_time[static_cast<std::size_t>(n)], from_us(50));
+    EXPECT_LT(r.finish_time[static_cast<std::size_t>(n)], from_us(1000));
+  }
+}
+
+TEST(FaultInjectionTest, AsyncSendToDeadNodeIsDroppedSilently) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.deaths.push_back({1, from_us(1)});
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.advance(from_us(10));
+      h.post_send_async(1, 5, 64, 2000, 0, {});
+      h.wait_async_sends();  // must not hang on the dropped send
+    } else if (h.id() == 1) {
+      h.advance(from_us(100));
+    }
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultDrop), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+std::vector<std::tuple<int, SimTime, NodeId, NodeId, std::int64_t, int>>
+fault_events(const TraceRecorder& rec) {
+  std::vector<std::tuple<int, SimTime, NodeId, NodeId, std::int64_t, int>> out;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind >= TraceEvent::Kind::FaultDrop) {
+      out.emplace_back(static_cast<int>(e.kind), e.time, e.node, e.peer,
+                       e.bytes, e.tag);
+    }
+  }
+  return out;
+}
+
+TEST(FaultInjectionTest, FixedSeedIsBitForBitReproducible) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob = 0.1;
+  plan.corrupt_prob = 0.1;
+  plan.delay_prob = 0.2;
+  plan.delay = from_us(13);
+  plan.degrades.push_back({3, from_us(40), 0.5});
+
+  auto run_once = [&](RunResult& result, TraceRecorder& rec) {
+    auto topo = make_topo(8);
+    Kernel kernel(topo);
+    kernel.set_fault_plan(plan);
+    kernel.set_trace(rec.sink());
+    result = kernel.run([](NodeHandle& h) {
+      // All-to-all ring with timed receives: every node sends to the next
+      // and listens from the previous, retrying once on timeout.
+      const NodeId next = (h.id() + 1) % h.nprocs();
+      const NodeId prev = (h.id() + h.nprocs() - 1) % h.nprocs();
+      for (int round = 0; round < 4; ++round) {
+        h.post_send_async(next, round, 256, 300, from_us(2), {});
+        if (!h.post_receive_timeout(prev, round, from_us(400))) {
+          (void)h.post_receive_timeout(prev, round, from_us(400));
+        }
+      }
+      (void)h.global_op({}, from_us(4));
+    });
+  };
+
+  RunResult r1, r2;
+  TraceRecorder t1, t2;
+  run_once(r1, t1);
+  run_once(r2, t2);
+
+  ASSERT_EQ(r1.finish_time.size(), r2.finish_time.size());
+  EXPECT_EQ(r1.finish_time, r2.finish_time);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  const auto f1 = fault_events(t1);
+  const auto f2 = fault_events(t2);
+  EXPECT_FALSE(f1.empty());  // the plan actually injected something
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(FaultInjectionTest, EmptyPlanLeavesTimingUnchanged) {
+  auto run_once = [](bool with_empty_plan) {
+    auto topo = make_topo(8);
+    Kernel kernel(topo);
+    if (with_empty_plan) kernel.set_fault_plan(FaultPlan{});
+    return kernel
+        .run([](NodeHandle& h) {
+          const NodeId next = (h.id() + 1) % h.nprocs();
+          const NodeId prev = (h.id() + h.nprocs() - 1) % h.nprocs();
+          h.post_send_async(next, 0, 256, 300, from_us(2), {});
+          (void)h.post_receive(prev, 0);
+          (void)h.global_op({}, from_us(4));
+        })
+        .makespan;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+}  // namespace
+}  // namespace cm5::sim

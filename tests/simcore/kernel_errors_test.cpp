@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/kernel.hpp"
+#include "cm5/util/time.hpp"
+
+/// Regression tests for Kernel::run()'s error paths: a node program that
+/// throws must abort the whole run promptly (other nodes unwind via
+/// AbortError), run() must rethrow the *first* error, and deadlock
+/// reports must name every node with the reason it is blocked. Run these
+/// under TSan when touching kernel teardown — the historical failure
+/// mode here is a hang or a leaked node thread, which shows up as a
+/// test timeout.
+
+namespace cm5::sim {
+namespace {
+
+using util::from_us;
+
+net::FatTreeTopology make_topo(std::int32_t n) {
+  return net::FatTreeTopology(net::FatTreeConfig::cm5(n));
+}
+
+TEST(KernelErrorsTest, NodeThrowRethrownAndBlockedPeersReleased) {
+  auto topo = make_topo(8);
+  Kernel kernel(topo);
+  std::atomic<int> aborted{0};
+  try {
+    kernel.run([&](NodeHandle& h) {
+      if (h.id() == 3) {
+        h.advance(from_us(50));
+        throw std::runtime_error("boom from node 3");
+      }
+      try {
+        // Every other node is parked in a blocking receive that can
+        // never be satisfied; the abort must release them all.
+        (void)h.post_receive(kAnyNode, 7);
+      } catch (const AbortError&) {
+        ++aborted;
+        throw;  // programs must let AbortError unwind
+      }
+    });
+    FAIL() << "expected the node error to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from node 3");
+  }
+  EXPECT_EQ(aborted.load(), 7);
+}
+
+TEST(KernelErrorsTest, FirstOfSeveralErrorsWins) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  try {
+    kernel.run([](NodeHandle& h) {
+      // Node 0 throws at 10 us, node 1 would throw at 20 us; the kernel
+      // resumes nodes in virtual-time order, so node 0's error is first.
+      h.advance(from_us(10 * (h.id() + 1)));
+      throw std::runtime_error("error from node " + std::to_string(h.id()));
+    });
+    FAIL() << "expected an error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "error from node 0");
+  }
+}
+
+TEST(KernelErrorsTest, ThrowDuringGlobalOpReleasesParticipants) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  EXPECT_THROW(kernel.run([](NodeHandle& h) {
+                 if (h.id() == 2) {
+                   h.advance(from_us(5));
+                   throw std::logic_error("gop abort");
+                 }
+                 (void)h.global_op({}, from_us(4));
+               }),
+               std::logic_error);
+}
+
+TEST(KernelErrorsTest, KernelSurvivesRepeatedFailingRuns) {
+  // Re-running after an aborted run must neither hang nor crash (threads
+  // from the failed run are fully joined).
+  for (int round = 0; round < 3; ++round) {
+    auto topo = make_topo(4);
+    Kernel kernel(topo);
+    EXPECT_THROW(kernel.run([](NodeHandle& h) {
+                   if (h.id() == 1) throw std::runtime_error("round failure");
+                   (void)h.post_receive(kAnyNode, kAnyTag);
+                 }),
+                 std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnostics
+// ---------------------------------------------------------------------------
+
+std::string deadlock_message(Kernel& kernel, const NodeProgram& program) {
+  try {
+    kernel.run(program);
+  } catch (const DeadlockError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected DeadlockError";
+  return {};
+}
+
+TEST(KernelErrorsTest, TagMismatchDeadlockNamesBothEndpoints) {
+  auto topo = make_topo(2);
+  Kernel kernel(topo);
+  const std::string report = deadlock_message(kernel, [](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, /*tag=*/1, 64, 100, 0, {});  // tag 1...
+    } else {
+      (void)h.post_receive(0, /*tag=*/2);  // ...but the receiver wants 2
+    }
+  });
+  EXPECT_NE(report.find("node 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("send_block to node 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("node 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("receive_block"), std::string::npos) << report;
+}
+
+TEST(KernelErrorsTest, MismatchedGlobalOpOrderDeadlockIsDiagnosed) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  const std::string report = deadlock_message(kernel, [](NodeHandle& h) {
+    if (h.id() == 1) {
+      // Node 1 tries to receive before its global op — but the message
+      // it waits for is sent only after node 0 clears the global op.
+      (void)h.post_receive(0, 9);
+      (void)h.global_op({}, from_us(4));
+    } else {
+      (void)h.global_op({}, from_us(4));
+      if (h.id() == 0) h.post_send(1, 9, 64, 100, 0, {});
+    }
+  });
+  // Every node appears with its blocking reason.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_NE(report.find("node " + std::to_string(n)), std::string::npos)
+        << report;
+  }
+  EXPECT_NE(report.find("global_op (control network)"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("receive_block"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace cm5::sim
