@@ -11,19 +11,17 @@
 
 namespace {
 
-cm5::util::SimDuration time_linear(std::int32_t nprocs, std::int64_t bytes,
-                                   bool async) {
-  cm5::machine::Cm5Machine m(
-      cm5::machine::MachineParams::cm5_defaults(nprocs));
-  return m
-      .run([&](cm5::machine::Node& node) {
+cm5::bench::Measured measure_linear(std::int32_t nprocs, std::int64_t bytes,
+                                    bool async) {
+  return cm5::bench::measure_program(
+      cm5::machine::MachineParams::cm5_defaults(nprocs),
+      [&](cm5::machine::Node& node) {
         if (async) {
           cm5::sched::run_linear_exchange_async(node, bytes);
         } else {
           cm5::sched::run_linear_exchange(node, bytes);
         }
-      })
-      .makespan;
+      });
 }
 
 }  // namespace
@@ -34,17 +32,24 @@ int main() {
   bench::print_banner("Ablation A1",
                       "linear exchange: blocking vs asynchronous sends");
 
+  bench::MetricsEmitter metrics("ablation_async_linear");
   util::TextTable table({"procs", "msg bytes", "blocking (ms)", "async (ms)",
                          "speedup"});
-  for (const std::int32_t nprocs : {16, 32, 64}) {
-    for (const std::int64_t bytes : {0LL, 256LL, 1024LL}) {
-      const auto sync_t = time_linear(nprocs, bytes, false);
-      const auto async_t = time_linear(nprocs, bytes, true);
+  for (const std::int32_t nprocs :
+       bench::smoke_select<std::int32_t>({16, 32, 64}, {16})) {
+    for (const std::int64_t bytes :
+         bench::smoke_select<std::int64_t>({0, 256, 1024}, {0, 256})) {
+      const bench::Measured sync_run = measure_linear(nprocs, bytes, false);
+      const bench::Measured async_run = measure_linear(nprocs, bytes, true);
+      const std::string suffix = "/procs=" + std::to_string(nprocs) +
+                                 "/bytes=" + std::to_string(bytes);
       table.add_row({std::to_string(nprocs), std::to_string(bytes),
-                     bench::ms(sync_t), bench::ms(async_t),
-                     util::TextTable::fmt(static_cast<double>(sync_t) /
-                                              static_cast<double>(async_t),
-                                          2) +
+                     metrics.ms_cell("blocking" + suffix, sync_run),
+                     metrics.ms_cell("async" + suffix, async_run),
+                     util::TextTable::fmt(
+                         static_cast<double>(sync_run.makespan) /
+                             static_cast<double>(async_run.makespan),
+                         2) +
                          "x"});
     }
   }

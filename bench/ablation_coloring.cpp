@@ -15,17 +15,15 @@
 
 namespace {
 
-cm5::util::SimDuration time_schedule(const cm5::sched::CommPattern& pattern,
-                                     const cm5::sched::CommSchedule& schedule) {
-  cm5::machine::Cm5Machine m(
-      cm5::machine::MachineParams::cm5_defaults(pattern.nprocs()));
+cm5::bench::Measured measure_schedule(const cm5::sched::CommPattern& pattern,
+                                      const cm5::sched::CommSchedule& schedule) {
   cm5::sched::ExecutorOptions options;
   options.barrier_per_step = true;
-  return m
-      .run([&](cm5::machine::Node& node) {
+  return cm5::bench::measure_program(
+      cm5::machine::MachineParams::cm5_defaults(pattern.nprocs()),
+      [&](cm5::machine::Node& node) {
         cm5::sched::execute_schedule(node, schedule, options);
-      })
-      .makespan;
+      });
 }
 
 }  // namespace
@@ -38,22 +36,28 @@ int main() {
                       "greedy (Fig. 12) vs optimal edge-colouring scheduler");
 
   const std::int32_t nprocs = 32;
+  bench::MetricsEmitter metrics("ablation_coloring");
   util::TextTable table({"density", "lower bound", "greedy steps",
                          "colouring steps", "greedy (ms)", "colouring (ms)",
                          "pairwise (ms)"});
-  for (const double density : {0.10, 0.25, 0.50, 0.75, 0.95}) {
+  for (const double density : bench::smoke_select<double>(
+           {0.10, 0.25, 0.50, 0.75, 0.95}, {0.10, 0.75})) {
     const auto pattern = patterns::exact_density(nprocs, density, 256, 0xC01);
     const auto greedy = sched::build_greedy(pattern);
     const auto coloring = sched::build_coloring(pattern);
     const auto pairwise = sched::build_pairwise(pattern);
+    const std::string suffix =
+        "/density=" + util::TextTable::fmt(density * 100.0, 0);
     table.add_row(
         {util::TextTable::fmt(density * 100.0, 0) + "%",
          std::to_string(sched::schedule_step_lower_bound(pattern)),
          std::to_string(greedy.num_busy_steps()),
          std::to_string(coloring.num_busy_steps()),
-         bench::ms(time_schedule(pattern, greedy)),
-         bench::ms(time_schedule(pattern, coloring)),
-         bench::ms(time_schedule(pattern, pairwise))});
+         metrics.ms_cell("greedy" + suffix, measure_schedule(pattern, greedy)),
+         metrics.ms_cell("coloring" + suffix,
+                         measure_schedule(pattern, coloring)),
+         metrics.ms_cell("pairwise" + suffix,
+                         measure_schedule(pattern, pairwise))});
   }
   std::fputs(table.render().c_str(), stdout);
 

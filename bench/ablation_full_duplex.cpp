@@ -12,13 +12,12 @@
 
 namespace {
 
-cm5::util::SimDuration time_variant(std::int32_t nprocs, std::int64_t bytes,
-                                    int algorithm, bool duplex) {
+cm5::bench::Measured measure_variant(std::int32_t nprocs, std::int64_t bytes,
+                                     int algorithm, bool duplex) {
   using namespace cm5::sched;
-  cm5::machine::Cm5Machine m(
-      cm5::machine::MachineParams::cm5_defaults(nprocs));
-  return m
-      .run([&](cm5::machine::Node& node) {
+  return cm5::bench::measure_program(
+      cm5::machine::MachineParams::cm5_defaults(nprocs),
+      [&](cm5::machine::Node& node) {
         switch (algorithm) {
           case 0:
             duplex ? run_pairwise_exchange_swap(node, bytes)
@@ -33,8 +32,7 @@ cm5::util::SimDuration time_variant(std::int32_t nprocs, std::int64_t bytes,
                    : run_balanced_exchange(node, bytes);
             break;
         }
-      })
-      .makespan;
+      });
 }
 
 }  // namespace
@@ -45,19 +43,28 @@ int main() {
   bench::print_banner("Ablation A4",
                       "serialized (Fig. 2-4) vs full-duplex (CMMD_swap) exchanges");
 
+  bench::MetricsEmitter metrics("ablation_full_duplex");
   const char* names[] = {"Pairwise", "Recursive", "Balanced"};
   util::TextTable table({"procs", "msg bytes", "algorithm", "serialized (ms)",
                          "full duplex (ms)", "speedup"});
-  for (const std::int32_t nprocs : {32, 64}) {
-    for (const std::int64_t bytes : {256LL, 1920LL}) {
+  for (const std::int32_t nprocs :
+       bench::smoke_select<std::int32_t>({32, 64}, {32})) {
+    for (const std::int64_t bytes :
+         bench::smoke_select<std::int64_t>({256, 1920}, {256})) {
       for (int alg = 0; alg < 3; ++alg) {
-        const auto serial = time_variant(nprocs, bytes, alg, false);
-        const auto duplex = time_variant(nprocs, bytes, alg, true);
+        const bench::Measured serial = measure_variant(nprocs, bytes, alg, false);
+        const bench::Measured duplex = measure_variant(nprocs, bytes, alg, true);
+        const std::string suffix = std::string("/") + names[alg] +
+                                   "/procs=" + std::to_string(nprocs) +
+                                   "/bytes=" + std::to_string(bytes);
         table.add_row({std::to_string(nprocs), std::to_string(bytes),
-                       names[alg], bench::ms(serial), bench::ms(duplex),
-                       util::TextTable::fmt(static_cast<double>(serial) /
-                                                static_cast<double>(duplex),
-                                            2) +
+                       names[alg],
+                       metrics.ms_cell("serialized" + suffix, serial),
+                       metrics.ms_cell("duplex" + suffix, duplex),
+                       util::TextTable::fmt(
+                           static_cast<double>(serial.makespan) /
+                               static_cast<double>(duplex.makespan),
+                           2) +
                            "x"});
       }
     }

@@ -21,9 +21,12 @@ int main() {
                       "irregular schedulers with/without step barriers");
 
   const std::int32_t nprocs = 32;
+  bench::MetricsEmitter metrics("ablation_step_barrier");
+  const std::vector<double> densities =
+      bench::smoke_select<double>({0.10, 0.25, 0.50, 0.75}, {0.10, 0.75});
   util::TextTable table({"density", "barriers", "Linear (ms)", "Pairwise (ms)",
                          "Balanced (ms)", "Greedy (ms)"});
-  for (const double density : {0.10, 0.25, 0.50, 0.75}) {
+  for (const double density : densities) {
     const auto pattern =
         patterns::exact_density(nprocs, density, 256, /*seed=*/0xAB1A);
     for (const bool barriers : {true, false}) {
@@ -32,12 +35,16 @@ int main() {
           barriers ? "yes" : "no"};
       for (const Scheduler alg : {Scheduler::Linear, Scheduler::Pairwise,
                                   Scheduler::Balanced, Scheduler::Greedy}) {
-        row.push_back(
-            bench::ms(bench::time_scheduled_pattern(pattern, alg, barriers)));
+        const std::string id =
+            std::string(sched::scheduler_name(alg)) + "/density=" +
+            util::TextTable::fmt(density * 100.0, 0) +
+            (barriers ? "/barriers" : "/no-barriers");
+        row.push_back(metrics.ms_cell(
+            id, bench::measure_scheduled_pattern(pattern, alg, barriers)));
       }
       table.add_row(std::move(row));
     }
-    if (density < 0.75) table.add_separator();
+    if (density < densities.back()) table.add_separator();
   }
   std::fputs(table.render().c_str(), stdout);
 

@@ -11,21 +11,18 @@
 
 namespace {
 
-cm5::util::SimDuration time_with_profile(std::int32_t nprocs,
-                                         std::int64_t bytes,
-                                         cm5::sched::ExchangeAlgorithm alg,
-                                         bool thinned) {
+cm5::bench::Measured measure_with_profile(std::int32_t nprocs,
+                                          std::int64_t bytes,
+                                          cm5::sched::ExchangeAlgorithm alg,
+                                          bool thinned) {
   auto params = cm5::machine::MachineParams::cm5_defaults(nprocs);
   if (!thinned) {
     // Full fat tree: 20 MB/s per node at every level.
     params.tree.per_node_bw_at_height = {20e6};
   }
-  cm5::machine::Cm5Machine m(params);
-  return m
-      .run([&](cm5::machine::Node& node) {
-        cm5::sched::complete_exchange(node, alg, bytes);
-      })
-      .makespan;
+  return cm5::bench::measure_program(params, [&](cm5::machine::Node& node) {
+    cm5::sched::complete_exchange(node, alg, bytes);
+  });
 }
 
 }  // namespace
@@ -37,21 +34,30 @@ int main() {
   bench::print_banner("Ablation A2",
                       "BEX vs PEX with and without fat-tree thinning");
 
+  bench::MetricsEmitter metrics("ablation_thinning");
   util::TextTable table({"procs", "msg bytes", "tree", "Pairwise (ms)",
                          "Balanced (ms)", "BEX gain"});
-  for (const std::int32_t nprocs : {32, 64}) {
-    for (const std::int64_t bytes : {512LL, 2048LL}) {
+  for (const std::int32_t nprocs :
+       bench::smoke_select<std::int32_t>({32, 64}, {32})) {
+    for (const std::int64_t bytes :
+         bench::smoke_select<std::int64_t>({512, 2048}, {512})) {
       for (const bool thinned : {true, false}) {
-        const auto pex = time_with_profile(nprocs, bytes,
-                                           ExchangeAlgorithm::Pairwise, thinned);
-        const auto bex = time_with_profile(nprocs, bytes,
-                                           ExchangeAlgorithm::Balanced, thinned);
+        const bench::Measured pex = measure_with_profile(
+            nprocs, bytes, ExchangeAlgorithm::Pairwise, thinned);
+        const bench::Measured bex = measure_with_profile(
+            nprocs, bytes, ExchangeAlgorithm::Balanced, thinned);
+        const std::string suffix = "/procs=" + std::to_string(nprocs) +
+                                   "/bytes=" + std::to_string(bytes) +
+                                   (thinned ? "/thinned" : "/full");
         table.add_row(
             {std::to_string(nprocs), std::to_string(bytes),
-             thinned ? "CM-5 (20/10/5)" : "full (20/20/20)", bench::ms(pex),
-             bench::ms(bex),
+             thinned ? "CM-5 (20/10/5)" : "full (20/20/20)",
+             metrics.ms_cell("pairwise" + suffix, pex),
+             metrics.ms_cell("balanced" + suffix, bex),
              util::TextTable::fmt(
-                 (static_cast<double>(pex) / static_cast<double>(bex) - 1.0) *
+                 (static_cast<double>(pex.makespan) /
+                      static_cast<double>(bex.makespan) -
+                  1.0) *
                      100.0,
                  1) +
                  "%"});

@@ -1,6 +1,9 @@
 #include "common/bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
 
 namespace cm5::bench {
 
@@ -12,6 +15,51 @@ void print_banner(const std::string& artifact, const std::string& what) {
   std::printf("profile, 4 us control-network ops, synchronous (rendezvous)\n");
   std::printf("CMMD messaging. Times below are *simulated* machine times.\n");
   std::printf("==============================================================\n");
+}
+
+Measured measure_program(const machine::MachineParams& params,
+                         const machine::Program& program) {
+  machine::Cm5Machine m(params);
+  Measured out;
+  sim::TraceRecorder recorder;
+  const sim::RunResult result = m.run_traced(program, recorder.sink());
+  out.makespan = result.makespan;
+  out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
+  out.violations = sim::validate_trace(recorder, params.tree.num_nodes, &result);
+  return out;
+}
+
+Measured measure_complete_exchange(std::int32_t nprocs,
+                                   sched::ExchangeAlgorithm algorithm,
+                                   std::int64_t bytes) {
+  return measure_program(
+      machine::MachineParams::cm5_defaults(nprocs),
+      [&](machine::Node& node) {
+        sched::complete_exchange(node, algorithm, bytes);
+      });
+}
+
+Measured measure_broadcast(std::int32_t nprocs,
+                           sched::BroadcastAlgorithm algorithm,
+                           std::int64_t bytes) {
+  return measure_program(
+      machine::MachineParams::cm5_defaults(nprocs),
+      [&](machine::Node& node) { sched::broadcast(node, algorithm, 0, bytes); });
+}
+
+Measured measure_scheduled_pattern(const sched::CommPattern& pattern,
+                                   sched::Scheduler scheduler,
+                                   bool step_barriers) {
+  machine::Cm5Machine m(machine::MachineParams::cm5_defaults(pattern.nprocs()));
+  sched::ExecutorOptions options;
+  options.barrier_per_step = step_barriers;
+  sched::ObservedScheduleRun run =
+      sched::run_scheduled_pattern_observed(m, scheduler, pattern, options);
+  Measured out;
+  out.makespan = run.result.makespan;
+  out.metrics = std::move(run.metrics);
+  out.violations = std::move(run.violations);
+  return out;
 }
 
 util::SimDuration time_complete_exchange(std::int32_t nprocs,
@@ -52,6 +100,100 @@ std::string ms(util::SimDuration d) {
 
 std::string secs(util::SimDuration d) {
   return util::TextTable::fmt(util::to_seconds(d), 3);
+}
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+bool smoke_mode() { return env_truthy("CM5_BENCH_SMOKE"); }
+
+MetricsEmitter::MetricsEmitter(std::string bench_name)
+    : bench_name_(std::move(bench_name)),
+      rows_(util::json::Value::array()) {}
+
+MetricsEmitter::~MetricsEmitter() {
+  try {
+    write();
+  } catch (...) {
+    // Destructor must not throw; write() already reports to stderr.
+  }
+}
+
+std::string MetricsEmitter::ms_cell(const std::string& id,
+                                    const Measured& run) {
+  std::string text = ms(run.makespan);
+  record(id, run, text);
+  return text;
+}
+
+std::string MetricsEmitter::secs_cell(const std::string& id,
+                                      const Measured& run) {
+  std::string text = secs(run.makespan);
+  record(id, run, text);
+  return text;
+}
+
+void MetricsEmitter::record(const std::string& id, const Measured& run,
+                            std::string text) {
+  using util::json::Value;
+  Value row = Value::object();
+  row["id"] = id;
+  if (!text.empty()) row["text"] = std::move(text);
+  row["makespan_ns"] = run.makespan;
+  row["makespan_ms"] = util::to_ms(run.makespan);
+  row["metrics"] = run.metrics.to_json();
+  if (!run.violations.empty()) {
+    Value v = Value::array();
+    for (const std::string& s : run.violations) v.push_back(s);
+    row["violations"] = std::move(v);
+    violations_total_ += static_cast<std::int64_t>(run.violations.size());
+  }
+  rows_.push_back(std::move(row));
+  written_ = false;
+}
+
+void MetricsEmitter::record_json(const std::string& id,
+                                 util::json::Value row) {
+  using util::json::Value;
+  Value wrapped = Value::object();
+  wrapped["id"] = id;
+  wrapped["report"] = std::move(row);
+  rows_.push_back(std::move(wrapped));
+  written_ = false;
+}
+
+void MetricsEmitter::write() {
+  if (written_) return;
+  const char* enabled = std::getenv("CM5_BENCH_METRICS");
+  if (enabled != nullptr && enabled[0] == '0' && enabled[1] == '\0') {
+    written_ = true;
+    return;
+  }
+  using util::json::Value;
+  Value root = Value::object();
+  root["bench"] = bench_name_;
+  root["smoke"] = smoke_mode();
+  root["violations_total"] = violations_total_;
+  root["rows"] = rows_;  // copy: emitter stays usable after write()
+  const char* dir = std::getenv("CM5_BENCH_METRICS_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir)
+                                                        : std::string(".");
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + bench_name_ + ".json";
+  try {
+    util::json::write_file(path, root);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: could not write metrics file %s: %s\n",
+                 path.c_str(), e.what());
+    return;
+  }
+  written_ = true;
 }
 
 }  // namespace cm5::bench

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -8,18 +9,64 @@
 #include "cm5/sched/broadcast.hpp"
 #include "cm5/sched/complete_exchange.hpp"
 #include "cm5/sched/executor.hpp"
+#include "cm5/sim/metrics.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/table.hpp"
 #include "cm5/util/time.hpp"
 
 /// \file bench_common.hpp
-/// Shared helpers for the reproduction benches: timing wrappers and the
-/// header every bench prints so its output is self-describing.
+/// Shared helpers for the reproduction benches: timing wrappers, the
+/// header every bench prints so its output is self-describing, and the
+/// machine-readable metrics channel.
+///
+/// Every bench binary emits two artifacts:
+///   * the text table on stdout (byte-stable — the paper comparison);
+///   * a BENCH_<name>.json metrics file written via MetricsEmitter,
+///     whose per-cell makespans are formatted with the exact same code
+///     path as the table, so the two always reconcile.
+///
+/// Environment knobs (all optional):
+///   CM5_BENCH_METRICS_DIR  directory for the JSON file (default ".")
+///   CM5_BENCH_METRICS=0    disable the JSON file entirely
+///   CM5_BENCH_SMOKE=1      smoke mode: smoke_select() picks reduced
+///                          size lists so CI can run every bench fast
 
 namespace cm5::bench {
 
 /// Prints the standard bench banner: what paper artifact this
 /// regenerates and the machine configuration in use.
 void print_banner(const std::string& artifact, const std::string& what);
+
+/// One observed simulation: the makespan the tables print plus the
+/// trace-derived metrics and any invariant violations. Tracing is pure
+/// observation — `makespan` is bit-identical to the untraced run.
+struct Measured {
+  util::SimDuration makespan = 0;
+  sim::RunMetrics metrics;
+  std::vector<std::string> violations;
+};
+
+/// Runs `program` on a machine with `params`, traced and analyzed.
+Measured measure_program(const machine::MachineParams& params,
+                         const machine::Program& program);
+
+/// Observed complete exchange of `bytes` per pair on the default CM-5.
+Measured measure_complete_exchange(std::int32_t nprocs,
+                                   sched::ExchangeAlgorithm algorithm,
+                                   std::int64_t bytes);
+
+/// Observed broadcast of `bytes` from node 0 on the default CM-5.
+Measured measure_broadcast(std::int32_t nprocs,
+                           sched::BroadcastAlgorithm algorithm,
+                           std::int64_t bytes);
+
+/// Observed schedule execution for `pattern` on the default CM-5.
+/// `step_barriers` matches the paper's step-synchronized runtime (§4).
+Measured measure_scheduled_pattern(const sched::CommPattern& pattern,
+                                   sched::Scheduler scheduler,
+                                   bool step_barriers = true);
+
+// --- legacy timing wrappers (makespan only, untraced) ----------------------
 
 /// Time (simulated) of one complete exchange of `bytes` per pair.
 util::SimDuration time_complete_exchange(std::int32_t nprocs,
@@ -32,8 +79,6 @@ util::SimDuration time_broadcast(std::int32_t nprocs,
                                  std::int64_t bytes);
 
 /// Time (simulated) of executing `scheduler`'s schedule for `pattern`.
-/// `step_barriers` matches the paper's step-synchronized runtime (§4);
-/// the A3 ablation turns it off.
 util::SimDuration time_scheduled_pattern(const sched::CommPattern& pattern,
                                          sched::Scheduler scheduler,
                                          bool step_barriers = true);
@@ -43,5 +88,56 @@ std::string ms(util::SimDuration d);
 
 /// Formats a simulated duration in seconds with 3 decimals ("14.780").
 std::string secs(util::SimDuration d);
+
+// --- smoke mode ------------------------------------------------------------
+
+/// True when CM5_BENCH_SMOKE is set to a non-empty, non-"0" value.
+bool smoke_mode();
+
+/// The full parameter list normally; the reduced list in smoke mode.
+/// Default output is untouched by the existence of the smoke list.
+template <typename T>
+std::vector<T> smoke_select(std::initializer_list<T> full,
+                            std::initializer_list<T> smoke) {
+  return smoke_mode() ? std::vector<T>(smoke) : std::vector<T>(full);
+}
+
+// --- metrics channel -------------------------------------------------------
+
+/// Collects one JSON row per measured table cell and writes
+/// BENCH_<name>.json on destruction (or explicit write()). The *_cell
+/// helpers return the formatted string the table prints, so the JSON
+/// "text" field and the stdout table can never disagree.
+class MetricsEmitter {
+ public:
+  explicit MetricsEmitter(std::string bench_name);
+  ~MetricsEmitter();  // best-effort write(); never throws
+
+  MetricsEmitter(const MetricsEmitter&) = delete;
+  MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+  /// Records `run` under `id` and returns ms(run.makespan) for the table.
+  std::string ms_cell(const std::string& id, const Measured& run);
+  /// Records `run` under `id` and returns secs(run.makespan).
+  std::string secs_cell(const std::string& id, const Measured& run);
+  /// Records a measured run with an explicit table string.
+  void record(const std::string& id, const Measured& run, std::string text);
+  /// Records a free-form JSON row (e.g. a resilient-run report).
+  void record_json(const std::string& id, util::json::Value row);
+
+  /// Count of invariant violations across all recorded runs.
+  std::int64_t violations_total() const noexcept { return violations_total_; }
+
+  /// Writes the metrics file now (idempotent; destructor calls it too).
+  /// Honors CM5_BENCH_METRICS / CM5_BENCH_METRICS_DIR; prints a warning
+  /// to stderr on I/O failure instead of throwing.
+  void write();
+
+ private:
+  std::string bench_name_;
+  util::json::Value rows_;
+  std::int64_t violations_total_ = 0;
+  bool written_ = false;
+};
 
 }  // namespace cm5::bench

@@ -19,22 +19,27 @@ int main() {
   bench::print_banner("Extension", "collectives beyond the paper's set");
 
   const std::int32_t nprocs = 32;
+  const auto params = machine::MachineParams::cm5_defaults(nprocs);
+  bench::MetricsEmitter metrics("ext_collectives");
 
   std::printf("\nVector all-reduce on %d nodes (ms):\n", nprocs);
   util::TextTable reduce({"vector length", "control network",
                           "data network (reduce-scatter+all-gather)"});
-  for (const std::int64_t len : {16LL, 128LL, 1024LL, 4096LL, 16384LL}) {
-    machine::Cm5Machine m1(machine::MachineParams::cm5_defaults(nprocs));
-    const auto ctl = m1.run([&](machine::Node& node) {
-      sched::control_network_vector_reduce(node, len);
-    });
-    machine::Cm5Machine m2(machine::MachineParams::cm5_defaults(nprocs));
-    const auto dnet = m2.run([&](machine::Node& node) {
-      std::vector<double> v(static_cast<std::size_t>(len), 1.0);
-      sched::all_reduce_sum(node, v);
-    });
-    reduce.add_row({std::to_string(len), bench::ms(ctl.makespan),
-                    bench::ms(dnet.makespan)});
+  for (const std::int64_t len : bench::smoke_select<std::int64_t>(
+           {16, 128, 1024, 4096, 16384}, {16, 1024})) {
+    const bench::Measured ctl =
+        bench::measure_program(params, [&](machine::Node& node) {
+          sched::control_network_vector_reduce(node, len);
+        });
+    const bench::Measured dnet =
+        bench::measure_program(params, [&](machine::Node& node) {
+          std::vector<double> v(static_cast<std::size_t>(len), 1.0);
+          sched::all_reduce_sum(node, v);
+        });
+    const std::string suffix = "/len=" + std::to_string(len);
+    reduce.add_row({std::to_string(len),
+                    metrics.ms_cell("reduce-ctl" + suffix, ctl),
+                    metrics.ms_cell("reduce-dnet" + suffix, dnet)});
   }
   std::fputs(reduce.render().c_str(), stdout);
 
@@ -42,22 +47,25 @@ int main() {
   util::TextTable bcast({"msg bytes", "REB (single tree)",
                          "van de Geijn (scatter+all-gather)",
                          "pipelined chain (64 segments)"});
-  for (const std::int64_t bytes :
-       {1024LL, 8192LL, 65536LL, 262144LL, 1048576LL}) {
-    machine::Cm5Machine m1(machine::MachineParams::cm5_defaults(nprocs));
-    const auto reb = m1.run([&](machine::Node& node) {
-      sched::run_recursive_broadcast(node, 0, bytes);
-    });
-    machine::Cm5Machine m2(machine::MachineParams::cm5_defaults(nprocs));
-    const auto vdg = m2.run([&](machine::Node& node) {
-      sched::broadcast_scatter_allgather(node, 0, bytes);
-    });
-    machine::Cm5Machine m3(machine::MachineParams::cm5_defaults(nprocs));
-    const auto chain = m3.run([&](machine::Node& node) {
-      sched::run_pipelined_broadcast(node, 0, bytes, 64);
-    });
-    bcast.add_row({std::to_string(bytes), bench::ms(reb.makespan),
-                   bench::ms(vdg.makespan), bench::ms(chain.makespan)});
+  for (const std::int64_t bytes : bench::smoke_select<std::int64_t>(
+           {1024, 8192, 65536, 262144, 1048576}, {1024, 65536})) {
+    const bench::Measured reb =
+        bench::measure_program(params, [&](machine::Node& node) {
+          sched::run_recursive_broadcast(node, 0, bytes);
+        });
+    const bench::Measured vdg =
+        bench::measure_program(params, [&](machine::Node& node) {
+          sched::broadcast_scatter_allgather(node, 0, bytes);
+        });
+    const bench::Measured chain =
+        bench::measure_program(params, [&](machine::Node& node) {
+          sched::run_pipelined_broadcast(node, 0, bytes, 64);
+        });
+    const std::string suffix = "/bytes=" + std::to_string(bytes);
+    bcast.add_row({std::to_string(bytes),
+                   metrics.ms_cell("bcast-reb" + suffix, reb),
+                   metrics.ms_cell("bcast-vdg" + suffix, vdg),
+                   metrics.ms_cell("bcast-chain" + suffix, chain)});
   }
   std::fputs(bcast.render().c_str(), stdout);
 

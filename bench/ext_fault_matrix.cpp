@@ -97,7 +97,8 @@ struct Row {
 };
 
 std::vector<Row> run_matrix(const char* family, const char* label,
-                            const CommSchedule& schedule) {
+                            const CommSchedule& schedule,
+                            bench::MetricsEmitter& metrics) {
   sched::ResilientOptions options;
   options.measure_fault_free_baseline = false;  // healthy row is the baseline
 
@@ -106,10 +107,25 @@ std::vector<Row> run_matrix(const char* family, const char* label,
   for (const Scenario& scenario : make_scenarios()) {
     machine::Cm5Machine machine(MachineParams::cm5_defaults(kNodes));
     if (scenario.plan) machine.set_fault_plan(*scenario.plan);
+    sim::TraceRecorder recorder;
+    options.trace = recorder.sink();
     ResilientRunReport report =
         run_resilient_schedule(machine, schedule, options);
     if (!scenario.plan) healthy_makespan = report.makespan;
     report.fault_free_makespan = healthy_makespan;
+
+    util::json::Value row_json = util::json::Value::object();
+    row_json["report"] = report.to_json();
+    row_json["metrics"] = sim::analyze(recorder, kNodes, &report.run).to_json();
+    const std::vector<std::string> violations =
+        sim::validate_trace(recorder, kNodes, &report.run);
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "trace violation: %s\n", v.c_str());
+    }
+    CM5_CHECK_MSG(violations.empty(),
+                  "resilient-run trace failed invariant validation");
+    metrics.record_json(std::string(family) + "/" + label + "/" + scenario.name,
+                        std::move(row_json));
     rows.push_back({scenario.name, std::move(report)});
   }
 
@@ -172,15 +188,16 @@ int main() {
       {"Greedy", Scheduler::Greedy},
   };
 
+  bench::MetricsEmitter metrics("ext_fault_matrix");
   std::vector<std::vector<Row>> complete_rows;
   for (const auto& alg : algorithms) {
     complete_rows.push_back(run_matrix(
         "complete exchange", alg.label,
-        sched::build_schedule(alg.scheduler, complete)));
+        sched::build_schedule(alg.scheduler, complete), metrics));
   }
   for (const auto& alg : algorithms) {
     run_matrix("irregular 40%", alg.label,
-               sched::build_schedule(alg.scheduler, irregular));
+               sched::build_schedule(alg.scheduler, irregular), metrics);
   }
 
   // The headline structural claim: the paper's ranking survives faults.

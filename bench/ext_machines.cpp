@@ -16,25 +16,28 @@ namespace {
 
 using cm5::machine::MachineParams;
 
-cm5::util::SimDuration exchange_on(const MachineParams& params,
-                                   cm5::sched::ExchangeAlgorithm alg,
-                                   std::int64_t bytes) {
-  cm5::machine::Cm5Machine m(params);
-  return m
-      .run([&](cm5::machine::Node& node) {
-        cm5::sched::complete_exchange(node, alg, bytes);
-      })
-      .makespan;
+cm5::bench::Measured exchange_on(const MachineParams& params,
+                                 cm5::sched::ExchangeAlgorithm alg,
+                                 std::int64_t bytes) {
+  return cm5::bench::measure_program(params, [&](cm5::machine::Node& node) {
+    cm5::sched::complete_exchange(node, alg, bytes);
+  });
 }
 
-cm5::util::SimDuration irregular_on(const MachineParams& params,
-                                    const cm5::sched::CommPattern& pattern,
-                                    cm5::sched::Scheduler scheduler) {
+cm5::bench::Measured irregular_on(const MachineParams& params,
+                                  const cm5::sched::CommPattern& pattern,
+                                  cm5::sched::Scheduler scheduler) {
   cm5::machine::Cm5Machine m(params);
   cm5::sched::ExecutorOptions options;
   options.barrier_per_step = true;
-  return cm5::sched::run_scheduled_pattern(m, scheduler, pattern, options)
-      .makespan;
+  cm5::sched::ObservedScheduleRun run =
+      cm5::sched::run_scheduled_pattern_observed(m, scheduler, pattern,
+                                                 options);
+  cm5::bench::Measured out;
+  out.makespan = run.result.makespan;
+  out.metrics = std::move(run.metrics);
+  out.violations = std::move(run.violations);
+  return out;
 }
 
 }  // namespace
@@ -57,18 +60,26 @@ int main() {
       {"iPSC/860-like", MachineParams::ipsc860_like(32)},
   };
 
+  bench::MetricsEmitter metrics("ext_machines");
   std::printf("\nComplete exchange, 512 B per pair (ms):\n");
   util::TextTable ex({"machine", "Linear", "Pairwise", "Recursive",
                       "Balanced", "BEX gain over PEX"});
   for (const MachineDef& m : machines) {
-    const auto lex = exchange_on(m.params, ExchangeAlgorithm::Linear, 512);
-    const auto pex = exchange_on(m.params, ExchangeAlgorithm::Pairwise, 512);
-    const auto rex = exchange_on(m.params, ExchangeAlgorithm::Recursive, 512);
-    const auto bex = exchange_on(m.params, ExchangeAlgorithm::Balanced, 512);
-    ex.add_row({m.name, bench::ms(lex), bench::ms(pex), bench::ms(rex),
-                bench::ms(bex),
-                util::TextTable::fmt((static_cast<double>(pex) /
-                                          static_cast<double>(bex) -
+    const bench::Measured lex =
+        exchange_on(m.params, ExchangeAlgorithm::Linear, 512);
+    const bench::Measured pex =
+        exchange_on(m.params, ExchangeAlgorithm::Pairwise, 512);
+    const bench::Measured rex =
+        exchange_on(m.params, ExchangeAlgorithm::Recursive, 512);
+    const bench::Measured bex =
+        exchange_on(m.params, ExchangeAlgorithm::Balanced, 512);
+    const std::string suffix = std::string("/") + m.name;
+    ex.add_row({m.name, metrics.ms_cell("ex-linear" + suffix, lex),
+                metrics.ms_cell("ex-pairwise" + suffix, pex),
+                metrics.ms_cell("ex-recursive" + suffix, rex),
+                metrics.ms_cell("ex-balanced" + suffix, bex),
+                util::TextTable::fmt((static_cast<double>(pex.makespan) /
+                                          static_cast<double>(bex.makespan) -
                                       1.0) *
                                          100.0,
                                      1) +
@@ -84,7 +95,9 @@ int main() {
     std::vector<std::string> row{m.name};
     for (const Scheduler s : {Scheduler::Linear, Scheduler::Pairwise,
                               Scheduler::Balanced, Scheduler::Greedy}) {
-      row.push_back(bench::ms(irregular_on(m.params, pattern, s)));
+      const std::string id = std::string("irr-") + sched::scheduler_name(s) +
+                             "/" + m.name;
+      row.push_back(metrics.ms_cell(id, irregular_on(m.params, pattern, s)));
     }
     irr.add_row(std::move(row));
   }

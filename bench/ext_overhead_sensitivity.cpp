@@ -19,10 +19,10 @@
 
 namespace {
 
-cm5::util::SimDuration time_with_overhead(std::int32_t nprocs,
-                                          std::int64_t bytes,
-                                          cm5::sched::ExchangeAlgorithm alg,
-                                          double scale) {
+cm5::bench::Measured measure_with_overhead(std::int32_t nprocs,
+                                           std::int64_t bytes,
+                                           cm5::sched::ExchangeAlgorithm alg,
+                                           double scale) {
   auto params = cm5::machine::MachineParams::cm5_defaults(nprocs);
   auto scaled = [scale](cm5::util::SimDuration d) {
     return static_cast<cm5::util::SimDuration>(
@@ -31,12 +31,9 @@ cm5::util::SimDuration time_with_overhead(std::int32_t nprocs,
   params.send_overhead = scaled(params.send_overhead);
   params.recv_overhead = scaled(params.recv_overhead);
   params.net_latency = scaled(params.net_latency);
-  cm5::machine::Cm5Machine m(params);
-  return m
-      .run([&](cm5::machine::Node& node) {
-        cm5::sched::complete_exchange(node, alg, bytes);
-      })
-      .makespan;
+  return cm5::bench::measure_program(params, [&](cm5::machine::Node& node) {
+    cm5::sched::complete_exchange(node, alg, bytes);
+  });
 }
 
 }  // namespace
@@ -49,19 +46,26 @@ int main() {
       "Extension",
       "REX-vs-PEX crossover vs per-message overhead (E2 hypothesis)");
 
+  bench::MetricsEmitter metrics("ext_overhead_sensitivity");
   const std::int64_t bytes = 256;
   util::TextTable table({"overhead scale", "0-byte msg cost", "procs",
                          "Pairwise (ms)", "Recursive (ms)", "winner"});
-  for (const double scale : {1.0, 2.0, 4.0, 8.0}) {
-    for (const std::int32_t nprocs : {64, 256}) {
-      const auto pex = time_with_overhead(
+  for (const double scale :
+       bench::smoke_select<double>({1.0, 2.0, 4.0, 8.0}, {1.0, 4.0})) {
+    for (const std::int32_t nprocs :
+         bench::smoke_select<std::int32_t>({64, 256}, {64})) {
+      const bench::Measured pex = measure_with_overhead(
           nprocs, bytes, ExchangeAlgorithm::Pairwise, scale);
-      const auto rex = time_with_overhead(
+      const bench::Measured rex = measure_with_overhead(
           nprocs, bytes, ExchangeAlgorithm::Recursive, scale);
+      const std::string suffix = "/scale=" + util::TextTable::fmt(scale, 0) +
+                                 "/procs=" + std::to_string(nprocs);
       table.add_row({util::TextTable::fmt(scale, 0) + "x",
                      util::TextTable::fmt(87.0 * scale + 1.0, 0) + " us",
-                     std::to_string(nprocs), bench::ms(pex), bench::ms(rex),
-                     rex < pex ? "Recursive" : "Pairwise"});
+                     std::to_string(nprocs),
+                     metrics.ms_cell("pairwise" + suffix, pex),
+                     metrics.ms_cell("recursive" + suffix, rex),
+                     rex.makespan < pex.makespan ? "Recursive" : "Pairwise"});
     }
   }
   std::fputs(table.render().c_str(), stdout);

@@ -21,9 +21,11 @@ int main() {
                       "partitioner quality vs halo-exchange cost, 32 procs");
 
   const std::int32_t nprocs = 32;
+  bench::MetricsEmitter metrics("ext_partitioners");
   util::TextTable table({"mesh", "partitioner", "density", "avg msg (B)",
                          "total halo (KB)", "greedy exchange (ms)"});
-  for (const std::int32_t target : {2048, 9216}) {
+  for (const std::int32_t target :
+       bench::smoke_select<std::int32_t>({2048, 9216}, {2048})) {
     // The annulus generator for the paper's sizes; a genuine Delaunay
     // mesh of the same size shows the partitioners on fully
     // unstructured connectivity.
@@ -42,15 +44,17 @@ int main() {
     for (const Entry& e : entries) {
       const mesh::HaloPlan halo = mesh::build_vertex_halo(m, e.part, nprocs);
       const auto pattern = halo.pattern(32);
-      const auto t =
-          bench::time_scheduled_pattern(pattern, sched::Scheduler::Greedy);
+      const bench::Measured run =
+          bench::measure_scheduled_pattern(pattern, sched::Scheduler::Greedy);
+      const std::string id =
+          std::string(e.name) + "/v=" + std::to_string(m.num_vertices());
       table.add_row(
           {std::to_string(m.num_vertices()) + (target == 2048 ? " v (Delaunay)" : " v (annulus)"), e.name,
            util::TextTable::fmt(pattern.density() * 100.0, 0) + "%",
            util::TextTable::fmt(pattern.avg_message_bytes(), 0),
            util::TextTable::fmt(
                static_cast<double>(pattern.total_bytes()) / 1024.0, 1),
-           bench::ms(t)});
+           metrics.ms_cell(id, run)});
     }
   }
   std::fputs(table.render().c_str(), stdout);

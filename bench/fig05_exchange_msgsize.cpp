@@ -19,13 +19,17 @@ int main() {
                       "complete exchange on 32 nodes vs message size");
 
   const std::int32_t nprocs = 32;
+  bench::MetricsEmitter metrics("fig05_exchange_msgsize");
   util::TextTable table({"msg bytes", "Linear (ms)", "Pairwise (ms)",
                          "Recursive (ms)", "Balanced (ms)"});
-  for (const std::int64_t bytes :
-       {0LL, 64LL, 128LL, 256LL, 512LL, 1024LL, 1536LL, 2048LL}) {
+  for (const std::int64_t bytes : bench::smoke_select<std::int64_t>(
+           {0, 64, 128, 256, 512, 1024, 1536, 2048}, {0, 256})) {
     std::vector<std::string> row{std::to_string(bytes)};
     for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
-      row.push_back(bench::ms(bench::time_complete_exchange(nprocs, alg, bytes)));
+      const std::string id = std::string(sched::exchange_name(alg)) +
+                             "/bytes=" + std::to_string(bytes);
+      row.push_back(
+          metrics.ms_cell(id, bench::measure_complete_exchange(nprocs, alg, bytes)));
     }
     table.add_row(std::move(row));
   }

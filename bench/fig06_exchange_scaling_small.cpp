@@ -20,20 +20,25 @@ int main() {
   bench::print_banner(
       "Figure 6", "complete exchange vs machine size (0 and 256 bytes)");
 
+  bench::MetricsEmitter metrics("fig06_exchange_scaling_small");
   for (const std::int64_t bytes : {0LL, 256LL}) {
     std::printf("\nmessage size = %lld bytes\n",
                 static_cast<long long>(bytes));
     util::TextTable table(
         {"procs", "Pairwise (ms)", "Recursive (ms)", "Balanced (ms)"});
-    for (const std::int32_t nprocs : {32, 64, 128, 256}) {
-      table.add_row(
-          {std::to_string(nprocs),
-           bench::ms(bench::time_complete_exchange(
-               nprocs, ExchangeAlgorithm::Pairwise, bytes)),
-           bench::ms(bench::time_complete_exchange(
-               nprocs, ExchangeAlgorithm::Recursive, bytes)),
-           bench::ms(bench::time_complete_exchange(
-               nprocs, ExchangeAlgorithm::Balanced, bytes))});
+    for (const std::int32_t nprocs :
+         bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64})) {
+      std::vector<std::string> row{std::to_string(nprocs)};
+      for (const ExchangeAlgorithm alg : {ExchangeAlgorithm::Pairwise,
+                                          ExchangeAlgorithm::Recursive,
+                                          ExchangeAlgorithm::Balanced}) {
+        const std::string id = std::string(sched::exchange_name(alg)) +
+                               "/procs=" + std::to_string(nprocs) +
+                               "/bytes=" + std::to_string(bytes);
+        row.push_back(metrics.ms_cell(
+            id, bench::measure_complete_exchange(nprocs, alg, bytes)));
+      }
+      table.add_row(std::move(row));
     }
     std::fputs(table.render().c_str(), stdout);
   }

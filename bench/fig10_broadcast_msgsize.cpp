@@ -16,17 +16,21 @@ int main() {
   bench::print_banner("Figure 10", "broadcast on 32 nodes vs message size");
 
   const std::int32_t nprocs = 32;
+  bench::MetricsEmitter metrics("fig10_broadcast_msgsize");
   util::TextTable table(
       {"msg bytes", "Linear (ms)", "Recursive (ms)", "System (ms)"});
-  for (const std::int64_t bytes :
-       {0LL, 256LL, 512LL, 1024LL, 2048LL, 4096LL, 8192LL, 16384LL}) {
-    table.add_row({std::to_string(bytes),
-                   bench::ms(bench::time_broadcast(
-                       nprocs, BroadcastAlgorithm::Linear, bytes)),
-                   bench::ms(bench::time_broadcast(
-                       nprocs, BroadcastAlgorithm::Recursive, bytes)),
-                   bench::ms(bench::time_broadcast(
-                       nprocs, BroadcastAlgorithm::System, bytes))});
+  for (const std::int64_t bytes : bench::smoke_select<std::int64_t>(
+           {0, 256, 512, 1024, 2048, 4096, 8192, 16384}, {0, 1024})) {
+    std::vector<std::string> row{std::to_string(bytes)};
+    for (const BroadcastAlgorithm alg :
+         {BroadcastAlgorithm::Linear, BroadcastAlgorithm::Recursive,
+          BroadcastAlgorithm::System}) {
+      const std::string id = std::string(sched::broadcast_name(alg)) +
+                             "/bytes=" + std::to_string(bytes);
+      row.push_back(
+          metrics.ms_cell(id, bench::measure_broadcast(nprocs, alg, bytes)));
+    }
+    table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
 

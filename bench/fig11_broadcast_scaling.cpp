@@ -18,14 +18,21 @@ int main() {
   bench::print_banner("Figure 11", "recursive broadcast vs machine size");
 
   const std::int64_t sizes[] = {0, 512, 1024, 2048, 4096};
+  bench::MetricsEmitter metrics("fig11_broadcast_scaling");
+  const std::vector<std::int32_t> procs =
+      bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64});
+  const std::int32_t sys_procs = procs.back();
 
   util::TextTable table({"procs", "REB 0B (ms)", "REB 512B (ms)",
                          "REB 1KB (ms)", "REB 2KB (ms)", "REB 4KB (ms)"});
-  for (const std::int32_t nprocs : {32, 64, 128, 256}) {
+  for (const std::int32_t nprocs : procs) {
     std::vector<std::string> row{std::to_string(nprocs)};
     for (const std::int64_t bytes : sizes) {
-      row.push_back(bench::ms(
-          bench::time_broadcast(nprocs, BroadcastAlgorithm::Recursive, bytes)));
+      const std::string id = "recursive/procs=" + std::to_string(nprocs) +
+                             "/bytes=" + std::to_string(bytes);
+      row.push_back(metrics.ms_cell(
+          id, bench::measure_broadcast(nprocs, BroadcastAlgorithm::Recursive,
+                                       bytes)));
     }
     table.add_row(std::move(row));
   }
@@ -34,9 +41,12 @@ int main() {
   std::printf("\nSystem broadcast (flat across machine sizes):\n");
   util::TextTable sys({"msg bytes", "System (ms)"});
   for (const std::int64_t bytes : sizes) {
+    const std::string id = "system/procs=" + std::to_string(sys_procs) +
+                           "/bytes=" + std::to_string(bytes);
     sys.add_row({std::to_string(bytes),
-                 bench::ms(bench::time_broadcast(
-                     256, BroadcastAlgorithm::System, bytes))});
+                 metrics.ms_cell(id, bench::measure_broadcast(
+                                         sys_procs, BroadcastAlgorithm::System,
+                                         bytes))});
   }
   std::fputs(sys.render().c_str(), stdout);
 

@@ -16,14 +16,12 @@
 
 namespace {
 
-double fft_seconds(std::int32_t nprocs, cm5::sched::ExchangeAlgorithm alg,
-                   std::int32_t n) {
-  cm5::machine::Cm5Machine m(
-      cm5::machine::MachineParams::cm5_defaults(nprocs));
-  const auto r = m.run([&](cm5::machine::Node& node) {
-    cm5::fft::fft2d_timed(node, alg, n);
-  });
-  return cm5::util::to_seconds(r.makespan);
+cm5::bench::Measured fft_measured(std::int32_t nprocs,
+                                  cm5::sched::ExchangeAlgorithm alg,
+                                  std::int32_t n) {
+  return cm5::bench::measure_program(
+      cm5::machine::MachineParams::cm5_defaults(nprocs),
+      [&](cm5::machine::Node& node) { cm5::fft::fft2d_timed(node, alg, n); });
 }
 
 }  // namespace
@@ -48,20 +46,26 @@ int main() {
                                {1024, {5.968, 0.314, 0.313, 0.312}},
                                {2048, {18.087, 1.738, 2.160, 1.668}}};
 
-  for (const std::int32_t nprocs : {32, 256}) {
+  bench::MetricsEmitter metrics("table05_fft2d");
+  const int row_count = bench::smoke_mode() ? 1 : 4;
+  for (const std::int32_t nprocs :
+       bench::smoke_select<std::int32_t>({32, 256}, {32})) {
     std::printf("\nNo. Procs = %d (seconds; paper value in parentheses)\n",
                 nprocs);
     util::TextTable table({"array", "Linear", "Pairwise", "Recursive",
                            "Balanced"});
     const PaperRow* paper = (nprocs == 32) ? paper32 : paper256;
-    for (int row = 0; row < 4; ++row) {
+    for (int row = 0; row < row_count; ++row) {
       const std::int32_t n = paper[row].n;
       std::vector<std::string> cells{std::to_string(n) + "x" +
                                      std::to_string(n)};
       int alg_index = 0;
       for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
-        const double seconds = fft_seconds(nprocs, alg, n);
-        cells.push_back(util::TextTable::fmt(seconds, 3) + " (" +
+        const bench::Measured run = fft_measured(nprocs, alg, n);
+        const std::string id = std::string(sched::exchange_name(alg)) +
+                               "/procs=" + std::to_string(nprocs) +
+                               "/n=" + std::to_string(n);
+        cells.push_back(metrics.secs_cell(id, run) + " (" +
                         util::TextTable::fmt(paper[row].values[alg_index], 3) +
                         ")");
         ++alg_index;

@@ -40,9 +40,15 @@ int main() {
   const Scheduler algorithms[] = {Scheduler::Linear, Scheduler::Pairwise,
                                   Scheduler::Balanced, Scheduler::Greedy};
 
+  bench::MetricsEmitter metrics("table11_synthetic_irregular");
   util::TextTable table({"density", "bytes", "Linear (ms)", "Pairwise (ms)",
                          "Balanced (ms)", "Greedy (ms)"});
   for (const PaperCell& cell : paper) {
+    // Smoke mode keeps the density extremes at one message size.
+    if (bench::smoke_mode() &&
+        (cell.bytes != 256 || (cell.density != 0.10 && cell.density != 0.75))) {
+      continue;
+    }
     const auto pattern = patterns::exact_density(
         nprocs, cell.density, cell.bytes, /*seed=*/0xCE5 + static_cast<std::uint64_t>(cell.bytes));
     std::vector<std::string> row{
@@ -50,8 +56,12 @@ int main() {
         std::to_string(cell.bytes)};
     int alg_index = 0;
     for (const Scheduler alg : algorithms) {
-      const auto t = bench::time_scheduled_pattern(pattern, alg);
-      row.push_back(bench::ms(t) + " (" +
+      const bench::Measured run = bench::measure_scheduled_pattern(pattern, alg);
+      const std::string id =
+          std::string(sched::scheduler_name(alg)) + "/density=" +
+          util::TextTable::fmt(cell.density * 100.0, 0) +
+          "/bytes=" + std::to_string(cell.bytes);
+      row.push_back(metrics.ms_cell(id, run) + " (" +
                     util::TextTable::fmt(cell.values[alg_index], 3) + ")");
       ++alg_index;
     }

@@ -48,7 +48,10 @@ int main() {
   util::TextTable table({"workload", "ours: density, avg B",
                          "paper: density, avg B", "Linear (ms)",
                          "Pairwise (ms)", "Balanced (ms)", "Greedy (ms)"});
+  bench::MetricsEmitter metrics("table12_real_irregular");
   for (const Workload& w : workloads) {
+    // Smoke mode keeps only the smallest mesh.
+    if (bench::smoke_mode() && w.vertices != 545) continue;
     const mesh::TriMesh m = mesh::airfoil_with_target(w.vertices, 0xA1F01);
     const auto part = mesh::rcb_vertex_partition(m, nprocs);
     const mesh::HaloPlan halo = mesh::build_vertex_halo(m, part, nprocs);
@@ -62,8 +65,10 @@ int main() {
     int alg_index = 0;
     for (const Scheduler alg : {Scheduler::Linear, Scheduler::Pairwise,
                                 Scheduler::Balanced, Scheduler::Greedy}) {
-      const auto t = bench::time_scheduled_pattern(pattern, alg);
-      row.push_back(bench::ms(t) + " (" +
+      const bench::Measured run = bench::measure_scheduled_pattern(pattern, alg);
+      const std::string id = std::string(sched::scheduler_name(alg)) + "/" +
+                             w.name + "/v=" + std::to_string(w.vertices);
+      row.push_back(metrics.ms_cell(id, run) + " (" +
                     util::TextTable::fmt(w.paper[alg_index], 3) + ")");
       ++alg_index;
     }

@@ -11,6 +11,7 @@
 ///   $ ./pattern_explorer --pattern ring --procs 16 --halo 2
 ///   $ ./pattern_explorer --save p.txt && ./pattern_explorer --load p.txt
 ///   $ ./pattern_explorer --trace 40             # first 40 trace events
+///   $ ./pattern_explorer --metrics m.json       # full RunMetrics dump
 
 #include <cstdio>
 #include <string>
@@ -21,8 +22,10 @@
 #include "cm5/sched/estimate.hpp"
 #include "cm5/sched/pattern_io.hpp"
 #include "cm5/sched/report.hpp"
+#include "cm5/sim/metrics.hpp"
 #include "cm5/sim/trace.hpp"
 #include "cm5/util/cli.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/time.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +43,8 @@ int main(int argc, char** argv) {
   args.add_option("save", "", "write the pattern to this file and exit");
   args.add_option("load", "", "read the pattern from this file (overrides --pattern)");
   args.add_option("trace", "0", "print the first N trace events of the greedy run");
+  args.add_option("metrics", "",
+                  "write full per-scheduler run metrics (JSON) to this file");
   args.add_flag("timeline", "draw an ASCII busy/idle timeline of each scheduler");
   args.add_flag("show-schedules", "print every step of every schedule");
   args.add_flag("report", "print the full schedule report per scheduler");
@@ -86,6 +91,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(pattern.num_messages()),
               pattern.density() * 100.0, pattern.avg_message_bytes());
 
+  const std::string metrics_path = args.get_string("metrics");
+  util::json::Value metrics_doc = util::json::Value::object();
+  metrics_doc["pattern"] = kind;
+  metrics_doc["nprocs"] = pattern.nprocs();
+  metrics_doc["messages"] = pattern.num_messages();
+  metrics_doc["density"] = pattern.density();
+  metrics_doc["schedulers"] = util::json::Value::array();
+
   const net::FatTreeTopology topo(net::FatTreeConfig::cm5(pattern.nprocs()));
   for (const auto scheduler :
        {sched::Scheduler::Linear, sched::Scheduler::Pairwise,
@@ -105,13 +118,22 @@ int main(int argc, char** argv) {
     const auto params =
         machine::MachineParams::cm5_defaults(pattern.nprocs());
     const auto estimated = sched::estimate_schedule_time(schedule, params);
-    const auto t = [&] {
-      machine::Cm5Machine cm5(params);
-      sched::ExecutorOptions options;
-      options.barrier_per_step = true;
-      return sched::run_scheduled_pattern(cm5, scheduler, pattern, options)
-          .makespan;
-    }();
+    machine::Cm5Machine cm5(params);
+    sched::ExecutorOptions options;
+    options.barrier_per_step = true;
+    sched::ObservedScheduleRun observed =
+        sched::run_scheduled_pattern_observed(cm5, scheduler, pattern, options);
+    const auto t = observed.result.makespan;
+    if (!metrics_path.empty()) {
+      util::json::Value entry = util::json::Value::object();
+      entry["scheduler"] = sched::scheduler_name(scheduler);
+      entry["estimate"] = sched::estimate_json(schedule, params);
+      entry["metrics"] = observed.metrics.to_json(/*full=*/true);
+      util::json::Value violations = util::json::Value::array();
+      for (const std::string& v : observed.violations) violations.push_back(v);
+      entry["violations"] = std::move(violations);
+      metrics_doc["schedulers"].push_back(std::move(entry));
+    }
     std::printf("%-10s %3d busy steps, max root-crossings/step %3d,"
                 " simulated %10.3f ms (model estimate %8.3f ms)\n",
                 sched::scheduler_name(scheduler), schedule.num_busy_steps(),
@@ -122,9 +144,9 @@ int main(int argc, char** argv) {
                  stdout);
     }
     if (args.get_flag("timeline")) {
-      machine::Cm5Machine cm5(params);
+      machine::Cm5Machine timeline_machine(params);
       sim::TraceRecorder recorder;
-      cm5.run_traced(
+      timeline_machine.run_traced(
           [&](machine::Node& node) { sched::execute_schedule(node, schedule); },
           recorder.sink());
       std::fputs(recorder.timeline(pattern.nprocs()).c_str(), stdout);
@@ -146,6 +168,11 @@ int main(int argc, char** argv) {
         [&](machine::Node& node) { sched::execute_schedule(node, schedule); },
         recorder.sink());
     std::fputs(recorder.render(trace_lines).c_str(), stdout);
+  }
+
+  if (!metrics_path.empty()) {
+    util::json::write_file(metrics_path, metrics_doc);
+    std::printf("\nfull run metrics written to %s\n", metrics_path.c_str());
   }
 
   std::printf("\nRun with --show-schedules to print the per-step tables\n"

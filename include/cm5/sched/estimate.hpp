@@ -6,6 +6,7 @@
 #include "cm5/net/topology.hpp"
 #include "cm5/sched/builders.hpp"
 #include "cm5/sched/schedule.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/time.hpp"
 
 /// \file estimate.hpp
@@ -44,6 +45,18 @@ std::vector<util::SimDuration> estimate_step_times(
 /// schedulers (see the estimate tests and ext_overhead_sensitivity).
 util::SimDuration estimate_schedule_time(const CommSchedule& schedule,
                                          const machine::MachineParams& params);
+
+/// Number of steps the analytic model expects to take nonzero time —
+/// the count to diff against the executor-observed step count from
+/// sim::RunMetrics (see tests/sched/estimate_differential_test.cpp).
+std::int32_t estimated_busy_steps(const CommSchedule& schedule,
+                                  const machine::MachineParams& params);
+
+/// Machine-readable form of the analytic model: per-step estimated
+/// times, busy step count and the total. Embedded next to observed
+/// metrics (pattern_explorer --metrics) so model error is diffable.
+util::json::Value estimate_json(const CommSchedule& schedule,
+                                const machine::MachineParams& params);
 
 /// The paper's §5 rule: Greedy below 50% density, Balanced at or above.
 /// (Linear is never recommended; the paper shows it uniformly worst.)

@@ -6,6 +6,8 @@
 
 #include "cm5/machine/machine.hpp"
 #include "cm5/sched/schedule.hpp"
+#include "cm5/sim/trace.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/time.hpp"
 
 /// \file resilient_executor.hpp
@@ -51,6 +53,11 @@ struct ResilientOptions {
   /// Re-run the same program fault-free to measure makespan overhead
   /// (skipped automatically when no fault plan is installed).
   bool measure_fault_free_baseline = true;
+  /// Optional trace sink for the (faulty) protocol run — pure
+  /// observation, installed only for the measured run, never for the
+  /// fault-free baseline. Feed a sim::TraceRecorder here and hand the
+  /// events to sim::analyze / sim::validate_trace.
+  sim::TraceSink trace;
 };
 
 /// A directed schedule edge that no surviving node could confirm.
@@ -91,6 +98,10 @@ struct ResilientRunReport {
                      static_cast<double>(fault_free_makespan);
   }
   std::string to_string() const;
+
+  /// Machine-readable form of the report (delivery counts, retries,
+  /// dead set, lost edges, makespans) for the bench metrics files.
+  util::json::Value to_json() const;
 };
 
 /// Runs `schedule` on `machine` (with whatever fault plan the machine

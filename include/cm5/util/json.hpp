@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal JSON tree: build, serialize, parse.
+///
+/// The metrics subsystem (cm5/sim/metrics.hpp) and the bench harnesses
+/// emit machine-readable run summaries; tools/trace_analyzer reads them
+/// back. Both ends share this value type. Design constraints:
+///
+///   * deterministic output — object keys keep insertion order, doubles
+///     render via a fixed round-trippable format — so emitted files are
+///     byte-stable across runs and diffable;
+///   * integers are kept exact (std::int64_t) rather than squeezed
+///     through double, because makespans are nanosecond counts;
+///   * no external dependency; the parser accepts exactly what dump()
+///     produces (strict JSON, no comments or trailing commas).
+
+namespace cm5::util::json {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    Null,
+    Bool,
+    Int,
+    Double,
+    String,
+    Array,
+    Object
+  };
+
+  Value() = default;  ///< null
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(std::int32_t i) : type_(Type::Int), int_(i) {}
+  Value(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Value(double d) : type_(Type::Double), double_(d) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+  /// Explicit factories for the container types (a default-constructed
+  /// Value is null, not an empty object).
+  static Value object();
+  static Value array();
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_int() const noexcept { return type_ == Type::Int; }
+  bool is_double() const noexcept { return type_ == Type::Double; }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch
+  /// (as_double accepts Int and widens).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // --- array interface -------------------------------------------------
+  /// Number of elements (array) or members (object); 0 otherwise.
+  std::size_t size() const noexcept;
+  /// Appends to an array (converts a null value into an empty array).
+  void push_back(Value v);
+  /// Array element access; throws std::out_of_range / type mismatch.
+  const Value& at(std::size_t index) const;
+
+  // --- object interface ------------------------------------------------
+  /// Member lookup-or-insert, preserving first-insertion key order.
+  /// Converts a null value into an empty object.
+  Value& operator[](const std::string& key);
+  /// True if the object has `key` (false for non-objects).
+  bool contains(const std::string& key) const noexcept;
+  /// Member access; throws std::out_of_range if missing.
+  const Value& at(const std::string& key) const;
+  /// Member access with a fallback default when missing / not an object.
+  const Value& get(const std::string& key, const Value& fallback) const;
+  /// Object members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serializes. indent < 0 produces one compact line (JSONL-friendly);
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses strict JSON; throws std::runtime_error with position info.
+  static Value parse(const std::string& text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Renders a double exactly as dump() does ("%.17g" trimmed to the
+/// shortest representation that round-trips). Exposed for tests.
+std::string format_double(double value);
+
+/// Writes `value` (pretty-printed, trailing newline) to `path`; throws
+/// std::runtime_error on I/O failure.
+void write_file(const std::string& path, const Value& value);
+
+/// Reads and parses a JSON file; throws std::runtime_error on I/O or
+/// parse failure.
+Value read_file(const std::string& path);
+
+}  // namespace cm5::util::json

@@ -62,6 +62,30 @@ util::SimDuration estimate_schedule_time(
   return total;
 }
 
+std::int32_t estimated_busy_steps(const CommSchedule& schedule,
+                                  const machine::MachineParams& params) {
+  std::int32_t busy = 0;
+  for (const util::SimDuration t : estimate_step_times(schedule, params)) {
+    if (t > 0) ++busy;
+  }
+  return busy;
+}
+
+util::json::Value estimate_json(const CommSchedule& schedule,
+                                const machine::MachineParams& params) {
+  using util::json::Value;
+  Value root = Value::object();
+  const std::vector<util::SimDuration> step_times =
+      estimate_step_times(schedule, params);
+  Value steps = Value::array();
+  for (const util::SimDuration t : step_times) steps.push_back(t);
+  root["num_steps"] = static_cast<std::int32_t>(step_times.size());
+  root["busy_steps"] = estimated_busy_steps(schedule, params);
+  root["step_times_ns"] = std::move(steps);
+  root["total_ns"] = estimate_schedule_time(schedule, params);
+  return root;
+}
+
 Scheduler recommend_scheduler_paper_rule(const CommPattern& pattern) {
   return pattern.density() < 0.5 ? Scheduler::Greedy : Scheduler::Balanced;
 }

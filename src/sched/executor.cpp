@@ -111,4 +111,18 @@ sim::RunResult run_scheduled_pattern(machine::Cm5Machine& machine,
   });
 }
 
+ObservedScheduleRun run_scheduled_pattern_observed(
+    machine::Cm5Machine& machine, Scheduler scheduler,
+    const CommPattern& pattern, const ExecutorOptions& options) {
+  const CommSchedule schedule = build_schedule(scheduler, pattern);
+  sim::TraceRecorder recorder;
+  ObservedScheduleRun out;
+  out.result = machine.run_traced(
+      [&](machine::Node& node) { execute_schedule(node, schedule, options); },
+      recorder.sink());
+  out.metrics = sim::analyze(recorder, pattern.nprocs(), &out.result);
+  out.violations = sim::validate_trace(recorder, pattern.nprocs(), &out.result);
+  return out;
+}
+
 }  // namespace cm5::sched

@@ -253,7 +253,9 @@ ResilientRunReport run_resilient_schedule(machine::Cm5Machine& machine,
   };
 
   ResilientRunReport report;
-  report.run = machine.run(make_program(ledgers));
+  report.run = options.trace
+                   ? machine.run_traced(make_program(ledgers), options.trace)
+                   : machine.run(make_program(ledgers));
   report.makespan = report.run.makespan;
 
   if (options.measure_fault_free_baseline && machine.fault_plan()) {
@@ -335,6 +337,35 @@ std::string ResilientRunReport::to_string() const {
        << e.bytes << " B\n";
   }
   return os.str();
+}
+
+util::json::Value ResilientRunReport::to_json() const {
+  using util::json::Value;
+  Value root = Value::object();
+  root["edges_total"] = edges_total;
+  root["edges_delivered"] = edges_delivered;
+  root["delivery_rate"] = delivery_rate();
+  root["retries"] = retries;
+  root["recv_timeouts"] = recv_timeouts;
+  root["corrupt_detected"] = corrupt_detected;
+  root["repairs"] = repairs;
+  root["makespan_ns"] = makespan;
+  root["fault_free_makespan_ns"] = fault_free_makespan;
+  root["makespan_overhead"] = makespan_overhead();
+  Value dead = Value::array();
+  for (const NodeId d : dead_nodes) dead.push_back(d);
+  root["dead_nodes"] = std::move(dead);
+  Value lost = Value::array();
+  for (const LostEdge& e : lost_edges) {
+    Value edge = Value::object();
+    edge["step"] = e.step;
+    edge["src"] = e.src;
+    edge["dst"] = e.dst;
+    edge["bytes"] = e.bytes;
+    lost.push_back(std::move(edge));
+  }
+  root["lost_edges"] = std::move(lost);
+  return root;
 }
 
 }  // namespace cm5::sched

@@ -1,0 +1,474 @@
+#include "cm5/util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cm5::util::json {
+namespace {
+
+[[noreturn]] void type_error(const char* want, Value::Type got) {
+  static const char* names[] = {"null",   "bool",  "int",   "double",
+                                "string", "array", "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           names[static_cast<int>(got)]);
+}
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_to(std::string& out, const Value& v, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void dump_to(std::string& out, const Value& v, int indent, int depth) {
+  switch (v.type()) {
+    case Value::Type::Null:
+      out += "null";
+      return;
+    case Value::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Value::Type::Int:
+      out += std::to_string(v.as_int());
+      return;
+    case Value::Type::Double:
+      out += format_double(v.as_double());
+      return;
+    case Value::Type::String:
+      escape_to(out, v.as_string());
+      return;
+    case Value::Type::Array: {
+      if (v.size() == 0) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out += (indent < 0) ? "," : ",";
+        newline_indent(out, indent, depth + 1);
+        dump_to(out, v.at(i), indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Value::Type::Object: {
+      if (v.size() == 0) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_to(out, key);
+        out += (indent < 0) ? ":" : ": ";
+        dump_to(out, member, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Strict recursive-descent parser over a string view of the input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs
+          // are not produced by our writer).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      if (!is_double) return Value(static_cast<std::int64_t>(std::stoll(token)));
+      return Value(std::stod(token));
+    } catch (const std::exception&) {
+      fail("number out of range: " + token);
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ']') {
+        ++pos_;
+        return out;
+      }
+      expect(',');
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      if (c == '}') {
+        ++pos_;
+        return out;
+      }
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::object() {
+  Value v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (type_ != Type::Int) type_error("int", type_);
+  return int_;
+}
+
+double Value::as_double() const {
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  if (type_ != Type::Double) type_error("number", type_);
+  return double_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+std::size_t Value::size() const noexcept {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  return 0;
+}
+
+void Value::push_back(Value v) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) type_error("array", type_);
+  array_.push_back(std::move(v));
+}
+
+const Value& Value::at(std::size_t index) const {
+  if (type_ != Type::Array) type_error("array", type_);
+  if (index >= array_.size()) {
+    throw std::out_of_range("json: array index " + std::to_string(index) +
+                            " out of range (size " +
+                            std::to_string(array_.size()) + ")");
+  }
+  return array_[index];
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, Value());
+  return object_.back().second;
+}
+
+bool Value::contains(const std::string& key) const noexcept {
+  if (type_ != Type::Object) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("json: missing key \"" + key + "\"");
+}
+
+const Value& Value::get(const std::string& key, const Value& fallback) const {
+  if (type_ != Type::Object) return fallback;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return object_;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, *this, indent, 0);
+  return out;
+}
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  // Shortest of %.15g / %.16g / %.17g that round-trips exactly —
+  // deterministic and diff-friendly without gratuitous digits.
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::stod(buf) == value) break;
+  }
+  std::string out = buf;
+  // Ensure the token re-parses as a double, not an integer.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+void write_file(const std::string& path, const Value& value) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("json: cannot open for write: " + path);
+  out << value.dump(2) << '\n';
+  if (!out.flush()) throw std::runtime_error("json: write failed: " + path);
+}
+
+Value read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Value::parse(buffer.str());
+}
+
+}  // namespace cm5::util::json

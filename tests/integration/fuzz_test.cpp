@@ -6,6 +6,9 @@
 #include "cm5/patterns/synthetic.hpp"
 #include "cm5/sched/coloring.hpp"
 #include "cm5/sched/executor.hpp"
+#include "cm5/sched/resilient_executor.hpp"
+#include "cm5/sim/fault.hpp"
+#include "cm5/sim/metrics.hpp"
 #include "cm5/util/rng.hpp"
 
 /// Randomized stress tests: generate random-but-valid communication
@@ -144,6 +147,95 @@ TEST_P(FuzzTest, MixedPrimitivesAreDeterministic) {
   const auto b = one_run();
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST_P(FuzzTest, TracedRunsSatisfyAllInvariants) {
+  // Property test for the metrics layer: over random patterns at the
+  // paper's density range (10%..75%) and every scheduler, a traced run
+  // must pass sim::validate_trace and conserve messages and bytes
+  // between posting and delivery.
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 977 + 5);
+  const auto nprocs = static_cast<std::int32_t>(1 << rng.next_in(2, 5));
+  const double density = 0.10 + rng.next_double() * 0.65;
+  const auto bytes = rng.next_in(1, 2048);
+  const auto pattern =
+      patterns::exact_density(nprocs, density, bytes, seed * 31 + 7);
+
+  for (const auto scheduler :
+       {sched::Scheduler::Linear, sched::Scheduler::Pairwise,
+        sched::Scheduler::Balanced, sched::Scheduler::Greedy}) {
+    Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+    const sched::ObservedScheduleRun observed =
+        sched::run_scheduled_pattern_observed(m, scheduler, pattern);
+    EXPECT_TRUE(observed.violations.empty())
+        << sched::scheduler_name(scheduler) << " nprocs=" << nprocs
+        << " density=" << density;
+    for (const std::string& v : observed.violations) ADD_FAILURE() << v;
+
+    const sim::RunMetrics& metrics = observed.metrics;
+    EXPECT_EQ(metrics.messages_posted, pattern.num_messages());
+    EXPECT_EQ(metrics.transfers_completed, pattern.num_messages());
+    EXPECT_EQ(metrics.bytes_posted, pattern.num_messages() * bytes);
+    EXPECT_EQ(metrics.bytes_delivered, metrics.bytes_posted);
+    EXPECT_EQ(metrics.transfers_dropped, 0);
+    EXPECT_EQ(metrics.makespan, observed.result.makespan);
+    // The per-node breakdown tiles each node's lifetime exactly.
+    for (const sim::NodeTimeBreakdown& n : metrics.nodes) {
+      EXPECT_EQ(n.compute + n.total_wait() + n.idle_tail, metrics.makespan)
+          << sched::scheduler_name(scheduler) << " node " << n.node;
+    }
+    // Conservation across the link matrix.
+    std::int64_t link_bytes = 0;
+    for (const sim::LinkTraffic& l : metrics.links) link_bytes += l.bytes;
+    EXPECT_EQ(link_bytes, metrics.bytes_delivered);
+  }
+}
+
+TEST_P(FuzzTest, FaultyResilientRunsSatisfyRelaxedInvariants) {
+  // Same property under fault injection: traces from resilient runs
+  // (drops + delays + one fail-stop death on odd seeds) must still pass
+  // validate_trace — its completeness checks stand down under faults,
+  // but monotonicity, id sanity and makespan consistency never do.
+  const std::uint64_t seed = GetParam();
+  const std::int32_t nprocs = 8;
+  const auto pattern = patterns::exact_density(
+      nprocs, 0.10 + 0.65 * static_cast<double>(seed % 5) / 4.0, 512,
+      seed * 131 + 17);
+  const auto schedule = sched::build_schedule(sched::Scheduler::Greedy,
+                                              pattern);
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.05;
+  plan.delay_prob = 0.10;
+  plan.delay = util::from_us(50);
+  if (seed % 2 == 1) {
+    plan.deaths.push_back({static_cast<machine::NodeId>(seed % nprocs),
+                           util::from_us(300)});
+  }
+
+  Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+  m.set_fault_plan(plan);
+  sim::TraceRecorder recorder;
+  sched::ResilientOptions options;
+  options.trace = recorder.sink();
+  const auto report = sched::run_resilient_schedule(m, schedule, options);
+
+  const auto violations =
+      sim::validate_trace(recorder.events(), nprocs, &report.run);
+  EXPECT_TRUE(violations.empty()) << "seed " << seed;
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+
+  const sim::RunMetrics metrics =
+      sim::analyze(recorder, nprocs, &report.run);
+  EXPECT_EQ(metrics.makespan, report.run.makespan);
+  EXPECT_LE(metrics.bytes_delivered, metrics.bytes_posted);
+  EXPECT_GE(report.delivery_rate(), 0.0);
+  if (plan.deaths.empty()) {
+    // With retries, everything must eventually arrive.
+    EXPECT_EQ(report.edges_delivered, report.edges_total) << "seed " << seed;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,

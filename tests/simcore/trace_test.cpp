@@ -180,5 +180,125 @@ TEST(TraceTest, UntracedRunHasNoOverheadPath) {
   EXPECT_EQ(a.makespan, b.makespan);
 }
 
+TEST(TraceTest, EmptyRecorderEdgeCases) {
+  TraceRecorder recorder;
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_TRUE(recorder.sorted().empty());
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::SendPosted), 0);
+  EXPECT_TRUE(recorder.for_node(0).empty());
+  EXPECT_TRUE(recorder.render().empty());
+  EXPECT_TRUE(recorder.timeline(4).empty());
+}
+
+TEST(TraceTest, SingleEventRecorder) {
+  TraceRecorder recorder;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::SendPosted;
+  e.time = util::from_us(88);
+  e.node = 3;
+  e.peer = 5;
+  e.bytes = 256;
+  e.tag = 2;
+  recorder.sink()(e);
+
+  ASSERT_EQ(recorder.events().size(), 1u);
+  EXPECT_EQ(recorder.sorted().size(), 1u);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::SendPosted), 1);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::RecvPosted), 0);
+  // for_node matches both the actor and the peer.
+  EXPECT_EQ(recorder.for_node(3).size(), 1u);
+  EXPECT_EQ(recorder.for_node(5).size(), 1u);
+  EXPECT_TRUE(recorder.for_node(4).empty());
+  // Rendering one event yields exactly one line, no truncation marker.
+  const std::string text = recorder.render(1);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.find("more events"), std::string::npos);
+  EXPECT_NE(text.find("node 3"), std::string::npos);
+}
+
+TEST(TraceTest, ToStringCoversEveryKind) {
+  // to_string must render every kind distinctly (the golden-trace files
+  // are built from these lines).
+  using Kind = TraceEvent::Kind;
+  std::vector<std::string> lines;
+  for (const Kind k :
+       {Kind::Compute, Kind::SendPosted, Kind::RecvPosted, Kind::SwapPosted,
+        Kind::TransferStart, Kind::TransferComplete, Kind::GlobalOpEnter,
+        Kind::GlobalOpComplete, Kind::NodeDone, Kind::FaultDrop,
+        Kind::FaultCorrupt, Kind::FaultDelay, Kind::FaultDegrade,
+        Kind::FaultKill, Kind::WaitTimeout}) {
+    TraceEvent e;
+    e.kind = k;
+    e.time = util::from_us(1);
+    e.node = 0;
+    e.peer = 1;
+    e.bytes = 64;
+    e.tag = 9;
+    lines.push_back(to_string(e));
+    EXPECT_FALSE(lines.back().empty());
+  }
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(std::adjacent_find(lines.begin(), lines.end()), lines.end())
+      << "two event kinds render identically";
+}
+
+TEST(TraceTest, SortedIsStableForEqualTimes) {
+  // Events at the same virtual time keep their execution order — the
+  // property golden traces and analyze() both rely on.
+  TraceRecorder recorder;
+  auto sink = recorder.sink();
+  for (std::int32_t i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::SendPosted;
+    e.time = 100;
+    e.node = 0;
+    e.peer = 1;
+    e.tag = i;  // distinguishes insertion order
+    sink(e);
+  }
+  const auto sorted = recorder.sorted();
+  ASSERT_EQ(sorted.size(), 5u);
+  for (std::int32_t i = 0; i < 5; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)].tag, i);
+}
+
+TEST(TraceTest, CountAndForNodeOnMultiNodeRun) {
+  Cm5Machine m(MachineParams::cm5_defaults(4));
+  TraceRecorder recorder;
+  m.run_traced(
+      [](Node& node) {
+        // Ring: everyone sends one message to the next node.
+        const auto next =
+            static_cast<net::NodeId>((node.self() + 1) % node.nprocs());
+        const auto prev = static_cast<net::NodeId>(
+            (node.self() + node.nprocs() - 1) % node.nprocs());
+        if (node.self() % 2 == 0) {
+          node.send_block(next, 128);
+          (void)node.receive_block(prev);
+        } else {
+          (void)node.receive_block(prev);
+          node.send_block(next, 128);
+        }
+      },
+      recorder.sink());
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::SendPosted), 4);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::RecvPosted), 4);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::NodeDone), 4);
+  for (net::NodeId n = 0; n < 4; ++n) {
+    const auto mine = recorder.for_node(n);
+    // Each node acts (send, recv, done) and appears as peer of two
+    // transfers' worth of events; all of its own actions are present.
+    std::int64_t own_actions = 0;
+    for (const TraceEvent& e : mine) {
+      if (e.node == n &&
+          (e.kind == TraceEvent::Kind::SendPosted ||
+           e.kind == TraceEvent::Kind::RecvPosted ||
+           e.kind == TraceEvent::Kind::NodeDone)) {
+        ++own_actions;
+      }
+    }
+    EXPECT_EQ(own_actions, 3) << "node " << n;
+  }
+}
+
 }  // namespace
 }  // namespace cm5::sim

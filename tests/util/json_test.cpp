@@ -1,0 +1,132 @@
+#include "cm5/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace cm5::util::json {
+namespace {
+
+TEST(JsonValue, ScalarsRoundTripThroughDump) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(1.5).dump(), "1.5");
+}
+
+TEST(JsonValue, Int64Exact) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const Value v = Value::parse(Value(big).dump());
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), big);
+}
+
+TEST(JsonValue, DoubleAlwaysReparsesAsDouble) {
+  // A double that happens to be integral must not collapse to Int.
+  const Value v = Value::parse(Value(3.0).dump());
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.0);
+}
+
+TEST(JsonValue, FormatDoubleRoundTrips) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0}) {
+    EXPECT_DOUBLE_EQ(std::stod(format_double(d)), d) << format_double(d);
+  }
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Value obj = Value::object();
+  obj["zebra"] = 1;
+  obj["alpha"] = 2;
+  obj["mid"] = 3;
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.members()[2].first, "mid");
+}
+
+TEST(JsonValue, OperatorBracketInsertsAndUpdates) {
+  Value obj = Value::object();
+  obj["k"] = 1;
+  obj["k"] = 2;  // update, not duplicate
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+  EXPECT_TRUE(obj.contains("k"));
+  EXPECT_FALSE(obj.contains("missing"));
+  EXPECT_THROW(obj.at("missing"), std::out_of_range);
+  EXPECT_EQ(obj.get("missing", Value(std::int64_t{9})).as_int(), 9);
+}
+
+TEST(JsonValue, ArrayPushAndAt) {
+  Value arr = Value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(0).as_int(), 1);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+  EXPECT_THROW(arr.at(2), std::out_of_range);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(Value("s").as_int(), std::runtime_error);
+  EXPECT_THROW(Value(std::int64_t{1}).as_string(), std::runtime_error);
+  EXPECT_THROW(Value(true).as_double(), std::runtime_error);
+  // Int widens to double deliberately (makespans used in ratios).
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{4}).as_double(), 4.0);
+}
+
+TEST(JsonValue, StringEscaping) {
+  const Value v("a\"b\\c\n\t\x01");
+  const std::string dumped = v.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_EQ(Value::parse(dumped).as_string(), v.as_string());
+}
+
+TEST(JsonValue, NestedStructureRoundTrips) {
+  Value root = Value::object();
+  root["name"] = "run";
+  Value rows = Value::array();
+  Value row = Value::object();
+  row["makespan_ns"] = std::int64_t{1766000};
+  row["ratio"] = 0.25;
+  rows.push_back(std::move(row));
+  root["rows"] = std::move(rows);
+
+  const Value back = Value::parse(root.dump(2));
+  EXPECT_EQ(back.at("name").as_string(), "run");
+  EXPECT_EQ(back.at("rows").at(0).at("makespan_ns").as_int(), 1766000);
+  EXPECT_DOUBLE_EQ(back.at("rows").at(0).at("ratio").as_double(), 0.25);
+  // Deterministic: dumping the reparsed tree reproduces the bytes.
+  EXPECT_EQ(back.dump(2), root.dump(2));
+}
+
+TEST(JsonValue, ParseRejectsMalformed) {
+  EXPECT_THROW(Value::parse(""), std::runtime_error);
+  EXPECT_THROW(Value::parse("{"), std::runtime_error);
+  EXPECT_THROW(Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Value::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(Value::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Value::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(Value::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonValue, ParseAcceptsUnicodeEscapes) {
+  const Value v = Value::parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonValue, PrettyPrintShape) {
+  Value obj = Value::object();
+  obj["a"] = 1;
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+  EXPECT_EQ(Value::array().dump(2), "[]");
+  EXPECT_EQ(Value::object().dump(), "{}");
+}
+
+}  // namespace
+}  // namespace cm5::util::json

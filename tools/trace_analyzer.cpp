@@ -1,0 +1,198 @@
+/// trace_analyzer — renders, diffs, and gates on the BENCH_*.json
+/// metrics files emitted by the bench harnesses (bench/common) and by
+/// `pattern_explorer --metrics`.
+///
+///   trace_analyzer show FILE...        per-row time breakdowns
+///   trace_analyzer diff OLD NEW        makespan deltas, matched by row id
+///   trace_analyzer check FILE...       exit 1 if any invariant violation
+///
+/// `check` is the CI gate: every metrics file carries the
+/// sim::validate_trace() verdict for each recorded run, so a nonzero
+/// exit means a simulation produced a trace that broke an invariant
+/// (time monotonicity, rendezvous matching, byte conservation, or a
+/// makespan/counter mismatch against the kernel's own accounting).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cm5/util/json.hpp"
+#include "cm5/util/table.hpp"
+
+namespace {
+
+using cm5::util::TextTable;
+using cm5::util::json::Value;
+
+double ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Flattened view of one metrics-file row (a bench table cell).
+struct RowView {
+  std::string id;
+  std::int64_t makespan_ns = 0;
+  const Value* metrics = nullptr;     // summary RunMetrics json, if present
+  const Value* violations = nullptr;  // violations array, if present
+};
+
+std::vector<RowView> rows_of(const Value& file) {
+  std::vector<RowView> out;
+  const Value& rows = file.get("rows", Value());
+  if (!rows.is_array()) return out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Value& row = rows.at(i);
+    RowView v;
+    v.id = row.get("id", Value(std::string("row-") + std::to_string(i)))
+               .as_string();
+    // Plain measured rows carry makespan/metrics at top level; resilient
+    // rows nest a report object instead.
+    if (row.contains("makespan_ns")) {
+      v.makespan_ns = row.at("makespan_ns").as_int();
+    } else if (row.contains("report") &&
+               row.at("report").get("report", Value()).is_object()) {
+      v.makespan_ns =
+          row.at("report").at("report").get("makespan_ns", Value(std::int64_t{0}))
+              .as_int();
+    }
+    if (row.contains("metrics")) {
+      v.metrics = &row.at("metrics");
+    } else if (row.contains("report") &&
+               row.at("report").contains("metrics")) {
+      v.metrics = &row.at("report").at("metrics");
+    }
+    if (row.contains("violations")) v.violations = &row.at("violations");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::int64_t time_field(const RowView& row, const char* field) {
+  if (row.metrics == nullptr) return 0;
+  return row.metrics->get("time_ns", Value())
+      .get(field, Value(std::int64_t{0}))
+      .as_int();
+}
+
+int cmd_show(const std::vector<std::string>& files) {
+  for (const std::string& path : files) {
+    const Value file = cm5::util::json::read_file(path);
+    std::printf("%s — bench '%s'%s, %lld invariant violation(s)\n",
+                path.c_str(),
+                file.get("bench", Value("?")).as_string().c_str(),
+                file.get("smoke", Value(false)).as_bool() ? " (smoke)" : "",
+                static_cast<long long>(
+                    file.get("violations_total", Value(std::int64_t{0}))
+                        .as_int()));
+    TextTable table({"row", "makespan (ms)", "compute", "send wait",
+                     "recv wait", "barrier", "steps", "max pending"});
+    for (const RowView& row : rows_of(file)) {
+      if (row.metrics == nullptr) {
+        table.add_row({row.id, TextTable::fmt(ms(row.makespan_ns), 3), "-",
+                       "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const Value& m = *row.metrics;
+      table.add_row(
+          {row.id, TextTable::fmt(ms(row.makespan_ns), 3),
+           TextTable::fmt(ms(time_field(row, "compute")), 3),
+           TextTable::fmt(ms(time_field(row, "send_wait")), 3),
+           TextTable::fmt(ms(time_field(row, "recv_wait")), 3),
+           TextTable::fmt(ms(time_field(row, "barrier_wait")), 3),
+           std::to_string(
+               m.get("steps_observed", Value(std::int64_t{0})).as_int()),
+           std::to_string(m.get("contention", Value())
+                              .get("max_pending", Value(std::int64_t{0}))
+                              .as_int())});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& old_path, const std::string& new_path) {
+  const Value old_file = cm5::util::json::read_file(old_path);
+  const Value new_file = cm5::util::json::read_file(new_path);
+  std::map<std::string, RowView> old_rows;
+  for (const RowView& row : rows_of(old_file)) old_rows[row.id] = row;
+
+  TextTable table({"row", "old (ms)", "new (ms)", "delta (ms)", "delta %"});
+  std::size_t matched = 0, regressions = 0;
+  for (const RowView& row : rows_of(new_file)) {
+    const auto it = old_rows.find(row.id);
+    if (it == old_rows.end()) {
+      table.add_row({row.id, "(new)", TextTable::fmt(ms(row.makespan_ns), 3),
+                     "-", "-"});
+      continue;
+    }
+    ++matched;
+    const std::int64_t delta = row.makespan_ns - it->second.makespan_ns;
+    if (delta > 0) ++regressions;
+    const double pct =
+        it->second.makespan_ns == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(delta) /
+                  static_cast<double>(it->second.makespan_ns);
+    table.add_row({row.id, TextTable::fmt(ms(it->second.makespan_ns), 3),
+                   TextTable::fmt(ms(row.makespan_ns), 3),
+                   TextTable::fmt(ms(delta), 3), TextTable::fmt(pct, 2)});
+    old_rows.erase(it);
+  }
+  for (const auto& [id, row] : old_rows) {
+    table.add_row({id, TextTable::fmt(ms(row.makespan_ns), 3), "(gone)", "-",
+                   "-"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("%zu row(s) matched, %zu slower in %s\n", matched, regressions,
+              new_path.c_str());
+  return 0;
+}
+
+int cmd_check(const std::vector<std::string>& files) {
+  std::int64_t total = 0;
+  for (const std::string& path : files) {
+    const Value file = cm5::util::json::read_file(path);
+    std::int64_t count =
+        file.get("violations_total", Value(std::int64_t{0})).as_int();
+    for (const RowView& row : rows_of(file)) {
+      if (row.violations == nullptr) continue;
+      for (std::size_t i = 0; i < row.violations->size(); ++i) {
+        std::fprintf(stderr, "%s: %s: %s\n", path.c_str(), row.id.c_str(),
+                     row.violations->at(i).as_string().c_str());
+      }
+    }
+    std::printf("%s: %lld violation(s)\n", path.c_str(),
+                static_cast<long long>(count));
+    total += count;
+  }
+  return total == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_analyzer show FILE...\n"
+               "       trace_analyzer diff OLD NEW\n"
+               "       trace_analyzer check FILE...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) files.emplace_back(argv[i]);
+  try {
+    if (mode == "show" && !files.empty()) return cmd_show(files);
+    if (mode == "diff" && files.size() == 2) {
+      return cmd_diff(files[0], files[1]);
+    }
+    if (mode == "check" && !files.empty()) return cmd_check(files);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_analyzer: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
