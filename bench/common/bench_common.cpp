@@ -1,11 +1,25 @@
 #include "common/bench_common.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 namespace cm5::bench {
+
+namespace {
+
+double wall_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void print_banner(const std::string& artifact, const std::string& what) {
   std::printf("==============================================================\n");
@@ -22,8 +36,12 @@ Measured measure_program(const machine::MachineParams& params,
   machine::Cm5Machine m(params);
   Measured out;
   sim::TraceRecorder recorder;
+  const double t0 = wall_now_ms();
   const sim::RunResult result = m.run_traced(program, recorder.sink());
+  out.wall_ms = wall_now_ms() - t0;
   out.makespan = result.makespan;
+  out.rate_solves = result.network.rate_solves;
+  out.heap_pops = result.network.heap_pops;
   out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
   out.violations = sim::validate_trace(recorder, params.tree.num_nodes, &result);
   return out;
@@ -53,10 +71,14 @@ Measured measure_scheduled_pattern(const sched::CommPattern& pattern,
   machine::Cm5Machine m(machine::MachineParams::cm5_defaults(pattern.nprocs()));
   sched::ExecutorOptions options;
   options.barrier_per_step = step_barriers;
+  const double t0 = wall_now_ms();
   sched::ObservedScheduleRun run =
       sched::run_scheduled_pattern_observed(m, scheduler, pattern, options);
   Measured out;
+  out.wall_ms = wall_now_ms() - t0;
   out.makespan = run.result.makespan;
+  out.rate_solves = run.result.network.rate_solves;
+  out.heap_pops = run.result.network.heap_pops;
   out.metrics = std::move(run.metrics);
   out.violations = std::move(run.violations);
   return out;
@@ -113,9 +135,57 @@ bool env_truthy(const char* name) {
 
 bool smoke_mode() { return env_truthy("CM5_BENCH_SMOKE"); }
 
+bool deterministic_mode() { return env_truthy("CM5_BENCH_DETERMINISTIC"); }
+
+int bench_threads() {
+  if (const char* v = std::getenv("CM5_BENCH_THREADS");
+      v != nullptr && v[0] != '\0') {
+    const int n = std::atoi(v);
+    return n >= 1 ? n : 1;
+  }
+  // Oversubscribe deliberately: a simulated machine spends a sizeable
+  // fraction of wall time with every node thread blocked in a condvar
+  // handoff, so extra concurrent cells productively fill those gaps.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw >= 1 ? 2 * hw : 2);
+}
+
+std::vector<Measured> run_cells(std::vector<std::function<Measured()>> cells) {
+  std::vector<Measured> results(cells.size());
+  const int workers =
+      std::min<int>(bench_threads(), static_cast<int>(cells.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) results[i] = cells[i]();
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto drain = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      try {
+        results[i] = cells[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> g(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
 MetricsEmitter::MetricsEmitter(std::string bench_name)
     : bench_name_(std::move(bench_name)),
-      rows_(util::json::Value::array()) {}
+      rows_(util::json::Value::array()),
+      start_wall_ms_(wall_now_ms()) {}
 
 MetricsEmitter::~MetricsEmitter() {
   try {
@@ -147,6 +217,11 @@ void MetricsEmitter::record(const std::string& id, const Measured& run,
   if (!text.empty()) row["text"] = std::move(text);
   row["makespan_ns"] = run.makespan;
   row["makespan_ms"] = util::to_ms(run.makespan);
+  Value perf = Value::object();
+  perf["wall_ms"] = deterministic_mode() ? 0.0 : run.wall_ms;
+  perf["rate_solves"] = run.rate_solves;
+  perf["heap_pops"] = run.heap_pops;
+  row["perf"] = std::move(perf);
   row["metrics"] = run.metrics.to_json();
   if (!run.violations.empty()) {
     Value v = Value::array();
@@ -155,6 +230,12 @@ void MetricsEmitter::record(const std::string& id, const Measured& run,
     violations_total_ += static_cast<std::int64_t>(run.violations.size());
   }
   rows_.push_back(std::move(row));
+  written_ = false;
+}
+
+void MetricsEmitter::set_perf_baseline(util::json::Value baseline) {
+  perf_baseline_ = std::move(baseline);
+  has_perf_baseline_ = true;
   written_ = false;
 }
 
@@ -180,6 +261,15 @@ void MetricsEmitter::write() {
   root["bench"] = bench_name_;
   root["smoke"] = smoke_mode();
   root["violations_total"] = violations_total_;
+  if (!deterministic_mode()) {
+    // Whole-bench perf trajectory; omitted in deterministic mode so that
+    // serial and parallel sweeps produce byte-identical files.
+    Value perf = Value::object();
+    perf["total_wall_ms"] = wall_now_ms() - start_wall_ms_;
+    perf["threads"] = static_cast<std::int64_t>(bench_threads());
+    if (has_perf_baseline_) perf["baseline"] = perf_baseline_;
+    root["perf"] = std::move(perf);
+  }
   root["rows"] = rows_;  // copy: emitter stays usable after write()
   const char* dir = std::getenv("CM5_BENCH_METRICS_DIR");
   std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir)

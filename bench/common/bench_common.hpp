@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -30,6 +31,11 @@
 ///   CM5_BENCH_METRICS=0    disable the JSON file entirely
 ///   CM5_BENCH_SMOKE=1      smoke mode: smoke_select() picks reduced
 ///                          size lists so CI can run every bench fast
+///   CM5_BENCH_THREADS=N    worker threads for run_cells() sweeps
+///                          (default: a small multiple of the hardware
+///                          threads; 1 forces a serial sweep)
+///   CM5_BENCH_DETERMINISTIC=1  zero all wall-clock fields in the JSON so
+///                          parallel and serial sweeps are byte-identical
 
 namespace cm5::bench {
 
@@ -44,6 +50,14 @@ struct Measured {
   util::SimDuration makespan = 0;
   sim::RunMetrics metrics;
   std::vector<std::string> violations;
+  /// Host wall-clock spent simulating this cell, milliseconds. Purely a
+  /// perf-trajectory observation: simulated results never depend on it,
+  /// and CM5_BENCH_DETERMINISTIC=1 zeroes it in the JSON output.
+  double wall_ms = 0.0;
+  /// Solver/event-lookup work done by the fluid network for this cell
+  /// (NetworkStats::rate_solves / heap_pops), deterministic run to run.
+  std::int64_t rate_solves = 0;
+  std::int64_t heap_pops = 0;
 };
 
 /// Runs `program` on a machine with `params`, traced and analyzed.
@@ -89,6 +103,26 @@ std::string ms(util::SimDuration d);
 /// Formats a simulated duration in seconds with 3 decimals ("14.780").
 std::string secs(util::SimDuration d);
 
+// --- parallel sweeps -------------------------------------------------------
+
+/// Worker-thread count for run_cells: CM5_BENCH_THREADS when set (min 1),
+/// otherwise a small multiple of the hardware threads. Oversubscription
+/// is deliberate: each simulated machine spends much of its wall time
+/// blocked in cross-thread token handoff, so concurrent cells hide that
+/// latency even on a single hardware thread.
+int bench_threads();
+
+/// True when CM5_BENCH_DETERMINISTIC requests byte-stable JSON output
+/// (wall-clock fields zeroed).
+bool deterministic_mode();
+
+/// Runs independent (algorithm, size, message-size) sweep cells on a
+/// pool of bench_threads() workers and returns the results in input
+/// order, so tables and metrics rows are emitted exactly as a serial
+/// sweep would emit them. Cells must not share mutable state. The first
+/// exception thrown by any cell is rethrown after the sweep drains.
+std::vector<Measured> run_cells(std::vector<std::function<Measured()>> cells);
+
 // --- smoke mode ------------------------------------------------------------
 
 /// True when CM5_BENCH_SMOKE is set to a non-empty, non-"0" value.
@@ -125,6 +159,12 @@ class MetricsEmitter {
   /// Records a free-form JSON row (e.g. a resilient-run report).
   void record_json(const std::string& id, util::json::Value row);
 
+  /// Attaches a reference "before" measurement to the whole-bench perf
+  /// section (written as perf.baseline), so the JSON carries both the
+  /// baseline numbers and this run's live total_wall_ms side by side.
+  /// The value should say what was measured, on what, and when.
+  void set_perf_baseline(util::json::Value baseline);
+
   /// Count of invariant violations across all recorded runs.
   std::int64_t violations_total() const noexcept { return violations_total_; }
 
@@ -136,7 +176,10 @@ class MetricsEmitter {
  private:
   std::string bench_name_;
   util::json::Value rows_;
+  util::json::Value perf_baseline_;
+  bool has_perf_baseline_ = false;
   std::int64_t violations_total_ = 0;
+  double start_wall_ms_ = 0.0;  ///< process clock at construction
   bool written_ = false;
 };
 

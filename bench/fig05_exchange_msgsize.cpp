@@ -20,16 +20,28 @@ int main() {
 
   const std::int32_t nprocs = 32;
   bench::MetricsEmitter metrics("fig05_exchange_msgsize");
+  const std::vector<std::int64_t> sizes = bench::smoke_select<std::int64_t>(
+      {0, 64, 128, 256, 512, 1024, 1536, 2048}, {0, 256});
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int64_t bytes : sizes) {
+    for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
+      cells.push_back([nprocs, alg, bytes] {
+        return bench::measure_complete_exchange(nprocs, alg, bytes);
+      });
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
   util::TextTable table({"msg bytes", "Linear (ms)", "Pairwise (ms)",
                          "Recursive (ms)", "Balanced (ms)"});
-  for (const std::int64_t bytes : bench::smoke_select<std::int64_t>(
-           {0, 64, 128, 256, 512, 1024, 1536, 2048}, {0, 256})) {
+  std::size_t cell = 0;
+  for (const std::int64_t bytes : sizes) {
     std::vector<std::string> row{std::to_string(bytes)};
     for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
       const std::string id = std::string(sched::exchange_name(alg)) +
                              "/bytes=" + std::to_string(bytes);
-      row.push_back(
-          metrics.ms_cell(id, bench::measure_complete_exchange(nprocs, alg, bytes)));
+      row.push_back(metrics.ms_cell(id, runs[cell++]));
     }
     table.add_row(std::move(row));
   }

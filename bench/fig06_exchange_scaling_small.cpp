@@ -21,22 +21,38 @@ int main() {
       "Figure 6", "complete exchange vs machine size (0 and 256 bytes)");
 
   bench::MetricsEmitter metrics("fig06_exchange_scaling_small");
-  for (const std::int64_t bytes : {0LL, 256LL}) {
+  const std::int64_t msg_sizes[] = {0, 256};
+  const std::vector<std::int32_t> procs =
+      bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64});
+  const ExchangeAlgorithm algs[] = {ExchangeAlgorithm::Pairwise,
+                                    ExchangeAlgorithm::Recursive,
+                                    ExchangeAlgorithm::Balanced};
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int64_t bytes : msg_sizes) {
+    for (const std::int32_t nprocs : procs) {
+      for (const ExchangeAlgorithm alg : algs) {
+        cells.push_back([nprocs, alg, bytes] {
+          return bench::measure_complete_exchange(nprocs, alg, bytes);
+        });
+      }
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
+  std::size_t cell = 0;
+  for (const std::int64_t bytes : msg_sizes) {
     std::printf("\nmessage size = %lld bytes\n",
                 static_cast<long long>(bytes));
     util::TextTable table(
         {"procs", "Pairwise (ms)", "Recursive (ms)", "Balanced (ms)"});
-    for (const std::int32_t nprocs :
-         bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64})) {
+    for (const std::int32_t nprocs : procs) {
       std::vector<std::string> row{std::to_string(nprocs)};
-      for (const ExchangeAlgorithm alg : {ExchangeAlgorithm::Pairwise,
-                                          ExchangeAlgorithm::Recursive,
-                                          ExchangeAlgorithm::Balanced}) {
+      for (const ExchangeAlgorithm alg : algs) {
         const std::string id = std::string(sched::exchange_name(alg)) +
                                "/procs=" + std::to_string(nprocs) +
                                "/bytes=" + std::to_string(bytes);
-        row.push_back(metrics.ms_cell(
-            id, bench::measure_complete_exchange(nprocs, alg, bytes)));
+        row.push_back(metrics.ms_cell(id, runs[cell++]));
       }
       table.add_row(std::move(row));
     }

@@ -17,18 +17,31 @@ int main() {
                       "complete exchange vs machine size (512 bytes)");
 
   bench::MetricsEmitter metrics("fig07_exchange_scaling_512");
+  const std::vector<std::int32_t> procs =
+      bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64});
+  const ExchangeAlgorithm algs[] = {ExchangeAlgorithm::Pairwise,
+                                    ExchangeAlgorithm::Recursive,
+                                    ExchangeAlgorithm::Balanced};
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int32_t nprocs : procs) {
+    for (const ExchangeAlgorithm alg : algs) {
+      cells.push_back([nprocs, alg] {
+        return bench::measure_complete_exchange(nprocs, alg, 512);
+      });
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
   util::TextTable table(
       {"procs", "Pairwise (ms)", "Recursive (ms)", "Balanced (ms)"});
-  for (const std::int32_t nprocs :
-       bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64})) {
+  std::size_t cell = 0;
+  for (const std::int32_t nprocs : procs) {
     std::vector<std::string> row{std::to_string(nprocs)};
-    for (const ExchangeAlgorithm alg : {ExchangeAlgorithm::Pairwise,
-                                        ExchangeAlgorithm::Recursive,
-                                        ExchangeAlgorithm::Balanced}) {
+    for (const ExchangeAlgorithm alg : algs) {
       const std::string id = std::string(sched::exchange_name(alg)) +
                              "/procs=" + std::to_string(nprocs);
-      row.push_back(
-          metrics.ms_cell(id, bench::measure_complete_exchange(nprocs, alg, 512)));
+      row.push_back(metrics.ms_cell(id, runs[cell++]));
     }
     table.add_row(std::move(row));
   }

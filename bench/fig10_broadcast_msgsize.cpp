@@ -17,18 +17,31 @@ int main() {
 
   const std::int32_t nprocs = 32;
   bench::MetricsEmitter metrics("fig10_broadcast_msgsize");
+  const std::vector<std::int64_t> sizes = bench::smoke_select<std::int64_t>(
+      {0, 256, 512, 1024, 2048, 4096, 8192, 16384}, {0, 1024});
+  const BroadcastAlgorithm algs[] = {BroadcastAlgorithm::Linear,
+                                     BroadcastAlgorithm::Recursive,
+                                     BroadcastAlgorithm::System};
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int64_t bytes : sizes) {
+    for (const BroadcastAlgorithm alg : algs) {
+      cells.push_back([nprocs, alg, bytes] {
+        return bench::measure_broadcast(nprocs, alg, bytes);
+      });
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
   util::TextTable table(
       {"msg bytes", "Linear (ms)", "Recursive (ms)", "System (ms)"});
-  for (const std::int64_t bytes : bench::smoke_select<std::int64_t>(
-           {0, 256, 512, 1024, 2048, 4096, 8192, 16384}, {0, 1024})) {
+  std::size_t cell = 0;
+  for (const std::int64_t bytes : sizes) {
     std::vector<std::string> row{std::to_string(bytes)};
-    for (const BroadcastAlgorithm alg :
-         {BroadcastAlgorithm::Linear, BroadcastAlgorithm::Recursive,
-          BroadcastAlgorithm::System}) {
+    for (const BroadcastAlgorithm alg : algs) {
       const std::string id = std::string(sched::broadcast_name(alg)) +
                              "/bytes=" + std::to_string(bytes);
-      row.push_back(
-          metrics.ms_cell(id, bench::measure_broadcast(nprocs, alg, bytes)));
+      row.push_back(metrics.ms_cell(id, runs[cell++]));
     }
     table.add_row(std::move(row));
   }

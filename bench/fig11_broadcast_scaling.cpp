@@ -23,16 +23,32 @@ int main() {
       bench::smoke_select<std::int32_t>({32, 64, 128, 256}, {32, 64});
   const std::int32_t sys_procs = procs.back();
 
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int32_t nprocs : procs) {
+    for (const std::int64_t bytes : sizes) {
+      cells.push_back([nprocs, bytes] {
+        return bench::measure_broadcast(nprocs, BroadcastAlgorithm::Recursive,
+                                        bytes);
+      });
+    }
+  }
+  for (const std::int64_t bytes : sizes) {
+    cells.push_back([sys_procs, bytes] {
+      return bench::measure_broadcast(sys_procs, BroadcastAlgorithm::System,
+                                      bytes);
+    });
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
   util::TextTable table({"procs", "REB 0B (ms)", "REB 512B (ms)",
                          "REB 1KB (ms)", "REB 2KB (ms)", "REB 4KB (ms)"});
+  std::size_t cell = 0;
   for (const std::int32_t nprocs : procs) {
     std::vector<std::string> row{std::to_string(nprocs)};
     for (const std::int64_t bytes : sizes) {
       const std::string id = "recursive/procs=" + std::to_string(nprocs) +
                              "/bytes=" + std::to_string(bytes);
-      row.push_back(metrics.ms_cell(
-          id, bench::measure_broadcast(nprocs, BroadcastAlgorithm::Recursive,
-                                       bytes)));
+      row.push_back(metrics.ms_cell(id, runs[cell++]));
     }
     table.add_row(std::move(row));
   }
@@ -43,10 +59,7 @@ int main() {
   for (const std::int64_t bytes : sizes) {
     const std::string id = "system/procs=" + std::to_string(sys_procs) +
                            "/bytes=" + std::to_string(bytes);
-    sys.add_row({std::to_string(bytes),
-                 metrics.ms_cell(id, bench::measure_broadcast(
-                                         sys_procs, BroadcastAlgorithm::System,
-                                         bytes))});
+    sys.add_row({std::to_string(bytes), metrics.ms_cell(id, runs[cell++])});
   }
   std::fputs(sys.render().c_str(), stdout);
 

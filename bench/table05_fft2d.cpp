@@ -48,8 +48,24 @@ int main() {
 
   bench::MetricsEmitter metrics("table05_fft2d");
   const int row_count = bench::smoke_mode() ? 1 : 4;
-  for (const std::int32_t nprocs :
-       bench::smoke_select<std::int32_t>({32, 256}, {32})) {
+  const std::vector<std::int32_t> procs =
+      bench::smoke_select<std::int32_t>({32, 256}, {32});
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (const std::int32_t nprocs : procs) {
+    const PaperRow* paper = (nprocs == 32) ? paper32 : paper256;
+    for (int row = 0; row < row_count; ++row) {
+      const std::int32_t n = paper[row].n;
+      for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
+        cells.push_back(
+            [nprocs, alg, n] { return fft_measured(nprocs, alg, n); });
+      }
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
+  std::size_t cell = 0;
+  for (const std::int32_t nprocs : procs) {
     std::printf("\nNo. Procs = %d (seconds; paper value in parentheses)\n",
                 nprocs);
     util::TextTable table({"array", "Linear", "Pairwise", "Recursive",
@@ -57,20 +73,19 @@ int main() {
     const PaperRow* paper = (nprocs == 32) ? paper32 : paper256;
     for (int row = 0; row < row_count; ++row) {
       const std::int32_t n = paper[row].n;
-      std::vector<std::string> cells{std::to_string(n) + "x" +
-                                     std::to_string(n)};
+      std::vector<std::string> cols{std::to_string(n) + "x" +
+                                    std::to_string(n)};
       int alg_index = 0;
       for (const ExchangeAlgorithm alg : sched::kAllExchangeAlgorithms) {
-        const bench::Measured run = fft_measured(nprocs, alg, n);
         const std::string id = std::string(sched::exchange_name(alg)) +
                                "/procs=" + std::to_string(nprocs) +
                                "/n=" + std::to_string(n);
-        cells.push_back(metrics.secs_cell(id, run) + " (" +
-                        util::TextTable::fmt(paper[row].values[alg_index], 3) +
-                        ")");
+        cols.push_back(metrics.secs_cell(id, runs[cell++]) + " (" +
+                       util::TextTable::fmt(paper[row].values[alg_index], 3) +
+                       ")");
         ++alg_index;
       }
-      table.add_row(std::move(cells));
+      table.add_row(std::move(cols));
     }
     std::fputs(table.render().c_str(), stdout);
   }

@@ -41,27 +41,47 @@ int main() {
                                   Scheduler::Balanced, Scheduler::Greedy};
 
   bench::MetricsEmitter metrics("table11_synthetic_irregular");
-  util::TextTable table({"density", "bytes", "Linear (ms)", "Pairwise (ms)",
-                         "Balanced (ms)", "Greedy (ms)"});
+
+  // Patterns are built up front (one per kept table row) and shared
+  // read-only by that row's four scheduler cells.
+  std::vector<const PaperCell*> kept;
+  std::vector<sched::CommPattern> pats;
   for (const PaperCell& cell : paper) {
     // Smoke mode keeps the density extremes at one message size.
     if (bench::smoke_mode() &&
         (cell.bytes != 256 || (cell.density != 0.10 && cell.density != 0.75))) {
       continue;
     }
-    const auto pattern = patterns::exact_density(
-        nprocs, cell.density, cell.bytes, /*seed=*/0xCE5 + static_cast<std::uint64_t>(cell.bytes));
+    kept.push_back(&cell);
+    pats.push_back(patterns::exact_density(
+        nprocs, cell.density, cell.bytes, /*seed=*/0xCE5 + static_cast<std::uint64_t>(cell.bytes)));
+  }
+
+  std::vector<std::function<bench::Measured()>> cells;
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    for (const Scheduler alg : algorithms) {
+      const sched::CommPattern* pattern = &pats[k];
+      cells.push_back(
+          [pattern, alg] { return bench::measure_scheduled_pattern(*pattern, alg); });
+    }
+  }
+  const std::vector<bench::Measured> runs = bench::run_cells(std::move(cells));
+
+  util::TextTable table({"density", "bytes", "Linear (ms)", "Pairwise (ms)",
+                         "Balanced (ms)", "Greedy (ms)"});
+  std::size_t run_index = 0;
+  for (const PaperCell* cellp : kept) {
+    const PaperCell& cell = *cellp;
     std::vector<std::string> row{
         util::TextTable::fmt(cell.density * 100.0, 0) + "%",
         std::to_string(cell.bytes)};
     int alg_index = 0;
     for (const Scheduler alg : algorithms) {
-      const bench::Measured run = bench::measure_scheduled_pattern(pattern, alg);
       const std::string id =
           std::string(sched::scheduler_name(alg)) + "/density=" +
           util::TextTable::fmt(cell.density * 100.0, 0) +
           "/bytes=" + std::to_string(cell.bytes);
-      row.push_back(metrics.ms_cell(id, run) + " (" +
+      row.push_back(metrics.ms_cell(id, runs[run_index++]) + " (" +
                     util::TextTable::fmt(cell.values[alg_index], 3) + ")");
       ++alg_index;
     }

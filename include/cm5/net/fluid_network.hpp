@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "cm5/net/maxmin.hpp"
 #include "cm5/net/topology.hpp"
 #include "cm5/util/time.hpp"
 
@@ -23,6 +25,31 @@
 /// Rate re-solves are batched: starting k flows at the same instant costs
 /// one re-solve, which matters because the paper's algorithms launch whole
 /// steps of flows simultaneously.
+///
+/// Two performance-critical structures back this API (see docs/PERF.md):
+///
+/// * An *incremental* max-min solver. Re-solves only happen when a flow
+///   start/finish or a link-fault capacity change dirties a link, and the
+///   solve itself reuses state built once per flow: the flow→link
+///   adjacency, a FlowId-ordered active list maintained across solves,
+///   and stamp-based link sets, so a solve touches only the links that
+///   actually carry traffic and allocates nothing once warm. Every
+///   active flow is re-frozen each solve — the reference algorithm's
+///   freeze tolerance couples even link-disjoint flows in the last ulp,
+///   so a solve restricted to the flows reachable from the dirtied links
+///   cannot stay bit-identical to it (see resolve_incremental). Flows
+///   are processed in FlowId order so the arithmetic matches the seed
+///   whole-network solve exactly; that solve is retained behind
+///   SolverMode::kOracle as a differential-testing reference.
+///
+/// * A lazy min-heap of projected completion times, so next_event() is a
+///   heap peek instead of a scan over every active flow. Entries are
+///   invalidated by a per-flow epoch counter: each re-solve bumps the
+///   epoch of the flows whose projection changed and pushes a fresh
+///   entry; stale entries are discarded when they surface at the top.
+///   next_event() reprojects the entries within a small window of the
+///   heap top fresh from the current time, so the times it returns are
+///   bit-identical to the original O(F) rescan (see fluid_network.cpp).
 
 namespace cm5::net {
 
@@ -45,11 +72,19 @@ struct NetworkStats {
   std::int64_t flows_completed = 0;
   /// Number of max-min re-solves performed (a cost/behaviour metric).
   std::int64_t rate_solves = 0;
+  /// Number of completion-heap pops (stale-entry discards included) — a
+  /// cost metric for the event-lookup path, reported in bench perf JSON.
+  std::int64_t heap_pops = 0;
 };
 
 /// Flow-level network simulation over a FatTreeTopology.
 class FluidNetwork {
  public:
+  /// Which rate solver resolve_rates() uses. Simulation results are
+  /// identical; kOracle re-solves the whole network from scratch on every
+  /// rate change and exists as the reference for differential tests.
+  enum class SolverMode { kIncremental, kOracle };
+
   explicit FluidNetwork(const FatTreeTopology& topo);
 
   /// Starts a flow of `wire_bytes` from src to dst at time `now`.
@@ -68,7 +103,7 @@ class FluidNetwork {
   std::vector<FlowId> advance_to(util::SimTime t);
 
   /// Number of currently active flows.
-  std::size_t active_flows() const noexcept { return active_.size(); }
+  std::size_t active_flows() const noexcept { return active_count_; }
 
   /// Scales the capacity of one link to `scale` x its topology capacity,
   /// effective from time `now` (fluid state up to `now` progresses at the
@@ -79,28 +114,136 @@ class FluidNetwork {
   /// Current capacity scale of a link (1.0 unless degraded).
   double link_capacity_scale(LinkId link) const;
 
+  /// Selects the rate solver. Only legal while the network is idle (no
+  /// active flows), i.e. before a run or between runs.
+  void set_solver_mode(SolverMode mode);
+  SolverMode solver_mode() const noexcept { return solver_mode_; }
+
+  /// Test hook: the current max-min rate (bytes/s) of an active flow.
+  /// Re-solves if rates are stale, so calling it perturbs rate_solves.
+  double flow_rate(FlowId id);
+
   const NetworkStats& stats() const noexcept { return stats_; }
   const FatTreeTopology& topology() const noexcept { return topo_; }
 
  private:
-  struct Active {
-    FlowId id;
-    NodeId src;
-    NodeId dst;
-    double bytes_remaining;
+  /// Slot-based flow storage: completed flows free their slot for reuse,
+  /// so memory stays proportional to the peak number of concurrent flows.
+  struct Slot {
+    FlowId id = -1;
+    NodeId src = -1;
+    NodeId dst = -1;
+    double bytes_remaining = 0.0;
     double rate = 0.0;
+    /// Route span into the topology's precomputed table (stable).
+    std::span<const LinkId> route;
+    /// Invalidation counter for heap entries; bumped whenever the slot's
+    /// outstanding entry becomes wrong (new projection, flow retired).
+    std::uint64_t epoch = 0;
+    /// Time of this slot's valid heap entry; -1 (kNoHeapEntry) if none.
+    util::SimTime heap_time = -1;
+    bool live = false;
   };
 
+  struct HeapEntry {
+    util::SimTime time;
+    FlowId id;
+    std::uint32_t slot;
+    std::uint64_t epoch;
+  };
+
+  /// Min-heap ordering for std::push_heap/pop_heap (which build max-heaps).
+  static bool heap_later(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.time > b.time;
+  }
+
   void resolve_rates();
+  void resolve_incremental();
+  void resolve_oracle();
+  /// Recomputes a slot's projected completion and (if it changed) pushes
+  /// a fresh heap entry, invalidating the old one via the epoch.
+  void refresh_heap_entry(std::uint32_t si);
+  /// Drops invalid heap entries so the heap never outgrows the live set
+  /// by more than a constant factor.
+  void compact_heap();
+  bool heap_entry_valid(const HeapEntry& e) const;
+  /// Marks a link's rates as needing a re-solve.
+  void mark_dirty(LinkId l);
+  /// Frees a completed flow's slot and dirties the links it occupied.
+  void retire_slot(std::uint32_t si);
   /// Moves fluid state (bytes + busy accounting) forward to time t.
   void progress_to(util::SimTime t);
 
   const FatTreeTopology& topo_;
-  std::vector<Active> active_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_count_ = 0;
+  /// Live-flow count per link, maintained on flow start/retire so a
+  /// solve never recounts routes.
+  std::vector<std::int32_t> flows_on_link_;
+  /// Links with at least one live flow. Appended on a 0→1 count
+  /// transition; entries whose count dropped back to 0 (and duplicates
+  /// from later 0→1 transitions) are swept out at the next solve, so the
+  /// list is exact whenever rates are clean.
+  std::vector<LinkId> live_links_;
   std::vector<double> link_load_;  // bytes/s per link at current rates
   std::vector<double> capacity_scale_;  // degradation multipliers (1 = healthy)
+
+  /// Links whose flow set or capacity changed since the last re-solve.
+  std::vector<LinkId> dirty_links_;
+  std::vector<std::uint8_t> link_dirty_;
+
+  /// Completion-time min-heap (std::push_heap/pop_heap on a vector so
+  /// compact_heap can filter in place).
+  std::vector<HeapEntry> heap_;
+
+  /// Scratch for the incremental solver (persist across calls so a solve
+  /// allocates nothing once warm). Stamp arrays implement O(1) "seen"
+  /// sets without clearing.
+  std::vector<std::uint64_t> link_stamp_;
+  std::uint64_t stamp_gen_ = 0;
+  std::vector<double> residual_;
+  std::vector<std::int32_t> active_on_link_;
+  std::vector<double> link_share_;  // residual/active, +inf when inactive
+  /// Dense mirror of link_share_ over this solve's live links, so the
+  /// per-round min-scan is a contiguous sweep; link_pos_ maps a link id
+  /// to its index here (only valid for the current solve's live links).
+  std::vector<double> fill_shares_;
+  std::vector<std::uint32_t> link_pos_;
+  std::vector<std::uint32_t> fill_flows_;  // per-round unfrozen worklist
+  /// Flows whose rate changed bits in the current solve — the only ones
+  /// whose heap projections need refreshing afterwards.
+  std::vector<std::uint32_t> changed_slots_;
+
+  /// Scratch for next_event's reprojection window: slots popped near the
+  /// heap top whose times are recomputed fresh before being re-pushed.
+  std::vector<std::uint32_t> reproject_scratch_;
+
+  /// Active flows in FlowId order (ids are monotonic, so push_back keeps
+  /// the order). Entries for retired flows — recognisable because the
+  /// slot was freed or reused under a new id — are swept out lazily at
+  /// the start of each incremental solve.
+  struct ActiveRef {
+    FlowId id;
+    std::uint32_t slot;
+  };
+  std::vector<ActiveRef> active_order_;
+
+  /// Memoized next_event() answer: the kernel peeks the next completion
+  /// on every scheduling iteration, but the answer can only change when
+  /// time advances or rates are re-solved (both clear the flag).
+  bool next_cache_valid_ = false;
+  std::optional<util::SimTime> next_cache_;
+
+  /// Scratch for the oracle solver, reused across calls so repeated
+  /// whole-network solves stop reallocating routes/caps every time.
+  std::vector<std::uint32_t> oracle_order_;
+  std::vector<FlowRoute> oracle_routes_;
+  std::vector<double> oracle_caps_;
+
   util::SimTime now_ = 0;
   bool rates_dirty_ = false;
+  SolverMode solver_mode_ = SolverMode::kIncremental;
   FlowId next_id_ = 0;
   NetworkStats stats_;
 };

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 /// \file topology.hpp
@@ -92,7 +93,11 @@ class FatTreeTopology {
   /// The route (sequence of directed links) for a message src -> dst:
   /// inject(src), up-links of src's subtrees below the NCA, down-links of
   /// dst's subtrees below the NCA, eject(dst). Requires src != dst.
-  const std::vector<LinkId>& route(NodeId src, NodeId dst) const;
+  ///
+  /// The returned span points into a route table precomputed at
+  /// construction; it stays valid (and never reallocates) for the
+  /// lifetime of the topology, so callers may cache it per flow.
+  std::span<const LinkId> route(NodeId src, NodeId dst) const;
 
   /// Named link accessors (used by tests and the stats module).
   LinkId inject_link(NodeId n) const;
@@ -117,8 +122,14 @@ class FatTreeTopology {
   // ceil(N/arity^l), then down x ceil(N/arity^l)].
   std::vector<std::int32_t> level_offset_;  // first link id of level l's ups
   std::vector<std::int32_t> level_count_;   // number of subtrees at level l
-  // Route cache, indexed src * N + dst (empty vector on the diagonal).
-  mutable std::vector<std::vector<LinkId>> route_cache_;
+  // Precomputed route table: pair (src, dst) occupies the fixed-stride
+  // slice route_table_[(src * N + dst) * route_stride_ ..] with
+  // route_len_[src * N + dst] valid entries (0 on the diagonal). A flat
+  // table instead of per-pair vectors keeps route() allocation-free and
+  // lets FluidNetwork hold spans into it for the lifetime of a flow.
+  std::size_t route_stride_ = 0;
+  std::vector<LinkId> route_table_;
+  std::vector<std::uint8_t> route_len_;
 };
 
 }  // namespace cm5::net

@@ -280,6 +280,20 @@ class Kernel {
 
   enum class TimerKind : std::uint8_t { Recv, Barrier };
 
+  /// Lazily-invalidated entry of the runnable-node heap. An entry is
+  /// valid iff its node is still Runnable at exactly this clock; any
+  /// wake/advance pushes a fresh entry, and stale ones (whose clocks are
+  /// necessarily <= the node's current clock) surface at the top early
+  /// and are discarded. Keeps schedule_next at O(log N) instead of a
+  /// scan over every node per scheduling decision.
+  struct RunnableEntry {
+    util::SimTime clock;
+    NodeId node;
+    bool operator>(const RunnableEntry& other) const noexcept {
+      return std::tie(clock, node) > std::tie(other.clock, other.node);
+    }
+  };
+
   /// Deadline of a timed wait. Timers are never cancelled: a stale timer
   /// is detected at fire time via the owner's wait generation and state.
   struct Timer {
@@ -346,6 +360,10 @@ class Kernel {
   void maybe_complete_global_op(util::SimTime now, NodeId completer);
   void recompute_gop_max_arrival();
   void wake_node(NodeId id, util::SimTime t);
+  /// Records that `id` is Runnable at its current clock (must be called
+  /// after every transition to Runnable and every clock change while
+  /// Runnable, or schedule_next will not consider the node).
+  void push_runnable(NodeId id);
   void check_abort(NodeId me) const;
   std::string deadlock_report() const;
   void node_main(const NodeProgram& program, NodeId id);
@@ -369,6 +387,9 @@ class Kernel {
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
                       std::greater<QueuedEvent>>
       event_queue_;
+  std::priority_queue<RunnableEntry, std::vector<RunnableEntry>,
+                      std::greater<RunnableEntry>>
+      runnable_queue_;
   std::int64_t event_seq_ = 0;
   std::int64_t send_seq_ = 0;
 

@@ -13,15 +13,50 @@ namespace {
 /// Residual below which a flow counts as complete; far below one packet.
 constexpr double kDoneEpsilonBytes = 1e-6;
 
+/// Sentinel for Slot::heap_time: no outstanding heap entry.
+constexpr util::SimTime kNoHeapEntry = -1;
+
+/// Maximum divergence (ns) between a cached heap projection and a fresh
+/// recompute of the same completion instant. Both describe the same
+/// real-valued time; they differ only by ceil discretization of the two
+/// anchor points (≤ 1 ns each) plus sub-ns float error. next_event pops
+/// everything within 2x this slack of the heap top and reprojects it
+/// fresh from now_, which keeps returned event times identical to a
+/// full O(F) rescan.
+constexpr util::SimTime kProjectionSlackNs = 2;
+
 }  // namespace
 
 FluidNetwork::FluidNetwork(const FatTreeTopology& topo) : topo_(topo) {
+  const auto num_links = static_cast<std::size_t>(topo_.num_links());
   stats_.bytes_by_level.assign(static_cast<std::size_t>(topo_.levels()) + 1, 0.0);
-  stats_.bytes_by_link.assign(static_cast<std::size_t>(topo_.num_links()), 0.0);
-  stats_.link_busy_seconds.assign(static_cast<std::size_t>(topo_.num_links()),
-                                  0.0);
-  link_load_.assign(static_cast<std::size_t>(topo_.num_links()), 0.0);
-  capacity_scale_.assign(static_cast<std::size_t>(topo_.num_links()), 1.0);
+  stats_.bytes_by_link.assign(num_links, 0.0);
+  stats_.link_busy_seconds.assign(num_links, 0.0);
+  link_load_.assign(num_links, 0.0);
+  capacity_scale_.assign(num_links, 1.0);
+  flows_on_link_.assign(num_links, 0);
+  link_dirty_.assign(num_links, 0);
+  link_stamp_.assign(num_links, 0);
+  residual_.assign(num_links, 0.0);
+  active_on_link_.assign(num_links, 0);
+  link_share_.assign(num_links, 0.0);
+  link_pos_.assign(num_links, 0);
+}
+
+void FluidNetwork::set_solver_mode(SolverMode mode) {
+  // A pending re-solve with no active flows is harmless (both solvers
+  // just zero the dirty links' loads), so idle == no active flows.
+  CM5_CHECK_MSG(active_count_ == 0,
+                "solver mode can only change while the network is idle");
+  solver_mode_ = mode;
+}
+
+void FluidNetwork::mark_dirty(LinkId l) {
+  auto& flag = link_dirty_[static_cast<std::size_t>(l)];
+  if (!flag) {
+    flag = 1;
+    dirty_links_.push_back(l);
+  }
 }
 
 void FluidNetwork::set_link_capacity_scale(util::SimTime now, LinkId link,
@@ -32,6 +67,7 @@ void FluidNetwork::set_link_capacity_scale(util::SimTime now, LinkId link,
   if (rates_dirty_) resolve_rates();
   progress_to(now);
   capacity_scale_[static_cast<std::size_t>(link)] = scale;
+  mark_dirty(link);
   rates_dirty_ = true;
 }
 
@@ -42,16 +78,23 @@ double FluidNetwork::link_capacity_scale(LinkId link) const {
 void FluidNetwork::progress_to(util::SimTime t) {
   const double dt = util::to_seconds(t - now_);
   if (dt > 0.0) {
+    next_cache_valid_ = false;
     if (rates_dirty_) resolve_rates();
-    for (Active& f : active_) {
+    for (Slot& f : slots_) {
+      if (!f.live) continue;
       f.bytes_remaining = std::max(0.0, f.bytes_remaining - f.rate * dt);
     }
-    for (std::size_t l = 0; l < link_load_.size(); ++l) {
+    // Only links on a live flow's route can carry load: rates were just
+    // resolved above if anything was dirty, and a resolve both compacts
+    // live_links_ and zeroes the load of every link that lost its flows.
+    for (const LinkId link : live_links_) {
+      const auto l = static_cast<std::size_t>(link);
       if (link_load_[l] <= 0.0) continue;
-      const double cap =
-          topo_.link(static_cast<LinkId>(l)).capacity * capacity_scale_[l];
-      stats_.link_busy_seconds[l] +=
-          dt * std::min(1.0, cap > 0.0 ? link_load_[l] / cap : 1.0);
+      const double cap = topo_.link(link).capacity * capacity_scale_[l];
+      // A stalled link (capacity scaled to 0) carries no fluid at all —
+      // it is idle, not saturated, so it contributes no busy time.
+      if (cap <= 0.0) continue;
+      stats_.link_busy_seconds[l] += dt * std::min(1.0, link_load_[l] / cap);
     }
   }
   now_ = t;
@@ -69,10 +112,33 @@ FlowId FluidNetwork::start_flow(util::SimTime now, NodeId src, NodeId dst,
   progress_to(now);
 
   const FlowId id = next_id_++;
-  active_.push_back(Active{id, src, dst, wire_bytes, 0.0});
+  std::uint32_t si;
+  if (!free_slots_.empty()) {
+    si = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    si = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& f = slots_[si];
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.bytes_remaining = wire_bytes;
+  f.rate = 0.0;
+  f.route = topo_.route(src, dst);
+  f.heap_time = kNoHeapEntry;
+  f.live = true;
+  ++active_count_;
+  active_order_.push_back(ActiveRef{id, si});  // ids grow: stays sorted
+
   rates_dirty_ = true;
   ++stats_.flows_started;
-  for (LinkId l : topo_.route(src, dst)) {
+  for (LinkId l : f.route) {
+    if (flows_on_link_[static_cast<std::size_t>(l)]++ == 0) {
+      live_links_.push_back(l);
+    }
+    mark_dirty(l);
     stats_.bytes_by_link[static_cast<std::size_t>(l)] += wire_bytes;
     stats_.bytes_by_level[static_cast<std::size_t>(topo_.link_level(l))] +=
         wire_bytes;
@@ -80,47 +146,341 @@ FlowId FluidNetwork::start_flow(util::SimTime now, NodeId src, NodeId dst,
   return id;
 }
 
+bool FluidNetwork::heap_entry_valid(const HeapEntry& e) const {
+  const Slot& f = slots_[e.slot];
+  return f.live && f.id == e.id && f.epoch == e.epoch;
+}
+
+void FluidNetwork::refresh_heap_entry(std::uint32_t si) {
+  Slot& f = slots_[si];
+  util::SimTime t;
+  if (f.bytes_remaining <= kDoneEpsilonBytes) {
+    t = now_;
+  } else if (f.rate <= 0.0) {
+    // Fully blocked flow: no projected completion. Invalidate any
+    // outstanding entry so the heap reflects "cannot finish".
+    if (f.heap_time != kNoHeapEntry) {
+      ++f.epoch;
+      f.heap_time = kNoHeapEntry;
+    }
+    return;
+  } else {
+    t = now_ + util::transfer_time(f.bytes_remaining, f.rate);
+  }
+  if (f.heap_time == t) return;  // outstanding entry is already right
+  ++f.epoch;
+  f.heap_time = t;
+  heap_.push_back(HeapEntry{t, f.id, si, f.epoch});
+  std::push_heap(heap_.begin(), heap_.end(), heap_later);
+}
+
+void FluidNetwork::compact_heap() {
+  if (heap_.size() <= 64 || heap_.size() <= 4 * active_count_ + 64) return;
+  std::erase_if(heap_,
+                [this](const HeapEntry& e) { return !heap_entry_valid(e); });
+  std::make_heap(heap_.begin(), heap_.end(), heap_later);
+}
+
 void FluidNetwork::resolve_rates() {
   if (!rates_dirty_) return;
-  std::vector<FlowRoute> routes;
-  routes.reserve(active_.size());
-  std::vector<double> caps(static_cast<std::size_t>(topo_.num_links()));
-  for (std::int32_t l = 0; l < topo_.num_links(); ++l) {
-    caps[static_cast<std::size_t>(l)] =
-        topo_.link(l).capacity * capacity_scale_[static_cast<std::size_t>(l)];
+  next_cache_valid_ = false;
+  if (solver_mode_ == SolverMode::kOracle) {
+    resolve_oracle();
+  } else {
+    resolve_incremental();
   }
-  for (const Active& f : active_) {
-    routes.push_back(FlowRoute{topo_.route(f.src, f.dst)});
-  }
-  const std::vector<double> rates = solve_max_min(routes, caps);
-  std::fill(link_load_.begin(), link_load_.end(), 0.0);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    active_[i].rate = rates[i];
-    for (LinkId l : topo_.route(active_[i].src, active_[i].dst)) {
-      link_load_[static_cast<std::size_t>(l)] += rates[i];
-    }
-  }
+  for (LinkId l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
+  compact_heap();
   rates_dirty_ = false;
   ++stats_.rate_solves;
 }
 
-std::optional<util::SimTime> FluidNetwork::next_event() {
-  if (active_.empty()) return std::nullopt;
-  resolve_rates();
-  util::SimTime best = util::kTimeNever;
-  for (const Active& f : active_) {
-    util::SimTime t;
-    if (f.bytes_remaining <= kDoneEpsilonBytes) {
-      t = now_;
-    } else if (f.rate <= 0.0) {
-      t = util::kTimeNever;  // fully blocked link; cannot finish
-    } else {
-      t = now_ + util::transfer_time(f.bytes_remaining, f.rate);
-    }
-    best = std::min(best, t);
+void FluidNetwork::resolve_incremental() {
+  // Re-freeze every active flow, incrementally. One could hope to
+  // restrict the solve to the connected component of the flow/link
+  // sharing graph reachable from the dirtied links — the *exact* rates
+  // of flows outside it cannot change — but the reference algorithm's
+  // freeze tolerance couples even link-disjoint flows: a flow freezes
+  // when one of its links' fair share is within 1e-12 of the round
+  // share, and the round share is a *global* minimum that may come from
+  // an unrelated link. A restricted solve therefore drifts from the
+  // whole-network solve in the last ulp, which is enough to move a
+  // ceil'd completion time by 1 ns and desynchronise an exchange. So
+  // the fast path keeps the global round structure and wins instead on
+  // bookkeeping: the FlowId-ordered active list and flow→link adjacency
+  // persist across solves, only links actually carrying traffic are
+  // scanned, and nothing allocates once warm.
+  // Sweep the active list: drop retired entries (freed or reused slots)
+  // in place. FlowIds are monotonic and the sweep is stable, so the list
+  // stays in FlowId order — the order the reference solve processes
+  // flows in.
+  changed_slots_.clear();
+  std::size_t live_count = 0;
+  for (const ActiveRef ref : active_order_) {
+    const Slot& f = slots_[ref.slot];
+    if (!f.live || f.id != ref.id) continue;
+    active_order_[live_count++] = ref;
   }
-  if (best == util::kTimeNever) return std::nullopt;
-  return best;
+  active_order_.resize(live_count);
+
+  // Sweep the live-link list likewise: drop links whose flows have all
+  // retired, and duplicates left by repeated 0→1 count transitions (the
+  // stamp marks first occurrences within this solve).
+  const std::uint64_t gen = ++stamp_gen_;
+  std::size_t live_link_count = 0;
+  for (const LinkId l : live_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    if (flows_on_link_[li] == 0 || link_stamp_[li] == gen) continue;
+    link_stamp_[li] = gen;
+    live_links_[live_link_count++] = l;
+  }
+  live_links_.resize(live_link_count);
+
+  // link_share_ caches residual/active for every link that still has
+  // unfrozen flows, updated with the reference algorithm's exact
+  // expression on every mutation, so both the min-scan and the per-flow
+  // bottleneck checks below read a double that is bit-identical to
+  // recomputing the division in place (links without unfrozen flows hold
+  // +inf, which neither wins a min nor passes a <= tolerance check).
+  // fill_shares_ mirrors the same values densely — one entry per live
+  // link, kept in sync through link_pos_ — so the per-round min-scan is
+  // a straight (vectorizable) sweep over a contiguous double array
+  // instead of a gather through the link-indexed tables.
+  fill_shares_.resize(live_links_.size());
+  for (std::size_t i = 0; i < live_links_.size(); ++i) {
+    const auto li = static_cast<std::size_t>(live_links_[i]);
+    residual_[li] = topo_.link(live_links_[i]).capacity * capacity_scale_[li];
+    active_on_link_[li] = flows_on_link_[li];
+    link_share_[li] = residual_[li] / active_on_link_[li];
+    fill_shares_[i] = link_share_[li];
+    link_pos_[li] = static_cast<std::uint32_t>(i);
+  }
+  fill_flows_.resize(active_order_.size());
+  for (std::uint32_t k = 0; k < active_order_.size(); ++k) fill_flows_[k] = k;
+  const std::size_t num_links = fill_shares_.size();
+  std::size_t unfrozen = active_order_.size();
+  while (unfrozen > 0) {
+    // Most constrained link: minimum fair share among links with traffic.
+    // Links whose flows all froze hold +inf and never win. The shares
+    // are non-negative and NaN-free, so the minimum is order-independent
+    // down to the bit; the 4-way unroll only breaks the dependency chain
+    // (the compiler will not reorder a conditional FP min itself).
+    double m0 = std::numeric_limits<double>::infinity();
+    double m1 = m0, m2 = m0, m3 = m0;
+    std::size_t j = 0;
+    for (; j + 4 <= num_links; j += 4) {
+      m0 = std::min(m0, fill_shares_[j]);
+      m1 = std::min(m1, fill_shares_[j + 1]);
+      m2 = std::min(m2, fill_shares_[j + 2]);
+      m3 = std::min(m3, fill_shares_[j + 3]);
+    }
+    for (; j < num_links; ++j) m0 = std::min(m0, fill_shares_[j]);
+    double share = std::min(std::min(m0, m1), std::min(m2, m3));
+    CM5_CHECK_MSG(share < std::numeric_limits<double>::infinity(),
+                  "unfrozen flow with no active link");
+    if (share < 0.0) share = 0.0;  // guard against FP round-down of residuals
+    const double tol = share * (1.0 + 1e-12);
+
+    // Freeze every flow whose path touches a link at exactly this share.
+    // The scan is sequential by construction — an earlier freeze in the
+    // round updates the shares later flows are checked against — and the
+    // compaction is stable, so unfrozen flows are always visited in
+    // FlowId order, exactly as the reference does.
+    bool froze_any = false;
+    std::size_t wf = 0;
+    for (std::size_t i = 0; i < unfrozen; ++i) {
+      const std::uint32_t k = fill_flows_[i];
+      Slot& f = slots_[active_order_[k].slot];
+      bool bottlenecked = false;
+      for (LinkId l : f.route) {
+        if (link_share_[static_cast<std::size_t>(l)] <= tol) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) {
+        fill_flows_[wf++] = k;
+        continue;
+      }
+      if (f.rate != share) {
+        f.rate = share;
+        changed_slots_.push_back(active_order_[k].slot);
+      }
+      froze_any = true;
+      for (LinkId l : f.route) {
+        const auto li = static_cast<std::size_t>(l);
+        residual_[li] -= share;
+        if (residual_[li] < 0.0) residual_[li] = 0.0;
+        const std::int32_t remaining = --active_on_link_[li];
+        link_share_[li] = remaining > 0
+                              ? residual_[li] / remaining
+                              : std::numeric_limits<double>::infinity();
+        fill_shares_[link_pos_[li]] = link_share_[li];
+      }
+    }
+    unfrozen = wf;
+    CM5_CHECK_MSG(froze_any, "progressive filling failed to make progress");
+  }
+
+  // Rebuild link loads, in FlowId order so the partial sums match a
+  // whole-network rebuild. Dirtied links not on any active route (for
+  // example a link whose last flow just retired) must drop to zero.
+  for (LinkId l : dirty_links_) {
+    link_load_[static_cast<std::size_t>(l)] = 0.0;
+  }
+  for (LinkId l : live_links_) {
+    link_load_[static_cast<std::size_t>(l)] = 0.0;
+  }
+  for (const ActiveRef ref : active_order_) {
+    const Slot& f = slots_[ref.slot];
+    for (LinkId l : f.route) {
+      link_load_[static_cast<std::size_t>(l)] += f.rate;
+    }
+  }
+  // Refresh projections only for flows whose rate actually changed bits.
+  // A flow whose rate is bit-unchanged progressed linearly at that rate
+  // since its entry was pushed, so the cached projection still describes
+  // the same real-valued completion instant and stays within
+  // kProjectionSlackNs of a fresh one — exactly the invariant
+  // next_event()'s reprojection window is built on.
+  for (const std::uint32_t si : changed_slots_) refresh_heap_entry(si);
+}
+
+void FluidNetwork::resolve_oracle() {
+  // The seed whole-network solve: every active flow, every link, from
+  // scratch via solve_max_min. Kept as the reference oracle for
+  // differential testing of the incremental path. Scratch vectors are
+  // members so repeated solves allocate nothing once warm.
+  // progress_to's busy accounting walks live_links_ and assumes each
+  // solve leaves it duplicate-free, so sweep it here exactly as the
+  // incremental solve does.
+  const std::uint64_t gen = ++stamp_gen_;
+  std::size_t live_link_count = 0;
+  for (const LinkId l : live_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    if (flows_on_link_[li] == 0 || link_stamp_[li] == gen) continue;
+    link_stamp_[li] = gen;
+    live_links_[live_link_count++] = l;
+  }
+  live_links_.resize(live_link_count);
+
+  oracle_order_.clear();
+  oracle_order_.reserve(active_count_);
+  for (std::uint32_t si = 0; si < slots_.size(); ++si) {
+    if (slots_[si].live) oracle_order_.push_back(si);
+  }
+  std::sort(oracle_order_.begin(), oracle_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].id < slots_[b].id;
+            });
+  oracle_caps_.resize(static_cast<std::size_t>(topo_.num_links()));
+  for (std::int32_t l = 0; l < topo_.num_links(); ++l) {
+    oracle_caps_[static_cast<std::size_t>(l)] =
+        topo_.link(l).capacity * capacity_scale_[static_cast<std::size_t>(l)];
+  }
+  oracle_routes_.clear();
+  oracle_routes_.reserve(oracle_order_.size());
+  for (std::uint32_t si : oracle_order_) {
+    oracle_routes_.push_back(FlowRoute{slots_[si].route});
+  }
+  const std::vector<double> rates = solve_max_min(oracle_routes_, oracle_caps_);
+  std::fill(link_load_.begin(), link_load_.end(), 0.0);
+  for (std::size_t i = 0; i < oracle_order_.size(); ++i) {
+    Slot& f = slots_[oracle_order_[i]];
+    f.rate = rates[i];
+    for (LinkId l : f.route) {
+      link_load_[static_cast<std::size_t>(l)] += f.rate;
+    }
+  }
+  for (std::uint32_t si : oracle_order_) refresh_heap_entry(si);
+}
+
+std::optional<util::SimTime> FluidNetwork::next_event() {
+  if (active_count_ == 0) return std::nullopt;
+  resolve_rates();
+  // The kernel peeks this on every scheduling iteration; the answer can
+  // only change when time advances or rates are re-solved.
+  if (next_cache_valid_) return next_cache_;
+  // The contract (inherited from the pre-heap implementation, and relied
+  // on for bitwise reproducibility) is that the returned time equals
+  //   min over active flows of: now_ + transfer_time(bytes_remaining, rate)
+  // computed *fresh at this call*. A cached heap projection was ceil()ed
+  // at an earlier now_ with larger bytes_remaining; it describes the same
+  // real-valued completion instant but its rounding can land within
+  // kProjectionSlackNs of the fresh value on either side. So: pop every
+  // valid entry whose cached time is within 2x that slack of the top,
+  // recompute those projections fresh, re-push them, and return the fresh
+  // minimum. No entry outside the window can beat it, because cached and
+  // fresh times differ by at most the slack.
+  for (;;) {
+    while (!heap_.empty() && !heap_entry_valid(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+      heap_.pop_back();
+      ++stats_.heap_pops;
+    }
+    if (heap_.empty()) {
+      // Every active flow is blocked on a stalled link; nothing can
+      // finish.
+      next_cache_ = std::nullopt;
+      next_cache_valid_ = true;
+      return next_cache_;
+    }
+    const util::SimTime window_end =
+        heap_.front().time + 2 * kProjectionSlackNs;
+    reproject_scratch_.clear();
+    while (!heap_.empty()) {
+      const HeapEntry e = heap_.front();
+      if (!heap_entry_valid(e)) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+        heap_.pop_back();
+        ++stats_.heap_pops;
+        continue;
+      }
+      if (e.time > window_end) break;
+      std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+      heap_.pop_back();
+      ++stats_.heap_pops;
+      reproject_scratch_.push_back(e.slot);
+    }
+    util::SimTime best = util::kTimeNever;
+    for (const std::uint32_t si : reproject_scratch_) {
+      Slot& f = slots_[si];
+      ++f.epoch;  // the popped entry is gone; invalidate its cache record
+      if (f.rate <= 0.0 && f.bytes_remaining > kDoneEpsilonBytes) {
+        f.heap_time = kNoHeapEntry;  // blocked; re-enters on next resolve
+        continue;
+      }
+      const util::SimTime fresh =
+          f.bytes_remaining <= kDoneEpsilonBytes
+              ? now_
+              : now_ + util::transfer_time(f.bytes_remaining, f.rate);
+      f.heap_time = fresh;
+      heap_.push_back(HeapEntry{fresh, f.id, si, f.epoch});
+      std::push_heap(heap_.begin(), heap_.end(), heap_later);
+      best = std::min(best, fresh);
+    }
+    if (best != util::kTimeNever) {
+      next_cache_ = best;
+      next_cache_valid_ = true;
+      return next_cache_;
+    }
+    // Every candidate in the window was blocked (possible only in exotic
+    // fault interleavings); retry against the remaining entries.
+  }
+}
+
+void FluidNetwork::retire_slot(std::uint32_t si) {
+  Slot& f = slots_[si];
+  for (LinkId l : f.route) {
+    --flows_on_link_[static_cast<std::size_t>(l)];
+    mark_dirty(l);
+  }
+  f.live = false;
+  ++f.epoch;  // invalidate any outstanding heap entry
+  f.heap_time = kNoHeapEntry;
+  --active_count_;
+  free_slots_.push_back(si);
 }
 
 std::vector<FlowId> FluidNetwork::advance_to(util::SimTime t) {
@@ -129,18 +489,28 @@ std::vector<FlowId> FluidNetwork::advance_to(util::SimTime t) {
   progress_to(t);
 
   std::vector<FlowId> done;
-  for (const Active& f : active_) {
-    if (f.bytes_remaining <= kDoneEpsilonBytes) done.push_back(f.id);
+  for (std::uint32_t si = 0; si < slots_.size(); ++si) {
+    const Slot& f = slots_[si];
+    if (f.live && f.bytes_remaining <= kDoneEpsilonBytes) {
+      done.push_back(f.id);
+      retire_slot(si);
+    }
   }
   if (!done.empty()) {
-    std::erase_if(active_, [](const Active& f) {
-      return f.bytes_remaining <= kDoneEpsilonBytes;
-    });
     std::sort(done.begin(), done.end());
     stats_.flows_completed += static_cast<std::int64_t>(done.size());
     rates_dirty_ = true;
   }
   return done;
+}
+
+double FluidNetwork::flow_rate(FlowId id) {
+  resolve_rates();
+  for (const Slot& f : slots_) {
+    if (f.live && f.id == id) return f.rate;
+  }
+  CM5_CHECK_MSG(false, "flow_rate on a flow that is not active");
+  return 0.0;
 }
 
 }  // namespace cm5::net

@@ -56,7 +56,35 @@ FatTreeTopology::FatTreeTopology(FatTreeConfig config) : config_(config) {
     size_l *= config_.arity;
   }
 
-  route_cache_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  // Precompute the full route table. Every route has exactly
+  // 2 * nca_height links, so a fixed stride of 2 * levels_ per pair
+  // holds any of them; the table is O(N^2 * levels) ints, small even at
+  // the largest modelled partitions (256 nodes: ~2 MB).
+  route_stride_ = static_cast<std::size_t>(2 * levels_);
+  const std::size_t pairs =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  route_table_.assign(pairs * route_stride_, 0);
+  route_len_.assign(pairs, 0);
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const std::size_t pair = static_cast<std::size_t>(src) *
+                                   static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(dst);
+      LinkId* out = route_table_.data() + pair * route_stride_;
+      std::size_t len = 0;
+      const std::int32_t h = nca_height(src, dst);
+      out[len++] = inject_link(src);
+      for (std::int32_t l = 1; l < h && l < levels_; ++l) {
+        out[len++] = up_link(l, src);
+      }
+      for (std::int32_t l = std::min(h - 1, levels_ - 1); l >= 1; --l) {
+        out[len++] = down_link(l, dst);
+      }
+      out[len++] = eject_link(dst);
+      route_len_[pair] = static_cast<std::uint8_t>(len);
+    }
+  }
 }
 
 double FatTreeTopology::per_node_bw(std::int32_t height) const {
@@ -112,25 +140,13 @@ std::int32_t FatTreeTopology::link_level(LinkId id) const {
   return link_levels_[static_cast<std::size_t>(id)];
 }
 
-const std::vector<LinkId>& FatTreeTopology::route(NodeId src, NodeId dst) const {
+std::span<const LinkId> FatTreeTopology::route(NodeId src, NodeId dst) const {
   CM5_CHECK_MSG(src != dst, "no route from a node to itself");
   CM5_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
-  auto& cached = route_cache_[static_cast<std::size_t>(src) *
-                                  static_cast<std::size_t>(num_nodes()) +
-                              static_cast<std::size_t>(dst)];
-  if (!cached.empty()) return cached;
-
-  const std::int32_t h = nca_height(src, dst);
-  std::vector<LinkId> path;
-  path.reserve(static_cast<std::size_t>(2 * h));
-  path.push_back(inject_link(src));
-  for (std::int32_t l = 1; l < h && l < levels_; ++l) path.push_back(up_link(l, src));
-  for (std::int32_t l = std::min(h - 1, levels_ - 1); l >= 1; --l) {
-    path.push_back(down_link(l, dst));
-  }
-  path.push_back(eject_link(dst));
-  cached = std::move(path);
-  return cached;
+  const std::size_t pair = static_cast<std::size_t>(src) *
+                               static_cast<std::size_t>(num_nodes()) +
+                           static_cast<std::size_t>(dst);
+  return {route_table_.data() + pair * route_stride_, route_len_[pair]};
 }
 
 }  // namespace cm5::net

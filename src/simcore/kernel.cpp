@@ -1,6 +1,7 @@
 #include "cm5/sim/kernel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -33,6 +34,7 @@ void NodeHandle::advance(util::SimDuration d) {
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   me.clock += d;
   me.counters.compute_time += d;
+  k.push_runnable(id_);
   k.emit(TraceEvent::Kind::Compute, me.clock, id_, -1, d);
   k.yield(lock, id_);
   k.check_abort(id_);
@@ -406,12 +408,17 @@ void Kernel::yield(std::unique_lock<std::mutex>& lock, NodeId me) {
   wait_for_token(lock, me);
 }
 
+void Kernel::push_runnable(NodeId id) {
+  runnable_queue_.push(RunnableEntry{nodes_[idx(id)]->clock, id});
+}
+
 void Kernel::wake_node(NodeId id, util::SimTime t) {
   NodeState& st = *nodes_[idx(id)];
   CM5_CHECK(st.status == NodeStatus::Blocked);
   CM5_CHECK_MSG(st.clock <= t, "waking a node into its past");
   st.clock = t;
   st.status = NodeStatus::Runnable;
+  push_runnable(id);
 }
 
 void Kernel::start_raw_transfer(util::SimTime match_time, NodeId src,
@@ -595,14 +602,23 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
       return;
     }
 
+    // Earliest runnable node: peek the lazy heap, discarding entries
+    // whose node has since blocked, finished, or moved its clock. A
+    // valid entry is left in place — the node stays runnable at that
+    // clock until it acts, and the next call needs the same answer.
+    // Stale entries never hide valid ones: a node's stale clocks are
+    // <= its current clock, so they surface (and are dropped) first.
     NodeId best = -1;
     util::SimTime best_t = util::kTimeNever;
-    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
-      const NodeState& st = *nodes_[idx(n)];
-      if (st.status == NodeStatus::Runnable && st.clock < best_t) {
-        best = n;
-        best_t = st.clock;
+    while (!runnable_queue_.empty()) {
+      const RunnableEntry e = runnable_queue_.top();
+      const NodeState& st = *nodes_[idx(e.node)];
+      if (st.status == NodeStatus::Runnable && st.clock == e.clock) {
+        best = e.node;
+        best_t = e.clock;
+        break;
       }
+      runnable_queue_.pop();
     }
 
     // Earliest pending event. Ties resolve by category, in this order:
@@ -846,6 +862,7 @@ void Kernel::apply_death(NodeId node, util::SimTime t) {
   // call throws NodeKilledError).
   st.clock = std::max(st.clock, t);
   if (st.status == NodeStatus::Blocked) st.status = NodeStatus::Runnable;
+  if (st.status == NodeStatus::Runnable) push_runnable(node);
 
   // Its departure may complete a global op among the survivors.
   maybe_complete_global_op(t, node);
@@ -930,6 +947,13 @@ RunResult Kernel::run(const NodeProgram& program) {
   CM5_CHECK(n >= 1);
 
   fluid_ = std::make_unique<net::FluidNetwork>(topo_);
+  // CM5_SOLVER_ORACLE=1 swaps in the reference whole-network rate solver
+  // for every run — a differential lever for bisecting any suspected
+  // fast-path divergence without recompiling (see docs/PERF.md §2).
+  if (const char* mode = std::getenv("CM5_SOLVER_ORACLE");
+      mode != nullptr && mode[0] == '1' && mode[1] == '\0') {
+    fluid_->set_solver_mode(net::FluidNetwork::SolverMode::kOracle);
+  }
   nodes_.clear();
   for (std::int32_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<NodeState>());
@@ -937,6 +961,8 @@ RunResult Kernel::run(const NodeProgram& program) {
   send_queues_.assign(static_cast<std::size_t>(n), {});
   pending_swaps_.clear();
   event_queue_ = {};
+  runnable_queue_ = {};
+  for (NodeId i = 0; i < n; ++i) push_runnable(i);  // all start at time 0
   event_seq_ = 0;
   send_seq_ = 0;
   transfers_.clear();

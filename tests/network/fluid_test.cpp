@@ -153,6 +153,100 @@ TEST(FluidTest, StatsAccumulateByLevel) {
   EXPECT_DOUBLE_EQ(s.bytes_by_level[2], 2000.0);
 }
 
+TEST(FluidTest, StalledLinkAccruesNoBusyTime) {
+  // Regression: a link driven to capacity scale 0 used to divide by its
+  // zero capacity in the busy-time integral, polluting link_busy_seconds
+  // with NaN/inf. A stalled link carries no fluid, so it must accrue
+  // exactly nothing while stalled — and the flow must resume cleanly when
+  // the link is restored.
+  FatTreeTopology topo(FatTreeConfig::cm5(32));
+  FluidNetwork net(topo);
+  const LinkId inject = topo.inject_link(0);
+  net.start_flow(0, 0, 1, 20000.0);  // 1 ms at 20 MB/s when healthy
+  // Stall the flow's inject link at t=0; let 1 ms of stalled time pass.
+  net.set_link_capacity_scale(0, inject, 0.0);
+  EXPECT_FALSE(net.next_event().has_value());  // blocked, no completion
+  EXPECT_TRUE(net.advance_to(util::from_ms(1)).empty());
+  const double busy_stalled =
+      net.stats().link_busy_seconds[static_cast<std::size_t>(inject)];
+  EXPECT_EQ(busy_stalled, 0.0);  // also catches NaN
+  // Restore: the flow finishes 1 ms later, and the busy integral resumes.
+  net.set_link_capacity_scale(util::from_ms(1), inject, 1.0);
+  const auto t = net.next_event();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, util::from_ms(2));
+  EXPECT_EQ(net.advance_to(*t).size(), 1u);
+  const double busy =
+      net.stats().link_busy_seconds[static_cast<std::size_t>(inject)];
+  EXPECT_NEAR(busy, 1e-3, 1e-12);  // 1 ms at full load, none while stalled
+}
+
+TEST(FluidTest, DegradedLinkSlowsAndRestores) {
+  FatTreeTopology topo(FatTreeConfig::cm5(32));
+  FluidNetwork net(topo);
+  net.start_flow(0, 0, 1, 20000.0);
+  // Halve the inject link: 10 MB/s -> projected completion moves to 2 ms.
+  net.set_link_capacity_scale(0, topo.inject_link(0), 0.5);
+  auto t = net.next_event();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, util::from_ms(2));
+  // Restore at 1 ms (10000 bytes left): heap entry must be re-projected
+  // to 1 ms + 10000 B / 20 MB/s = 1.5 ms, not the stale 2 ms.
+  net.advance_to(util::from_ms(1));
+  net.set_link_capacity_scale(util::from_ms(1), topo.inject_link(0), 1.0);
+  t = net.next_event();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, util::from_us(1500));
+  EXPECT_EQ(net.advance_to(*t).size(), 1u);
+}
+
+TEST(FluidTest, OracleModeMatchesIncrementalExactly) {
+  // The kOracle whole-network solver and the default incremental solver
+  // must agree bit-for-bit on a contended scenario with a mid-run fault.
+  auto drive = [](FluidNetwork::SolverMode mode) {
+    FatTreeTopology topo(FatTreeConfig::cm5(32));
+    FluidNetwork net(topo);
+    net.set_solver_mode(mode);
+    for (NodeId n = 0; n < 16; ++n) {
+      net.start_flow(0, n, static_cast<NodeId>(n + 16), 5000.0);
+    }
+    net.set_link_capacity_scale(from_us(100), net.topology().up_link(1, 0),
+                                0.25);
+    std::vector<SimTime> completions;
+    while (const auto t = net.next_event()) {
+      for (const FlowId id : net.advance_to(*t)) {
+        (void)id;
+        completions.push_back(*t);
+      }
+    }
+    return completions;
+  };
+  const auto inc = drive(FluidNetwork::SolverMode::kIncremental);
+  const auto ora = drive(FluidNetwork::SolverMode::kOracle);
+  EXPECT_EQ(inc, ora);
+}
+
+TEST(FluidTest, SolverModeSwitchRequiresIdleNetwork) {
+  FatTreeTopology topo(FatTreeConfig::cm5(32));
+  FluidNetwork net(topo);
+  net.start_flow(0, 0, 1, 100.0);
+  EXPECT_THROW(net.set_solver_mode(FluidNetwork::SolverMode::kOracle),
+               util::CheckError);
+  while (const auto t = net.next_event()) net.advance_to(*t);
+  net.set_solver_mode(FluidNetwork::SolverMode::kOracle);
+  EXPECT_EQ(net.solver_mode(), FluidNetwork::SolverMode::kOracle);
+}
+
+TEST(FluidTest, FlowRateReflectsSharing) {
+  FatTreeTopology topo(FatTreeConfig::cm5(32));
+  FluidNetwork net(topo);
+  const FlowId a = net.start_flow(0, 0, 1, 20000.0);
+  EXPECT_DOUBLE_EQ(net.flow_rate(a), 20e6);
+  const FlowId b = net.start_flow(0, 2, 1, 20000.0);
+  EXPECT_DOUBLE_EQ(net.flow_rate(a), 10e6);  // shares node 1's eject link
+  EXPECT_DOUBLE_EQ(net.flow_rate(b), 10e6);
+}
+
 TEST(FluidTest, ManyFlowsConservation) {
   // Total bytes delivered equals total bytes injected on a busy network.
   FatTreeTopology topo(FatTreeConfig::cm5(64));

@@ -34,6 +34,7 @@ struct RowView {
   std::int64_t makespan_ns = 0;
   const Value* metrics = nullptr;     // summary RunMetrics json, if present
   const Value* violations = nullptr;  // violations array, if present
+  const Value* perf = nullptr;        // host-side perf section, if present
 };
 
 std::vector<RowView> rows_of(const Value& file) {
@@ -62,6 +63,7 @@ std::vector<RowView> rows_of(const Value& file) {
       v.metrics = &row.at("report").at("metrics");
     }
     if (row.contains("violations")) v.violations = &row.at("violations");
+    if (row.contains("perf")) v.perf = &row.at("perf");
     out.push_back(v);
   }
   return out;
@@ -84,12 +86,29 @@ int cmd_show(const std::vector<std::string>& files) {
                 static_cast<long long>(
                     file.get("violations_total", Value(std::int64_t{0}))
                         .as_int()));
+    if (file.get("perf", Value()).is_object()) {
+      const Value& p = file.at("perf");
+      std::printf("whole-bench perf: %.1f ms wall on %lld worker thread(s)\n",
+                  p.get("total_wall_ms", Value(0.0)).as_double(),
+                  static_cast<long long>(
+                      p.get("threads", Value(std::int64_t{1})).as_int()));
+    }
     TextTable table({"row", "makespan (ms)", "compute", "send wait",
-                     "recv wait", "barrier", "steps", "max pending"});
+                     "recv wait", "barrier", "steps", "max pending",
+                     "wall (ms)", "solves", "heap pops"});
     for (const RowView& row : rows_of(file)) {
+      std::string wall = "-", solves = "-", pops = "-";
+      if (row.perf != nullptr) {
+        wall = TextTable::fmt(
+            row.perf->get("wall_ms", Value(0.0)).as_double(), 1);
+        solves = std::to_string(
+            row.perf->get("rate_solves", Value(std::int64_t{0})).as_int());
+        pops = std::to_string(
+            row.perf->get("heap_pops", Value(std::int64_t{0})).as_int());
+      }
       if (row.metrics == nullptr) {
         table.add_row({row.id, TextTable::fmt(ms(row.makespan_ns), 3), "-",
-                       "-", "-", "-", "-", "-"});
+                       "-", "-", "-", "-", "-", wall, solves, pops});
         continue;
       }
       const Value& m = *row.metrics;
@@ -103,7 +122,8 @@ int cmd_show(const std::vector<std::string>& files) {
                m.get("steps_observed", Value(std::int64_t{0})).as_int()),
            std::to_string(m.get("contention", Value())
                               .get("max_pending", Value(std::int64_t{0}))
-                              .as_int())});
+                              .as_int()),
+           wall, solves, pops});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
