@@ -42,6 +42,7 @@ Measured measure_program(const machine::MachineParams& params,
   out.makespan = result.makespan;
   out.rate_solves = result.network.rate_solves;
   out.heap_pops = result.network.heap_pops;
+  out.context_switches = result.context_switches;
   out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
   out.violations = sim::validate_trace(recorder, params.tree.num_nodes, &result);
   return out;
@@ -79,6 +80,7 @@ Measured measure_scheduled_pattern(const sched::CommPattern& pattern,
   out.makespan = run.result.makespan;
   out.rate_solves = run.result.network.rate_solves;
   out.heap_pops = run.result.network.heap_pops;
+  out.context_switches = run.result.context_switches;
   out.metrics = std::move(run.metrics);
   out.violations = std::move(run.violations);
   return out;
@@ -143,11 +145,19 @@ int bench_threads() {
     const int n = std::atoi(v);
     return n >= 1 ? n : 1;
   }
-  // Oversubscribe deliberately: a simulated machine spends a sizeable
-  // fraction of wall time with every node thread blocked in a condvar
-  // handoff, so extra concurrent cells productively fill those gaps.
   const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(hw >= 1 ? 2 * hw : 2);
+  if (sim::default_execution_model() == sim::ExecutionModel::kThreads) {
+    // Oversubscribe deliberately: under the thread backend a simulated
+    // machine spends a sizeable fraction of wall time with every node
+    // thread blocked in a condvar handoff, so extra concurrent cells
+    // productively fill those gaps.
+    return static_cast<int>(hw >= 1 ? 2 * hw : 2);
+  }
+  // Fibers keep their driver thread busy the whole run, so one cell per
+  // hardware thread suffices — but always keep at least two workers, so
+  // a long tail cell can overlap stack setup / page-fault stalls of the
+  // next one even on single-core hosts.
+  return static_cast<int>(hw >= 2 ? hw : 2);
 }
 
 std::vector<Measured> run_cells(std::vector<std::function<Measured()>> cells) {
@@ -221,6 +231,7 @@ void MetricsEmitter::record(const std::string& id, const Measured& run,
   perf["wall_ms"] = deterministic_mode() ? 0.0 : run.wall_ms;
   perf["rate_solves"] = run.rate_solves;
   perf["heap_pops"] = run.heap_pops;
+  perf["context_switches"] = run.context_switches;
   row["perf"] = std::move(perf);
   row["metrics"] = run.metrics.to_json();
   if (!run.violations.empty()) {
@@ -260,6 +271,8 @@ void MetricsEmitter::write() {
   Value root = Value::object();
   root["bench"] = bench_name_;
   root["smoke"] = smoke_mode();
+  root["exec_backend"] = std::string(
+      sim::to_string(sim::default_execution_model()));
   root["violations_total"] = violations_total_;
   if (!deterministic_mode()) {
     // Whole-bench perf trajectory; omitted in deterministic mode so that

@@ -58,6 +58,10 @@ struct Measured {
   /// (NetworkStats::rate_solves / heap_pops), deterministic run to run.
   std::int64_t rate_solves = 0;
   std::int64_t heap_pops = 0;
+  /// Kernel context switches for this cell (RunResult::context_switches):
+  /// fiber stack switches, or condvar wakeups under CM5_EXEC_THREADS=1.
+  /// Deterministic within a backend; not comparable across backends.
+  std::int64_t context_switches = 0;
 };
 
 /// Runs `program` on a machine with `params`, traced and analyzed.
@@ -106,10 +110,12 @@ std::string secs(util::SimDuration d);
 // --- parallel sweeps -------------------------------------------------------
 
 /// Worker-thread count for run_cells: CM5_BENCH_THREADS when set (min 1),
-/// otherwise a small multiple of the hardware threads. Oversubscription
-/// is deliberate: each simulated machine spends much of its wall time
-/// blocked in cross-thread token handoff, so concurrent cells hide that
-/// latency even on a single hardware thread.
+/// otherwise one worker per hardware thread (min 2). Under the thread
+/// execution backend (CM5_EXEC_THREADS=1) the default is 2x the hardware
+/// threads instead: each simulated machine then spends much of its wall
+/// time blocked in cross-thread token handoff, and oversubscription
+/// hides that latency. Fibers have no handoff gap to hide, so extra
+/// workers would only add contention.
 int bench_threads();
 
 /// True when CM5_BENCH_DETERMINISTIC requests byte-stable JSON output

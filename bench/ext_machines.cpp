@@ -47,8 +47,10 @@ int main() {
   using sched::ExchangeAlgorithm;
   using sched::Scheduler;
 
-  bench::print_banner("Extension",
-                      "algorithm rankings across machine models (32 nodes)");
+  bench::print_banner(
+      "Extension",
+      "algorithm rankings across machine models (32 nodes) and "
+      "large-partition scaling (1024/2048 nodes, fiber backend)");
 
   struct MachineDef {
     const char* name;
@@ -102,6 +104,45 @@ int main() {
     irr.add_row(std::move(row));
   }
   std::fputs(irr.render().c_str(), stdout);
+
+  // Large partitions: the machine sizes where REX's lg N phase count
+  // actually bites. Thread-per-node execution could not launch these
+  // (2048 OS threads per cell); the fiber backend runs each node on a
+  // 256 KiB mmap'd stack. Recursive exchange is the only algorithm whose
+  // host cost stays CI-friendly at this scale (O(N lg N) messages);
+  // Pairwise/Balanced are O(N^2) flows and take minutes at N = 2048.
+  std::printf("\nLarge partitions (CM-5 defaults, recursive exchange, ms):\n");
+  const std::vector<std::int32_t> big_procs =
+      bench::smoke_select<std::int32_t>({1024, 2048}, {1024, 2048});
+  const std::vector<std::int64_t> big_bytes =
+      bench::smoke_select<std::int64_t>({64, 1920}, {64});
+  std::vector<std::function<bench::Measured()>> big_cells;
+  for (const std::int32_t nprocs : big_procs) {
+    for (const std::int64_t bytes : big_bytes) {
+      big_cells.push_back([nprocs, bytes] {
+        return exchange_on(MachineParams::cm5_defaults(nprocs),
+                           ExchangeAlgorithm::Recursive, bytes);
+      });
+    }
+  }
+  const std::vector<bench::Measured> big_runs =
+      bench::run_cells(std::move(big_cells));
+  std::vector<std::string> big_header{"procs"};
+  for (const std::int64_t bytes : big_bytes) {
+    big_header.push_back("Recursive " + std::to_string(bytes) + " B (ms)");
+  }
+  util::TextTable big(std::move(big_header));
+  std::size_t big_cell = 0;
+  for (const std::int32_t nprocs : big_procs) {
+    std::vector<std::string> row{std::to_string(nprocs)};
+    for (const std::int64_t bytes : big_bytes) {
+      const std::string id = "rex-large/procs=" + std::to_string(nprocs) +
+                             "/bytes=" + std::to_string(bytes);
+      row.push_back(metrics.ms_cell(id, big_runs[big_cell++]));
+    }
+    big.add_row(std::move(row));
+  }
+  std::fputs(big.render().c_str(), stdout);
 
   std::printf(
       "\nExpected: BEX's edge over PEX exists only where the tree thins\n"

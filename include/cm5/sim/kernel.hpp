@@ -1,6 +1,5 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -16,6 +15,7 @@
 
 #include "cm5/net/fluid_network.hpp"
 #include "cm5/net/topology.hpp"
+#include "cm5/sim/exec_backend.hpp"
 #include "cm5/sim/fault.hpp"
 #include "cm5/sim/message.hpp"
 #include "cm5/sim/trace.hpp"
@@ -24,13 +24,17 @@
 /// \file kernel.hpp
 /// Conservative sequential discrete-event kernel with direct execution.
 ///
-/// Each simulated node runs its program on a dedicated OS thread, but the
-/// kernel enforces that exactly one thread executes simulated work at a
-/// time and always resumes the entity with the smallest virtual time
-/// (ties: pending events first, then lowest node id). This makes runs
-/// exactly deterministic and lets node programs be ordinary sequential
-/// C++ — the "direct execution" style of simulators like Wisconsin Wind
-/// Tunnel — while virtual time is tracked per node.
+/// Each simulated node runs its program on its own execution context —
+/// a user-space fiber by default, or a dedicated OS thread under the
+/// kThreads backend (see exec_backend.hpp) — but the kernel enforces
+/// that exactly one context executes simulated work at a time and
+/// always resumes the entity with the smallest virtual time (ties:
+/// pending events first, then lowest node id). This makes runs exactly
+/// deterministic and lets node programs be ordinary sequential C++ —
+/// the "direct execution" style of simulators like Wisconsin Wind
+/// Tunnel — while virtual time is tracked per node. Scheduling
+/// decisions are backend-independent, so both backends produce
+/// identical results event for event; only host-side cost differs.
 ///
 /// Synchronization model (matches CMMD 1.x on the 1992 CM-5, paper §2/§3):
 /// `post_send` is a blocking rendezvous — the sender does not resume until
@@ -88,6 +92,9 @@ struct RunResult {
   util::SimTime makespan = 0;
   std::vector<NodeCounters> node_counters;
   net::NetworkStats network;
+  /// Host-side execution telemetry (does not affect simulated results).
+  ExecutionModel exec_model = ExecutionModel::kFibers;
+  std::int64_t context_switches = 0;
 };
 
 class Kernel;
@@ -208,6 +215,14 @@ class Kernel {
     return fault_plan_;
   }
 
+  /// Selects the execution backend for subsequent runs. Defaults to
+  /// default_execution_model() (fibers, unless CM5_EXEC_THREADS=1 or the
+  /// build pins threads). Coerced to kThreads in pinned builds.
+  void set_execution_model(ExecutionModel model) { exec_model_ = model; }
+
+  /// The model subsequent runs will request (before build-level coercion).
+  ExecutionModel execution_model() const noexcept { return exec_model_; }
+
  private:
   friend class NodeHandle;
 
@@ -319,7 +334,6 @@ class Kernel {
     util::SimTime clock = 0;
     NodeStatus status = NodeStatus::Runnable;
     bool has_token = false;
-    std::condition_variable cv;
     std::string blocked_on;  ///< diagnostic for deadlock reports
     // Receive rendezvous slot.
     bool recv_ready = false;
@@ -341,9 +355,17 @@ class Kernel {
     NodeCounters counters;
   };
 
-  // --- all methods below require mutex_ held ---
+  // --- all methods below require the kernel lock (see exec_lock) ---
   void schedule_next(std::unique_lock<std::mutex>& lock);
   void wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me);
+  /// Sets `id`'s token and unparks its context via the backend. The only
+  /// way a token is ever granted.
+  void grant(NodeId id);
+  /// The kernel lock: locked for concurrent backends (threads), deferred
+  /// (never acquired) for single-threaded ones (fibers), where mutual
+  /// exclusion is structural and relocking across a stack switch on one
+  /// OS thread would be UB anyway.
+  std::unique_lock<std::mutex> exec_lock();
   void yield(std::unique_lock<std::mutex>& lock, NodeId me);
   void start_transfer(util::SimTime match_time, PendingSend&& send, NodeId dst,
                       std::optional<PendingRecv> recv_info);
@@ -376,8 +398,12 @@ class Kernel {
   std::mutex mutex_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::int32_t done_count_ = 0;
-  std::condition_variable run_done_cv_;
   bool run_finished_ = false;
+
+  // Execution seam: how node contexts get stacks and trade the token.
+  ExecutionModel exec_model_ = default_execution_model();
+  std::unique_ptr<ExecutionBackend> backend_;  ///< live only during run()
+  bool backend_concurrent_ = true;
 
   // Unmatched sends per destination node.
   std::vector<std::deque<PendingSend>> send_queues_;

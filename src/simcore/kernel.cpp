@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
-#include <thread>
 
 #include "cm5/util/check.hpp"
 
@@ -22,14 +21,14 @@ std::int32_t NodeHandle::nprocs() const noexcept {
 }
 
 util::SimTime NodeHandle::now() const {
-  std::unique_lock lock(kernel_->mutex_);
+  auto lock = kernel_->exec_lock();
   return kernel_->nodes_[idx(id_)]->clock;
 }
 
 void NodeHandle::advance(util::SimDuration d) {
   CM5_CHECK_MSG(d >= 0, "cannot charge negative compute time");
   Kernel& k = *kernel_;
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   me.clock += d;
@@ -50,7 +49,7 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
   CM5_CHECK_MSG(payload.empty() ||
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   if (k.nodes_[idx(dst)]->killed) {
@@ -104,7 +103,7 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
   CM5_CHECK_MSG(payload.empty() ||
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   ++me.counters.sends;
@@ -144,7 +143,7 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
 
 void NodeHandle::wait_async_sends() {
   Kernel& k = *kernel_;
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   if (me.async_in_flight == 0) return;
@@ -175,7 +174,7 @@ std::optional<Message> NodeHandle::receive_impl(
   Kernel& k = *kernel_;
   CM5_CHECK_MSG(src == kAnyNode || (src >= 0 && src < k.topo_.num_nodes()),
                 "receive: bad source filter");
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   if (!timeout && src != kAnyNode && k.nodes_[idx(src)]->killed) {
@@ -246,7 +245,7 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
   CM5_CHECK_MSG(payload.empty() ||
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   if (k.nodes_[idx(peer)]->killed) {
@@ -305,7 +304,7 @@ std::vector<std::byte> NodeHandle::global_op(
     std::span<const std::byte> contribution, util::SimDuration duration) {
   Kernel& k = *kernel_;
   CM5_CHECK(duration >= 0);
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   ++me.counters.global_ops;
@@ -334,7 +333,7 @@ bool NodeHandle::try_barrier(util::SimDuration timeout,
   Kernel& k = *kernel_;
   CM5_CHECK(duration >= 0);
   CM5_CHECK_MSG(timeout >= 0, "barrier timeout must be non-negative");
-  std::unique_lock lock(k.mutex_);
+  auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
   ++me.counters.global_ops;
@@ -396,9 +395,18 @@ void Kernel::set_fault_plan(FaultPlan plan) {
   fault_plan_ = std::move(plan);
 }
 
+std::unique_lock<std::mutex> Kernel::exec_lock() {
+  if (backend_concurrent_) return std::unique_lock<std::mutex>(mutex_);
+  return std::unique_lock<std::mutex>(mutex_, std::defer_lock);
+}
+
 void Kernel::wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me) {
-  NodeState& st = *nodes_[idx(me)];
-  st.cv.wait(lock, [&] { return st.has_token; });
+  backend_->park(lock, me, nodes_[idx(me)]->has_token);
+}
+
+void Kernel::grant(NodeId id) {
+  nodes_[idx(id)]->has_token = true;
+  backend_->unpark(id);
 }
 
 void Kernel::yield(std::unique_lock<std::mutex>& lock, NodeId me) {
@@ -591,14 +599,11 @@ void Kernel::process_completions(util::SimTime t) {
 }
 
 void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
-  (void)lock;  // must be held; the parameter documents the requirement
+  (void)lock;  // the kernel lock (exec_lock); documents the requirement
   while (true) {
     if (abort_) {
-      // Error path: release everyone so threads can unwind and exit.
-      for (auto& n : nodes_) {
-        n->has_token = true;
-        n->cv.notify_one();
-      }
+      // Error path: release everyone so node contexts can unwind and exit.
+      for (NodeId n = 0; n < topo_.num_nodes(); ++n) grant(n);
       return;
     }
 
@@ -669,15 +674,13 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
     }
 
     if (best != -1) {
-      NodeState& st = *nodes_[idx(best)];
-      st.has_token = true;
-      st.cv.notify_one();
+      grant(best);
       return;
     }
 
     if (done_count_ == topo_.num_nodes()) {
       run_finished_ = true;
-      run_done_cv_.notify_all();
+      backend_->notify_finished();
       return;
     }
 
@@ -685,10 +688,7 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
     deadlock_ = true;
     abort_ = true;
     deadlock_message_ = deadlock_report();
-    for (auto& n : nodes_) {
-      n->has_token = true;
-      n->cv.notify_one();
-    }
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) grant(n);
     return;
   }
 }
@@ -894,7 +894,7 @@ std::string Kernel::deadlock_report() const {
 void Kernel::node_main(const NodeProgram& program, NodeId id) {
   bool aborted_before_start = false;
   {
-    std::unique_lock lock(mutex_);
+    auto lock = exec_lock();
     wait_for_token(lock, id);
     aborted_before_start = abort_;
   }
@@ -904,21 +904,18 @@ void Kernel::node_main(const NodeProgram& program, NodeId id) {
   } catch (const AbortError&) {
     // Another node failed first; unwind quietly.
   } catch (const DeadlockError&) {
-    std::unique_lock lock(mutex_);
+    auto lock = exec_lock();
     if (!first_error_) first_error_ = std::current_exception();
   } catch (...) {
-    std::unique_lock lock(mutex_);
+    auto lock = exec_lock();
     if (!first_error_) {
       first_error_ = std::current_exception();
       abort_ = true;
-      for (auto& n : nodes_) {
-        n->has_token = true;
-        n->cv.notify_one();
-      }
+      for (NodeId n = 0; n < topo_.num_nodes(); ++n) grant(n);
     }
   }
 
-  std::unique_lock lock(mutex_);
+  auto lock = exec_lock();
   NodeState& me = *nodes_[idx(id)];
   me.status = NodeStatus::Done;
   me.has_token = false;
@@ -930,15 +927,12 @@ void Kernel::node_main(const NodeProgram& program, NodeId id) {
     } catch (...) {
       if (!first_error_) first_error_ = std::current_exception();
       abort_ = true;
-      for (auto& n : nodes_) {
-        n->has_token = true;
-        n->cv.notify_one();
-      }
+      for (NodeId n = 0; n < topo_.num_nodes(); ++n) grant(n);
     }
   }
   if (abort_ && done_count_ == topo_.num_nodes()) {
     run_finished_ = true;
-    run_done_cv_.notify_all();
+    backend_->notify_finished();
   }
 }
 
@@ -997,18 +991,19 @@ RunResult Kernel::run(const NodeProgram& program) {
   deadlock_message_.clear();
   first_error_ = nullptr;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i) {
-    threads.emplace_back([this, &program, i] { node_main(program, i); });
-  }
+  backend_ = ExecutionBackend::create(exec_model_);
+  backend_concurrent_ = backend_->concurrent();
+  backend_->launch(n, [this, &program](NodeId i) { node_main(program, i); });
 
   {
-    std::unique_lock lock(mutex_);
+    auto lock = exec_lock();
     schedule_next(lock);  // grant the first token (node 0 at time 0)
-    run_done_cv_.wait(lock, [&] { return run_finished_; });
+    backend_->drive(lock, run_finished_);
   }
-  for (auto& t : threads) t.join();
+  const ExecutionModel ran_model = backend_->model();
+  const std::int64_t switches = backend_->switches();
+  backend_.reset();
+  backend_concurrent_ = true;
 
   if (first_error_) std::rethrow_exception(first_error_);
   if (deadlock_) throw DeadlockError(deadlock_message_);
@@ -1035,6 +1030,8 @@ RunResult Kernel::run(const NodeProgram& program) {
     result.node_counters.push_back(nodes_[idx(i)]->counters);
   }
   result.network = fluid_->stats();
+  result.exec_model = ran_model;
+  result.context_switches = switches;
   return result;
 }
 

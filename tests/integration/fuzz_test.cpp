@@ -329,6 +329,230 @@ TEST_P(FuzzTest, IncrementalSolverMatchesOracle) {
   EXPECT_EQ(inc.stats().flows_completed, ora.stats().flows_completed);
 }
 
+// --- fiber-vs-thread execution backend differential ------------------------
+//
+// The two execution backends must drive byte-identical simulations: same
+// trace event stream (order included), same per-node finish times and
+// counters, same network statistics. Each compared fiber/thread run pair
+// is one case: 12 seeds x (28 + 28 + 28) pairs >= 1000 cases across the
+// suite, fault-injected runs included. (Under TSAN builds fibers are
+// pinned to threads and the comparison degenerates to thread-vs-thread;
+// the real differential runs in the default and ASAN configurations.)
+
+struct BackendCapture {
+  std::vector<sim::TraceEvent> events;
+  sim::RunResult result;
+};
+
+BackendCapture capture_run(sim::ExecutionModel model, std::int32_t nprocs,
+                           const std::optional<sim::FaultPlan>& plan,
+                           const machine::Program& program) {
+  Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+  m.set_execution_model(model);
+  if (plan) m.set_fault_plan(*plan);
+  sim::TraceRecorder recorder;
+  BackendCapture out;
+  out.result = m.run_traced(program, recorder.sink());
+  out.events = recorder.events();
+  return out;
+}
+
+void expect_backends_identical(const BackendCapture& fib,
+                               const BackendCapture& thr,
+                               const std::string& what) {
+  if (!sim::execution_model_pinned_to_threads()) {
+    EXPECT_EQ(fib.result.exec_model, sim::ExecutionModel::kFibers) << what;
+    EXPECT_EQ(thr.result.exec_model, sim::ExecutionModel::kThreads) << what;
+  }
+  ASSERT_EQ(fib.events.size(), thr.events.size()) << what;
+  for (std::size_t i = 0; i < fib.events.size(); ++i) {
+    const sim::TraceEvent& a = fib.events[i];
+    const sim::TraceEvent& b = thr.events[i];
+    ASSERT_TRUE(a.kind == b.kind && a.time == b.time && a.node == b.node &&
+                a.peer == b.peer && a.bytes == b.bytes && a.tag == b.tag)
+        << what << " diverges at event " << i << ":\n  fibers:  "
+        << sim::to_string(a) << "\n  threads: " << sim::to_string(b);
+  }
+  EXPECT_EQ(fib.result.makespan, thr.result.makespan) << what;
+  EXPECT_EQ(fib.result.finish_time, thr.result.finish_time) << what;
+  ASSERT_EQ(fib.result.node_counters.size(), thr.result.node_counters.size());
+  for (std::size_t i = 0; i < fib.result.node_counters.size(); ++i) {
+    const sim::NodeCounters& a = fib.result.node_counters[i];
+    const sim::NodeCounters& b = thr.result.node_counters[i];
+    EXPECT_EQ(a.sends, b.sends) << what << " node " << i;
+    EXPECT_EQ(a.receives, b.receives) << what << " node " << i;
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent) << what << " node " << i;
+    EXPECT_EQ(a.global_ops, b.global_ops) << what << " node " << i;
+    EXPECT_EQ(a.compute_time, b.compute_time) << what << " node " << i;
+  }
+  EXPECT_EQ(fib.result.network.flows_started, thr.result.network.flows_started)
+      << what;
+  EXPECT_EQ(fib.result.network.flows_completed,
+            thr.result.network.flows_completed)
+      << what;
+  EXPECT_EQ(fib.result.network.bytes_by_level, thr.result.network.bytes_by_level)
+      << what;
+}
+
+void compare_backends(std::int32_t nprocs,
+                      const std::optional<sim::FaultPlan>& plan,
+                      const machine::Program& program,
+                      const std::string& what) {
+  const BackendCapture fib =
+      capture_run(sim::ExecutionModel::kFibers, nprocs, plan, program);
+  const BackendCapture thr =
+      capture_run(sim::ExecutionModel::kThreads, nprocs, plan, program);
+  expect_backends_identical(fib, thr, what);
+}
+
+TEST_P(FuzzTest, BackendDifferentialSchedulesAgree) {
+  // 28 pairs per seed: 7 random patterns x 4 schedulers, clean runs.
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 6151 + 11);
+  for (int variant = 0; variant < 7; ++variant) {
+    const auto nprocs = static_cast<std::int32_t>(1 << rng.next_in(2, 5));
+    const double density = 0.10 + rng.next_double() * 0.6;
+    const auto bytes = rng.next_in(1, 2048);
+    const auto pattern = patterns::random_density(
+        nprocs, density, bytes, seed * 101 + static_cast<std::uint64_t>(variant));
+    for (const auto scheduler :
+         {sched::Scheduler::Linear, sched::Scheduler::Pairwise,
+          sched::Scheduler::Balanced, sched::Scheduler::Greedy}) {
+      const auto schedule = sched::build_schedule(scheduler, pattern);
+      compare_backends(
+          nprocs, std::nullopt,
+          [&](Node& node) { sched::execute_schedule(node, schedule); },
+          "seed " + std::to_string(seed) + " variant " +
+              std::to_string(variant) + " " +
+              std::string(sched::scheduler_name(scheduler)));
+    }
+  }
+}
+
+TEST_P(FuzzTest, BackendDifferentialPrimitiveSoupAgrees) {
+  // 28 pairs per seed: random programs exercising every blocking
+  // primitive — compute, barriers, timed barriers, reductions, swaps,
+  // async sends with drains, and timed receives that really expire.
+  const std::uint64_t seed = GetParam();
+  for (int variant = 0; variant < 28; ++variant) {
+    util::Rng shape(seed * 409 + static_cast<std::uint64_t>(variant));
+    const auto nprocs = static_cast<std::int32_t>(1 << shape.next_in(1, 4));
+    const auto ops = static_cast<int>(shape.next_in(8, 24));
+    const auto mix =
+        static_cast<std::uint64_t>(shape.next_in(0, std::int64_t{1} << 30));
+    const auto program = [&, nprocs, ops, mix](Node& node) {
+      util::Rng rng = util::Rng::forked(
+          seed * 31 + static_cast<std::uint64_t>(mix),
+          static_cast<std::uint64_t>(node.self()));
+      const auto next =
+          static_cast<machine::NodeId>((node.self() + 1) % nprocs);
+      const auto prev = static_cast<machine::NodeId>(
+          (node.self() + nprocs - 1) % nprocs);
+      for (int op = 0; op < ops; ++op) {
+        node.compute(util::from_us(rng.next_in(1, 40)));
+        switch ((static_cast<std::uint64_t>(op) + mix) % 6) {
+          case 0:
+            node.barrier();
+            break;
+          case 1:
+            // Ring exchange; odd/even phasing avoids rendezvous deadlock.
+            if (node.self() % 2 == 0) {
+              node.send_block(next, rng.next_in(0, 512), 100 + op);
+              (void)node.receive_block(prev, 100 + op);
+            } else {
+              (void)node.receive_block(prev, 100 + op);
+              node.send_block(next, rng.next_in(0, 512), 100 + op);
+            }
+            break;
+          case 2:
+            (void)node.swap_block(node.self() % 2 == 0 ? next : prev,
+                                  rng.next_in(1, 1024), 200 + op);
+            break;
+          case 3:
+            node.send_async(next, rng.next_in(0, 256), 300 + op);
+            (void)node.receive_block(prev, 300 + op);
+            node.wait_sends();
+            break;
+          case 4:
+            // Nothing was sent with this tag: the timed receive must
+            // expire on both backends at exactly the same instant.
+            EXPECT_FALSE(
+                node.receive_timeout(prev, 9999, util::from_us(25)));
+            break;
+          default:
+            (void)node.reduce_sum(static_cast<double>(node.self() + op));
+            break;
+        }
+      }
+      // A timed barrier everyone but node 0 joins. Node 0 computes far
+      // past every deadline first, so the timed barrier deterministically
+      // expires and each participant withdraws before node 0's final
+      // barrier arrival could complete the pending generation.
+      if (node.self() == 0) {
+        node.compute(util::from_ms(50));
+      } else {
+        EXPECT_FALSE(node.try_barrier(util::from_us(10)));
+      }
+      node.barrier();
+    };
+    compare_backends(nprocs, std::nullopt, program,
+                     "seed " + std::to_string(seed) + " soup " +
+                         std::to_string(variant));
+  }
+}
+
+TEST_P(FuzzTest, BackendDifferentialFaultyRunsAgree) {
+  // 28 pairs per seed under fault injection: drops, delays, degrades and
+  // fail-stop deaths, executed through the resilient executor's timed
+  // retry loop. The fail-stop unwind exercises the backends' release-
+  // everyone abort path.
+  const std::uint64_t seed = GetParam();
+  for (int variant = 0; variant < 28; ++variant) {
+    util::Rng shape(seed * 1543 + static_cast<std::uint64_t>(variant) * 7);
+    const std::int32_t nprocs = 8;
+    const auto pattern = patterns::exact_density(
+        nprocs, 0.15 + 0.5 * shape.next_double(), 256,
+        seed * 977 + static_cast<std::uint64_t>(variant));
+    const auto schedule =
+        sched::build_schedule(sched::Scheduler::Greedy, pattern);
+
+    sim::FaultPlan plan;
+    plan.seed = seed * 53 + static_cast<std::uint64_t>(variant);
+    plan.drop_prob = 0.05 * static_cast<double>(shape.next_in(0, 2));
+    plan.delay_prob = 0.10;
+    plan.delay = util::from_us(50);
+    if (variant % 3 == 1) {
+      plan.deaths.push_back(
+          {static_cast<machine::NodeId>(shape.next_below(
+               static_cast<std::uint64_t>(nprocs))),
+           util::from_us(shape.next_in(100, 900))});
+    }
+
+    const auto resilient_capture = [&](sim::ExecutionModel model) {
+      Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+      m.set_execution_model(model);
+      m.set_fault_plan(plan);
+      sim::TraceRecorder recorder;
+      sched::ResilientOptions options;
+      options.trace = recorder.sink();
+      const auto report = sched::run_resilient_schedule(m, schedule, options);
+      BackendCapture out;
+      out.result = report.run;
+      out.events = recorder.events();
+      return std::pair(std::move(out), report);
+    };
+    const auto [fib, fib_report] =
+        resilient_capture(sim::ExecutionModel::kFibers);
+    const auto [thr, thr_report] =
+        resilient_capture(sim::ExecutionModel::kThreads);
+    const std::string what =
+        "seed " + std::to_string(seed) + " faulty " + std::to_string(variant);
+    expect_backends_identical(fib, thr, what);
+    EXPECT_EQ(fib_report.edges_delivered, thr_report.edges_delivered) << what;
+    EXPECT_EQ(fib_report.edges_total, thr_report.edges_total) << what;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                            12));

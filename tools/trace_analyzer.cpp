@@ -76,13 +76,20 @@ std::int64_t time_field(const RowView& row, const char* field) {
       .as_int();
 }
 
+/// The execution backend recorded in the metrics-file root ("fibers" or
+/// "threads"); "?" for files predating the exec_backend field.
+std::string backend_of(const Value& file) {
+  return file.get("exec_backend", Value("?")).as_string();
+}
+
 int cmd_show(const std::vector<std::string>& files) {
   for (const std::string& path : files) {
     const Value file = cm5::util::json::read_file(path);
-    std::printf("%s — bench '%s'%s, %lld invariant violation(s)\n",
+    std::printf("%s — bench '%s'%s [%s backend], %lld invariant violation(s)\n",
                 path.c_str(),
                 file.get("bench", Value("?")).as_string().c_str(),
                 file.get("smoke", Value(false)).as_bool() ? " (smoke)" : "",
+                backend_of(file).c_str(),
                 static_cast<long long>(
                     file.get("violations_total", Value(std::int64_t{0}))
                         .as_int()));
@@ -134,6 +141,15 @@ int cmd_show(const std::vector<std::string>& files) {
 int cmd_diff(const std::string& old_path, const std::string& new_path) {
   const Value old_file = cm5::util::json::read_file(old_path);
   const Value new_file = cm5::util::json::read_file(new_path);
+  // Cross-backend diffs are legitimate (simulated times are backend-
+  // invariant; host-side perf fields are not) — name both sides so the
+  // reader knows which comparison they are looking at.
+  std::printf("old: %s [%s backend]\nnew: %s [%s backend]%s\n",
+              old_path.c_str(), backend_of(old_file).c_str(),
+              new_path.c_str(), backend_of(new_file).c_str(),
+              backend_of(old_file) == backend_of(new_file)
+                  ? ""
+                  : "  (backends differ: wall/switch fields not comparable)");
   std::map<std::string, RowView> old_rows;
   for (const RowView& row : rows_of(old_file)) old_rows[row.id] = row;
 
