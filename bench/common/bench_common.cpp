@@ -1,13 +1,11 @@
 #include "common/bench_common.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
-#include <thread>
 #include <utility>
+
+#include "cm5/util/parallel.hpp"
 
 namespace cm5::bench {
 
@@ -162,33 +160,8 @@ int bench_threads() {
 
 std::vector<Measured> run_cells(std::vector<std::function<Measured()>> cells) {
   std::vector<Measured> results(cells.size());
-  const int workers =
-      std::min<int>(bench_threads(), static_cast<int>(cells.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < cells.size(); ++i) results[i] = cells[i]();
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const auto drain = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= cells.size()) return;
-      try {
-        results[i] = cells[i]();
-      } catch (...) {
-        const std::lock_guard<std::mutex> g(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers - 1));
-  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
-  drain();  // the calling thread is worker 0
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  util::parallel_for(cells.size(), bench_threads(),
+                     [&](std::size_t i) { results[i] = cells[i](); });
   return results;
 }
 

@@ -47,34 +47,75 @@ constexpr std::int32_t kNodes = 16;
 constexpr std::int64_t kBytes = 512;
 constexpr net::NodeId kDegradedNode = 3;
 constexpr net::NodeId kDeadNode = 5;
+constexpr net::NodeId kSlowNode = 9;
 
 struct Scenario {
   const char* name;
   std::optional<sim::FaultPlan> plan;  // nullopt = healthy machine
+  /// Scenarios whose recovery is timeout-dominated additionally run
+  /// under the fixed-timeout oracle, so the BENCH json records how much
+  /// of the overhead the adaptive policy wins back.
+  bool compare_policies = false;
 };
 
 std::vector<Scenario> make_scenarios() {
   std::vector<Scenario> scenarios;
-  scenarios.push_back({"healthy", std::nullopt});
+  scenarios.push_back({"healthy", std::nullopt, false});
 
   sim::FaultPlan drop;
   drop.seed = 17;
   drop.drop_prob = 0.01;
-  scenarios.push_back({"drop 1%", drop});
+  scenarios.push_back({"drop 1%", drop, false});
 
   sim::FaultPlan delay;
   delay.seed = 17;
   delay.delay_prob = 0.2;
   delay.delay = from_us(200);
-  scenarios.push_back({"delay 20%", delay});
+  scenarios.push_back({"delay 20%", delay, false});
 
   sim::FaultPlan degrade;
   degrade.degrades.push_back({kDegradedNode, 0, 0.25});
-  scenarios.push_back({"degrade x0.25", degrade});
+  scenarios.push_back({"degrade x0.25", degrade, false});
+
+  // Gilbert-Elliott burst loss: ~7% of messages enter a bad spell that
+  // drops 80% until it exits. Correlated losses hammer one edge with
+  // repeated retries instead of spreading them thinly.
+  sim::FaultPlan burst;
+  burst.seed = 17;
+  burst.burst = {0.02, 0.25, 0.0, 0.8};
+  scenarios.push_back({"burst loss", burst, true});
+
+  // Cluster 0 (nodes 0..3) partitioned off for the first 400 us; the
+  // control network keeps working, so agreement spans the cut and the
+  // executor retries the crossing edges until the partition heals.
+  sim::FaultPlan partition;
+  partition.partitions.push_back({1, 0, 0, from_us(400)});
+  scenarios.push_back({"partition", partition, true});
+
+  // Gray failure: one node 3x slow for the whole run. Slow is not dead —
+  // the run must end with zero repairs and full delivery.
+  sim::FaultPlan slow;
+  slow.slowdowns.push_back({kSlowNode, 0, util::kTimeNever, 3.0});
+  scenarios.push_back({"gray slow x3", slow, false});
 
   sim::FaultPlan failstop;
   failstop.deaths.push_back({kDeadNode, 0});
-  scenarios.push_back({"fail-stop", failstop});
+  scenarios.push_back({"fail-stop", failstop, true});
+
+  if (bench::smoke_mode()) {
+    // Smoke subset: one representative per fault family, keeping the
+    // correlated-fault rows (they are what this bench gates in CI).
+    std::vector<Scenario> subset;
+    for (Scenario& s : scenarios) {
+      const std::string name = s.name;
+      if (name == "healthy" || name == "drop 1%" || name == "burst loss" ||
+          name == "partition" || name == "gray slow x3" ||
+          name == "fail-stop") {
+        subset.push_back(std::move(s));
+      }
+    }
+    return subset;
+  }
   return scenarios;
 }
 
@@ -94,6 +135,7 @@ std::int64_t edges_touching(const CommSchedule& schedule, net::NodeId node) {
 struct Row {
   std::string scenario;
   ResilientRunReport report;
+  util::SimTime fixed_makespan = 0;  // 0 = policy comparison not run
 };
 
 std::vector<Row> run_matrix(const char* family, const char* label,
@@ -114,11 +156,36 @@ std::vector<Row> run_matrix(const char* family, const char* label,
     if (!scenario.plan) healthy_makespan = report.makespan;
     report.fault_free_makespan = healthy_makespan;
 
+    Row row{scenario.name, std::move(report), 0};
+    if (scenario.compare_policies) {
+      // Same plan, same schedule, fixed-timeout oracle: the delta is
+      // purely the receive-window policy.
+      machine::Cm5Machine fixed_machine(MachineParams::cm5_defaults(kNodes));
+      fixed_machine.set_fault_plan(*scenario.plan);
+      sched::ResilientOptions fixed_options = options;
+      fixed_options.trace = {};
+      fixed_options.timeout_policy = sched::TimeoutPolicy::kFixed;
+      const ResilientRunReport fixed_report =
+          run_resilient_schedule(fixed_machine, schedule, fixed_options);
+      CM5_CHECK_MSG(fixed_report.edges_delivered ==
+                        row.report.edges_delivered,
+                    "timeout policies must agree on what was deliverable");
+      row.fixed_makespan = fixed_report.makespan;
+    }
+
     util::json::Value row_json = util::json::Value::object();
-    row_json["report"] = report.to_json();
-    row_json["metrics"] = sim::analyze(recorder, kNodes, &report.run).to_json();
+    row_json["report"] = row.report.to_json();
+    row_json["timeout_policy"] = std::string("adaptive");
+    if (row.fixed_makespan > 0) {
+      row_json["fixed_makespan_ns"] = row.fixed_makespan;
+      row_json["adaptive_vs_fixed"] =
+          static_cast<double>(row.report.makespan) /
+          static_cast<double>(row.fixed_makespan);
+    }
+    row_json["metrics"] =
+        sim::analyze(recorder, kNodes, &row.report.run).to_json();
     const std::vector<std::string> violations =
-        sim::validate_trace(recorder, kNodes, &report.run);
+        sim::validate_trace(recorder, kNodes, &row.report.run);
     for (const std::string& v : violations) {
       std::fprintf(stderr, "trace violation: %s\n", v.c_str());
     }
@@ -126,33 +193,36 @@ std::vector<Row> run_matrix(const char* family, const char* label,
                   "resilient-run trace failed invariant validation");
     metrics.record_json(std::string(family) + "/" + label + "/" + scenario.name,
                         std::move(row_json));
-    rows.push_back({scenario.name, std::move(report)});
+    rows.push_back(std::move(row));
   }
 
   std::printf("\n%s / %s (%lld edges, %d steps):\n", family, label,
               static_cast<long long>(rows.front().report.edges_total),
               schedule.num_steps());
-  std::printf("  %-14s %10s %8s %9s %8s %10s %9s\n", "scenario", "delivered",
-              "retries", "timeouts", "repairs", "makespan", "overhead");
+  std::printf("  %-14s %10s %8s %9s %8s %10s %9s %9s\n", "scenario",
+              "delivered", "retries", "timeouts", "repairs", "makespan",
+              "overhead", "vs fixed");
   for (const Row& row : rows) {
     const ResilientRunReport& r = row.report;
-    std::printf("  %-14s %5lld/%-4lld %8lld %9lld %8d %8s ms %8.2fx\n",
+    char vs_fixed[16] = "-";
+    if (row.fixed_makespan > 0) {
+      std::snprintf(vs_fixed, sizeof vs_fixed, "%.3fx",
+                    static_cast<double>(r.makespan) /
+                        static_cast<double>(row.fixed_makespan));
+    }
+    std::printf("  %-14s %5lld/%-4lld %8lld %9lld %8d %8s ms %8.2fx %9s\n",
                 row.scenario.c_str(), static_cast<long long>(r.edges_delivered),
                 static_cast<long long>(r.edges_total),
                 static_cast<long long>(r.retries),
                 static_cast<long long>(r.recv_timeouts), r.repairs,
-                bench::ms(r.makespan).c_str(), r.makespan_overhead());
+                bench::ms(r.makespan).c_str(), r.makespan_overhead(),
+                vs_fixed);
 
     // --- invariants -------------------------------------------------------
     if (row.scenario == "healthy") {
       CM5_CHECK_MSG(r.edges_delivered == r.edges_total && r.retries == 0,
                     "healthy run must deliver everything without retries");
-    } else if (row.scenario == "drop 1%" || row.scenario == "delay 20%" ||
-               row.scenario == "degrade x0.25") {
-      CM5_CHECK_MSG(r.edges_delivered == r.edges_total,
-                    "recoverable faults must not lose edges");
-      CM5_CHECK_MSG(r.lost_edges.empty(), "no lost edges expected");
-    } else {  // fail-stop before the schedule starts
+    } else if (row.scenario == "fail-stop") {
       const std::int64_t dead_edges = edges_touching(schedule, kDeadNode);
       CM5_CHECK_MSG(static_cast<std::int64_t>(r.lost_edges.size()) ==
                         dead_edges,
@@ -164,6 +234,23 @@ std::vector<Row> run_matrix(const char* family, const char* label,
       CM5_CHECK_MSG(r.edges_delivered == r.edges_total - dead_edges,
                     "survivors must deliver every remaining edge");
       CM5_CHECK_MSG(r.repairs >= 1, "fail-stop must trigger a repair");
+      // Fail-stop recovery is pure dead-peer waiting: the adaptive
+      // policy must not be slower than the fixed oracle here.
+      CM5_CHECK_MSG(row.fixed_makespan == 0 ||
+                        r.makespan <= row.fixed_makespan,
+                    "adaptive timeouts must not lose to fixed on fail-stop");
+    } else {
+      // Every other fault class is recoverable: full delivery, no
+      // excisions.
+      CM5_CHECK_MSG(r.edges_delivered == r.edges_total,
+                    "recoverable faults must not lose edges");
+      CM5_CHECK_MSG(r.lost_edges.empty(), "no lost edges expected");
+      CM5_CHECK_MSG(r.dead_nodes.empty(),
+                    "recoverable faults must not excise nodes");
+      if (row.scenario == "gray slow x3") {
+        CM5_CHECK_MSG(r.repairs == 0,
+                      "a slow node must be waited out, not repaired around");
+      }
     }
   }
   return rows;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,46 +21,151 @@
 /// the partition. The resilient executor layers a classic reliability
 /// protocol over the same canonical op order:
 ///
-///   * per-step timeouts derived from estimate_step_times();
-///   * bounded retry with exponential backoff (in virtual time);
+///   * per-step receive timeouts — either the fixed oracle
+///     (timeout_factor * estimate_step_times()) or Jacobson-style
+///     adaptive RTO from per-peer EWMA of observed waits (mean +
+///     variance), clamped between a safety floor and the fixed value;
+///   * bounded retry with capped, jittered exponential backoff (in
+///     virtual time) — see resilient_backoff();
 ///   * acks carrying copy sequence numbers (at-least-once delivery of
-///     dropped messages; stale NACK suppression);
+///     dropped messages; stale NACK suppression), plus an end-of-step
+///     drain that re-acks duplicate copies and picks up late
+///     deliveries, so lost acks cause retries rather than false
+///     suspicion;
 ///   * receiver-side corruption detection (modelling a payload
 ///     checksum via Message::corrupted) triggering resend;
+///   * slow-vs-dead distinction: a node is excised only after staying
+///     suspected for suspicion_rounds consecutive agreement rounds, so
+///     gray-slow nodes that eventually deliver are waited out;
 ///   * schedule repair: after every step, live nodes agree via the
-///     control network on the suspected-dead set, excise those nodes
-///     from the remaining steps, and report partial delivery honestly.
+///     control network on the suspected-dead set, excise nodes past the
+///     suspicion threshold, and report partial delivery honestly;
+///   * deterministic checkpoint/resume: after each step's agreement the
+///     lowest live node serializes schedule progress (completed steps,
+///     agreed dead set, per-edge delivery state, a digest chain) as a
+///     ResilientCheckpoint; a killed run resumes by deterministic
+///     replay, verifying the digest chain step by step, and finishes
+///     with a final report bit-identical to the uninterrupted run.
 ///
 /// Acks travel on tags >= ResilientOptions::ack_tag_base, which the
 /// default FaultPlan::control_tag_floor exempts from probabilistic
-/// faults — they model hardware-acknowledged control traffic.
+/// faults — they model hardware-acknowledged control traffic. Targeted
+/// drops pierce that exemption (see the ack-loss tests).
 
 namespace cm5::sched {
+
+/// How the per-window receive timeout is chosen.
+enum class TimeoutPolicy : std::uint8_t {
+  /// max(min_timeout, timeout_factor * step estimate) — the original
+  /// fixed policy, retained as the conservative oracle.
+  kFixed,
+  /// An edge's *first* receive window always uses the fixed deadline
+  /// (healthy runs therefore behave exactly like kFixed: zero spurious
+  /// timeouts). Once an edge shows evidence of loss — a timeout or a
+  /// NACK — subsequent windows use a Jacobson EWMA of observed waits
+  /// per peer (normalized by the step estimate): RTO = srtt + 4 *
+  /// rttvar, floored at rto_floor_factor * step estimate, doubled per
+  /// consecutive timeout, never above the fixed deadline. Recovery
+  /// windows (retries, dead peers) shrink roughly by timeout_factor /
+  /// rto_floor_factor, which is where faulty runs spend their time.
+  kAdaptive,
+};
+
+/// Progress snapshot of a resilient run, emitted after each step's
+/// repair agreement and sufficient to resume a killed run. Resume is
+/// deterministic replay: the simulation kernel cannot be warm-started
+/// mid-flight, but every run is bit-reproducible, so the resumed run
+/// replays from step 0 and verifies — via config_digest and the
+/// step_digests chain — that it passes through exactly the checkpointed
+/// states before continuing past them. The final report is bit-identical
+/// to the uninterrupted run's.
+struct ResilientCheckpoint {
+  std::int32_t nprocs = 0;
+  std::int32_t num_steps = 0;
+  /// Steps whose agreement completed (the checkpoint was emitted at the
+  /// end of step steps_completed - 1).
+  std::int32_t steps_completed = 0;
+  /// Hash of (schedule, protocol options, fault plan, nprocs): a resume
+  /// against a different configuration is rejected up front.
+  std::uint64_t config_digest = 0;
+  /// Per-step digest of the global protocol state at that step's
+  /// agreement; 0 = not recorded (no live emitter that step). Indexed by
+  /// step, length steps_completed.
+  std::vector<std::uint64_t> step_digests;
+  /// Agreed dead set at checkpoint time, ascending.
+  std::vector<NodeId> dead_nodes;
+  /// Delivered edges so far: keys (step * nprocs + src) * nprocs + dst,
+  /// ascending.
+  std::vector<std::uint64_t> delivered_keys;
+
+  util::json::Value to_json() const;
+  /// Throws std::runtime_error on a malformed document.
+  static ResilientCheckpoint from_json(const util::json::Value& v);
+};
 
 struct ResilientOptions {
   /// Max copies of one message a sender transmits (and max receive
   /// windows a receiver waits) before suspecting the peer dead.
   std::int32_t max_attempts = 8;
-  /// Per-step timeout = max(min_timeout, timeout_factor * estimated
-  /// step time from estimate_step_times()).
+  /// Fixed-policy timeout multiplier; also the adaptive policy's upper
+  /// clamp, so kAdaptive never waits longer than kFixed would.
   double timeout_factor = 4.0;
   util::SimDuration min_timeout = util::from_us(200);
-  /// Backoff before the k-th resend is backoff_base << (k-1).
+  /// Receive-timeout policy; kFixed is the selectable oracle.
+  TimeoutPolicy timeout_policy = TimeoutPolicy::kAdaptive;
+  /// Adaptive RTO floor for recovery windows, as a fraction of the step
+  /// estimate. Actual waits can exceed the analytic estimate (greedy
+  /// schedules serialize receives the estimator does not model), so the
+  /// default keeps a 2x margin — still half of the fixed oracle's 4x,
+  /// and only ever applied after an edge has already shown loss.
+  double rto_floor_factor = 2.0;
+  /// Backoff before the k-th resend: backoff_base << (k-1), clamped to
+  /// backoff_max (overflow-safe), minus deterministic jitter of up to
+  /// backoff_jitter of itself. See resilient_backoff().
   util::SimDuration backoff_base = util::from_us(100);
+  util::SimDuration backoff_max = util::from_ms(20);
+  double backoff_jitter = 0.25;
+  /// Consecutive agreement rounds a node must stay suspected before it
+  /// is excised. 1 reproduces the original excise-on-first-suspicion
+  /// behaviour; the default 2 tolerates one-round glitches (late
+  /// deliveries, lost acks, slow nodes).
+  std::int32_t suspicion_rounds = 2;
   /// Data messages use data_tag_base + step.
   std::int32_t data_tag_base = 1000;
   /// Ack messages use ack_tag_base + step; keep this at or above the
   /// plan's control_tag_floor so acks stay reliable.
   std::int32_t ack_tag_base = 1 << 30;
   /// Re-run the same program fault-free to measure makespan overhead
-  /// (skipped automatically when no fault plan is installed).
+  /// (skipped automatically when no fault plan is installed, and when
+  /// stop_after_step cuts the run short).
   bool measure_fault_free_baseline = true;
   /// Optional trace sink for the (faulty) protocol run — pure
   /// observation, installed only for the measured run, never for the
   /// fault-free baseline. Feed a sim::TraceRecorder here and hand the
   /// events to sim::analyze / sim::validate_trace.
   sim::TraceSink trace;
+  /// When set, the lowest live node emits a checkpoint through this sink
+  /// after each step's agreement (called from inside the simulation;
+  /// must not call back into it).
+  std::function<void(const ResilientCheckpoint&)> checkpoint_sink;
+  /// Simulated kill switch: end every node's program cleanly after this
+  /// step's agreement (-1 = run the whole schedule). The checkpoint
+  /// emitted at that step is the resume token.
+  std::int32_t stop_after_step = -1;
+  /// Resume token from a killed run: verifies config_digest before
+  /// running and the step_digests chain during replay (throwing
+  /// util::CheckError on divergence), then produces the same report the
+  /// uninterrupted run would have.
+  std::shared_ptr<const ResilientCheckpoint> resume_from;
 };
+
+/// Virtual-time backoff before resend `attempt` (0-based): backoff_base
+/// doubled per prior attempt, clamped to backoff_max without ever
+/// overflowing SimDuration, then reduced by a deterministic jitter drawn
+/// from `key` (up to backoff_jitter of the clamped value). Exposed for
+/// the boundary unit tests.
+util::SimDuration resilient_backoff(const ResilientOptions& options,
+                                    std::int32_t attempt, std::uint64_t key);
 
 /// A directed schedule edge that no surviving node could confirm.
 struct LostEdge {
@@ -75,6 +182,7 @@ struct ResilientRunReport {
   std::int64_t recv_timeouts = 0;    ///< receive windows that expired
   std::int64_t corrupt_detected = 0; ///< checksum failures (NACKed)
   std::int32_t repairs = 0;          ///< schedule-repair events (dead-set growth)
+  std::int32_t steps_completed = 0;  ///< agreements run (== num_steps unless stopped)
   std::vector<NodeId> dead_nodes;    ///< agreed dead set, ascending
   std::vector<LostEdge> lost_edges;  ///< sorted by (step, src, dst)
   util::SimTime makespan = 0;

@@ -4,23 +4,29 @@
 #include <vector>
 
 #include "cm5/net/topology.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/time.hpp"
 
 /// \file fault.hpp
 /// Deterministic fault injection for simulated runs.
 ///
 /// A FaultPlan describes what goes wrong during a run: probabilistic
-/// per-message faults (drop, corrupt, delay) plus a timeline of exact
+/// per-message faults (drop, corrupt, delay), correlated fault processes
+/// (Gilbert–Elliott burst loss, timeline-scripted partitions, link
+/// flapping, gray-failure node slowdown), plus a timeline of exact
 /// virtual-time faults (fail-stop node death, link degradation) and
 /// targeted drops of specific messages. Install one on a Kernel with
 /// Kernel::set_fault_plan() before run().
 ///
 /// Determinism: probabilistic decisions are stateless hashes of
-/// (plan seed, per-run transfer sequence number). The kernel assigns
-/// sequence numbers in its deterministic execution order, so a fixed
-/// seed gives a bit-for-bit reproducible faulty run — same RunResult,
-/// same fault trace events — across repeats and across platforms.
-/// Every injected fault is emitted as a TraceEvent (Fault* kinds).
+/// (plan seed, per-run transfer sequence number); the burst chains hash
+/// (seed, source node, per-source message ordinal) and the kernel steps
+/// them in its deterministic execution order. Partition and flap
+/// verdicts are pure functions of the message's network-entry time. A
+/// fixed seed therefore gives a bit-for-bit reproducible faulty run —
+/// same RunResult, same fault trace events — across repeats and across
+/// platforms. Every injected fault is emitted as a TraceEvent (Fault*
+/// kinds).
 
 namespace cm5::sim {
 
@@ -52,8 +58,73 @@ struct FaultPlan {
   /// executor's acks live here, so acks themselves are reliable).
   std::int32_t control_tag_floor = 1 << 30;
 
+  /// Two-state Gilbert–Elliott burst-loss process. Each source node
+  /// carries one independent chain, stepped once per fault-eligible
+  /// message it injects: the message is dropped with the loss rate of
+  /// the current state, then the chain transitions (good -> bad with
+  /// p_enter, bad -> good with p_exit). Both draws are stateless hashes
+  /// of (seed, source, per-source ordinal), so the whole process is
+  /// reproducible from the plan alone. Disabled when p_enter and
+  /// loss_good are both zero.
+  struct BurstLoss {
+    double p_enter = 0.0;    ///< good -> bad transition prob per message
+    double p_exit = 0.0;     ///< bad -> good transition prob per message
+    double loss_good = 0.0;  ///< drop prob in the good state
+    double loss_bad = 0.0;   ///< drop prob in the bad state
+    bool enabled() const noexcept {
+      return p_enter > 0.0 || loss_good > 0.0;
+    }
+  };
+  BurstLoss burst;
+
+  /// Timeline-scripted network partition: during [start, end) every
+  /// fault-eligible message whose endpoints straddle the boundary of the
+  /// level-`level` subtree with index `subtree` (nodes n with
+  /// n / arity^level == subtree) is dropped — the fat tree is bisected
+  /// at that subtree's uplink. The control network (global ops) is
+  /// physically separate on the CM-5 and is unaffected, which is what
+  /// lets the resilient executor keep agreeing across the cut.
+  struct Partition {
+    std::int32_t level = 1;    ///< height of the cut subtree (>= 1)
+    std::int32_t subtree = 0;  ///< index of the isolated subtree
+    util::SimTime start = 0;
+    util::SimTime end = 0;     ///< exclusive; the partition heals here
+  };
+  std::vector<Partition> partitions;
+
+  /// Link flapping: from `start`, the node's inject/eject links cycle
+  /// with `period`, down for the first duty_down fraction of each cycle
+  /// and up for the rest, for `cycles` cycles (0 = forever). Messages
+  /// touching the node while down are dropped. Pure function of the
+  /// message's network-entry time.
+  struct LinkFlap {
+    net::NodeId node = -1;
+    util::SimTime start = 0;
+    util::SimDuration period = 0;
+    double duty_down = 0.5;    ///< fraction of each period spent down
+    std::int32_t cycles = 0;   ///< 0 = flap forever after start
+  };
+  std::vector<LinkFlap> flaps;
+
+  /// Gray failure: between start and end the node's compute/service
+  /// times are multiplied by `factor` (> 1 slows it down). Distinct from
+  /// fail-stop — the node keeps participating, just late; a resilient
+  /// layer should wait such nodes out rather than excise them. Applies
+  /// to everything charged through advance(): compute phases and the
+  /// per-message software overheads (the "service" half).
+  struct NodeSlowdown {
+    net::NodeId node = -1;
+    util::SimTime start = 0;
+    util::SimTime end = util::kTimeNever;  ///< kTimeNever = never heals
+    double factor = 1.0;                   ///< time multiplier (>= 1)
+  };
+  std::vector<NodeSlowdown> slowdowns;
+
   /// Drops the `nth` (0-based) transfer from `src` to `dst`. Exact and
-  /// seed-independent; useful for reproducing one specific loss.
+  /// seed-independent; useful for reproducing one specific loss. Unlike
+  /// the probabilistic and correlated faults, targeted drops ignore the
+  /// min_fault_bytes / control_tag_floor exemptions — they can kill
+  /// acks, which is how the ack-loss tests work.
   struct TargetedDrop {
     net::NodeId src = -1;
     net::NodeId dst = -1;
@@ -79,21 +150,49 @@ struct FaultPlan {
   };
   std::vector<LinkDegrade> degrades;
 
+  /// True if the message is subject to probabilistic/correlated faults
+  /// (large enough and not control traffic).
+  bool fault_eligible(std::int64_t bytes, std::int32_t tag) const noexcept {
+    return bytes >= min_fault_bytes && tag < control_tag_floor;
+  }
+
   /// Evaluates the probabilistic faults for one transfer. `seq` is the
   /// kernel's per-run transfer sequence number; `bytes`/`tag` gate the
   /// exemptions above. Pure function of (plan, seq, bytes, tag).
   FaultDecision decide(std::int64_t seq, std::int64_t bytes,
                        std::int32_t tag) const;
 
+  /// Steps `src`'s burst chain for its `nth` fault-eligible message and
+  /// returns the drop verdict. `in_bad` is the chain state the caller
+  /// carries between calls (starts false = good). Pure function of
+  /// (plan, src, nth, in_bad) — the kernel's call order supplies the
+  /// chain's statefulness.
+  bool burst_step(net::NodeId src, std::int64_t nth, bool& in_bad) const;
+
+  /// True if a message src -> dst entering the network at `t` crosses an
+  /// active partition cut. `arity` is the fat tree's fan-in.
+  bool partition_blocks(net::NodeId src, net::NodeId dst, util::SimTime t,
+                        std::int32_t arity) const;
+
+  /// True if a flapping link of src or dst is down at `t`.
+  bool flap_blocks(net::NodeId src, net::NodeId dst, util::SimTime t) const;
+
   /// True if any fault source is configured at all.
   bool empty() const noexcept {
     return drop_prob <= 0.0 && corrupt_prob <= 0.0 && delay_prob <= 0.0 &&
-           targeted_drops.empty() && deaths.empty() && degrades.empty();
+           !burst.enabled() && partitions.empty() && flaps.empty() &&
+           slowdowns.empty() && targeted_drops.empty() && deaths.empty() &&
+           degrades.empty();
   }
 
   /// Throws std::invalid_argument on out-of-range probabilities,
   /// negative times/factors, or node ids outside [0, nprocs).
   void validate(std::int32_t nprocs) const;
+
+  /// Canonical machine-readable form of the plan. Deterministic field
+  /// order; used by the chaos-campaign report and as the fault half of
+  /// the resilient checkpoint's config digest.
+  util::json::Value to_json() const;
 };
 
 }  // namespace cm5::sim

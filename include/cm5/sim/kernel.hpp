@@ -323,11 +323,17 @@ class Kernel {
   };
 
   /// One entry of the plan's exact-time fault timeline.
+  enum class TimedFaultKind : std::uint8_t {
+    Death,      ///< fail-stop
+    Degrade,    ///< link capacity scaled by `factor`
+    SlowStart,  ///< gray failure: compute/service scaled by `factor`
+    SlowEnd,    ///< gray failure heals (factor back to 1)
+  };
   struct TimedFault {
     util::SimTime time;
-    bool is_death;
+    TimedFaultKind kind;
     NodeId node;
-    double factor;  ///< degrade factor (unused for deaths)
+    double factor;  ///< degrade/slowdown factor (unused for deaths)
   };
 
   struct NodeState {
@@ -347,6 +353,10 @@ class Kernel {
     std::int32_t swap_remaining = 0;
     // Fault / timed-wait state.
     bool killed = false;      ///< fail-stop fault fired for this node
+    /// Gray-failure multiplier applied to advance() charges; exactly 1.0
+    /// (the untouched default) leaves the fault-free arithmetic
+    /// bit-identical.
+    double compute_scale = 1.0;
     bool timed_out = false;   ///< current wake is a timeout, not a delivery
     bool peer_failed = false; ///< current wake means the peer died
     std::int64_t wait_generation = 0;  ///< bumped at each timed-wait arm
@@ -379,6 +389,7 @@ class Kernel {
   void fire_timer(const Timer& timer);
   void apply_death(NodeId node, util::SimTime t);
   void apply_degrade(NodeId node, util::SimTime t, double factor);
+  void apply_slow(NodeId node, util::SimTime t, double factor);
   void maybe_complete_global_op(util::SimTime now, NodeId completer);
   void recompute_gop_max_arrival();
   void wake_node(NodeId id, util::SimTime t);
@@ -444,6 +455,11 @@ class Kernel {
   std::size_t fault_cursor_ = 0;
   /// Per (src, dst) count of matched transfers, for targeted drops.
   std::vector<std::int64_t> pair_send_count_;
+  /// Gilbert–Elliott burst chains: one state bit and one eligible-message
+  /// ordinal per source node (live only while a plan with burst loss is
+  /// installed).
+  std::vector<std::uint8_t> burst_bad_;
+  std::vector<std::int64_t> burst_count_;
   std::int32_t killed_count_ = 0;
 
   // Timed-wait deadlines.

@@ -39,6 +39,8 @@ struct TraceEvent {
     FaultDelay,    ///< extra latency injected (`bytes` = delay in ns)
     FaultDegrade,  ///< node's links degraded (`bytes` = scale * 1e6)
     FaultKill,     ///< fail-stop node death
+    FaultSlow,     ///< gray failure: compute/service scaled
+                   ///< (`bytes` = factor * 1e6; 1e6 = healed)
     WaitTimeout,   ///< a timed receive/barrier expired (`tag` meaningful
                    ///< for receives; peer = awaited src or kAnyNode)
   };

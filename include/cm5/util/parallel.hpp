@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file parallel.hpp
+/// Host-side work sharding. This is *wall-clock* parallelism for
+/// embarrassingly parallel sweeps (bench cells, chaos-campaign runs):
+/// each unit of work builds its own simulator, so nothing here touches
+/// simulated time or determinism — results are a pure function of the
+/// work indices, not of the worker count.
+
+namespace cm5::util {
+
+/// Runs fn(i) for every i in [0, count), sharded dynamically over up to
+/// `workers` threads (the calling thread participates, so workers == 1
+/// means plain sequential execution). Work is claimed from a shared
+/// atomic counter, which keeps long and short units balanced. If any
+/// invocation throws, the remaining work is still drained and the first
+/// exception is rethrown after all threads join.
+inline void parallel_for(std::size_t count, int workers,
+                         const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers > static_cast<int>(count)) workers = static_cast<int>(count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto drain = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> g(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cm5::util

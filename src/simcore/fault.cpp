@@ -13,12 +13,16 @@ double to_unit(std::uint64_t x) {
   return static_cast<double>(x >> 11) * 0x1.0p-53;
 }
 
+/// Domain-separation salt for the burst chains, so a plan with identical
+/// seed draws independent streams for per-message and burst decisions.
+constexpr std::uint64_t kBurstSalt = 0x6b43a9b5eac15ca7ULL;
+
 }  // namespace
 
 FaultDecision FaultPlan::decide(std::int64_t seq, std::int64_t bytes,
                                 std::int32_t tag) const {
   FaultDecision d;
-  if (bytes < min_fault_bytes || tag >= control_tag_floor) return d;
+  if (!fault_eligible(bytes, tag)) return d;
   // One stateless stream per transfer: hash (seed, seq) and draw three
   // independent uniforms. Stateless means decisions don't depend on how
   // many other transfers happened to be inspected before this one.
@@ -30,6 +34,55 @@ FaultDecision FaultPlan::decide(std::int64_t seq, std::int64_t bytes,
   d.corrupt = !d.drop && u_corrupt < corrupt_prob;
   if (u_delay < delay_prob) d.extra_delay = delay;
   return d;
+}
+
+bool FaultPlan::burst_step(net::NodeId src, std::int64_t nth,
+                           bool& in_bad) const {
+  // One stateless stream per (source, ordinal): the chain's only mutable
+  // state is the single bit the caller carries. Loss is decided in the
+  // current state; the transition applies to the next message.
+  util::SplitMix64 h(
+      seed ^ kBurstSalt ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1)) ^
+      (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(nth) + 1)));
+  const double u_loss = to_unit(h.next());
+  const double u_trans = to_unit(h.next());
+  const bool drop = u_loss < (in_bad ? burst.loss_bad : burst.loss_good);
+  in_bad = in_bad ? (u_trans >= burst.p_exit) : (u_trans < burst.p_enter);
+  return drop;
+}
+
+bool FaultPlan::partition_blocks(net::NodeId src, net::NodeId dst,
+                                 util::SimTime t, std::int32_t arity) const {
+  if (partitions.empty()) return false;
+  for (const Partition& p : partitions) {
+    if (t < p.start || t >= p.end) continue;
+    // Width of the cut subtree in nodes; membership is by index range.
+    std::int64_t width = 1;
+    for (std::int32_t l = 0; l < p.level; ++l) width *= arity;
+    const std::int64_t lo = static_cast<std::int64_t>(p.subtree) * width;
+    const std::int64_t hi = lo + width;
+    const bool src_in = src >= lo && src < hi;
+    const bool dst_in = dst >= lo && dst < hi;
+    if (src_in != dst_in) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::flap_blocks(net::NodeId src, net::NodeId dst,
+                            util::SimTime t) const {
+  for (const LinkFlap& f : flaps) {
+    if (f.node != src && f.node != dst) continue;
+    if (t < f.start || f.period <= 0) continue;
+    const std::int64_t elapsed = t - f.start;
+    const std::int64_t cycle = elapsed / f.period;
+    if (f.cycles > 0 && cycle >= f.cycles) continue;
+    const std::int64_t phase = elapsed % f.period;
+    const auto down_span = static_cast<std::int64_t>(
+        f.duty_down * static_cast<double>(f.period));
+    if (phase < down_span) return true;
+  }
+  return false;
 }
 
 void FaultPlan::validate(std::int32_t nprocs) const {
@@ -46,12 +99,35 @@ void FaultPlan::validate(std::int32_t nprocs) const {
   check_prob(delay_prob, "delay_prob");
   if (delay < 0) bad("delay must be non-negative");
   if (min_fault_bytes < 0) bad("min_fault_bytes must be non-negative");
+  check_prob(burst.p_enter, "burst.p_enter");
+  check_prob(burst.p_exit, "burst.p_exit");
+  check_prob(burst.loss_good, "burst.loss_good");
+  check_prob(burst.loss_bad, "burst.loss_bad");
   auto check_node = [&](net::NodeId n, const char* what) {
     if (n < 0 || n >= nprocs) {
       bad(std::string(what) + " node " + std::to_string(n) +
           " out of range for " + std::to_string(nprocs) + " procs");
     }
   };
+  for (const Partition& p : partitions) {
+    if (p.level < 1) bad("partition level must be >= 1");
+    if (p.subtree < 0) bad("partition subtree must be non-negative");
+    if (p.start < 0) bad("partition start must be non-negative");
+    if (p.end < p.start) bad("partition end must be >= start");
+  }
+  for (const LinkFlap& f : flaps) {
+    check_node(f.node, "flap");
+    if (f.start < 0) bad("flap start must be non-negative");
+    if (f.period <= 0) bad("flap period must be positive");
+    check_prob(f.duty_down, "flap duty_down");
+    if (f.cycles < 0) bad("flap cycles must be non-negative");
+  }
+  for (const NodeSlowdown& s : slowdowns) {
+    check_node(s.node, "slowdown");
+    if (s.start < 0) bad("slowdown start must be non-negative");
+    if (s.end < s.start) bad("slowdown end must be >= start");
+    if (s.factor < 1.0) bad("slowdown factor must be >= 1");
+  }
   for (const TargetedDrop& t : targeted_drops) {
     check_node(t.src, "targeted drop src");
     check_node(t.dst, "targeted drop dst");
@@ -67,6 +143,96 @@ void FaultPlan::validate(std::int32_t nprocs) const {
     if (deg.time < 0) bad("degrade time must be non-negative");
     if (deg.factor < 0.0) bad("degrade factor must be non-negative");
   }
+}
+
+util::json::Value FaultPlan::to_json() const {
+  using util::json::Value;
+  Value root = Value::object();
+  root["seed"] = static_cast<std::int64_t>(seed);
+  root["drop_prob"] = drop_prob;
+  root["corrupt_prob"] = corrupt_prob;
+  root["delay_prob"] = delay_prob;
+  root["delay_ns"] = delay;
+  root["min_fault_bytes"] = min_fault_bytes;
+  root["control_tag_floor"] = control_tag_floor;
+  if (burst.enabled()) {
+    Value b = Value::object();
+    b["p_enter"] = burst.p_enter;
+    b["p_exit"] = burst.p_exit;
+    b["loss_good"] = burst.loss_good;
+    b["loss_bad"] = burst.loss_bad;
+    root["burst"] = std::move(b);
+  }
+  if (!partitions.empty()) {
+    Value arr = Value::array();
+    for (const Partition& p : partitions) {
+      Value v = Value::object();
+      v["level"] = p.level;
+      v["subtree"] = p.subtree;
+      v["start_ns"] = p.start;
+      v["end_ns"] = p.end;
+      arr.push_back(std::move(v));
+    }
+    root["partitions"] = std::move(arr);
+  }
+  if (!flaps.empty()) {
+    Value arr = Value::array();
+    for (const LinkFlap& f : flaps) {
+      Value v = Value::object();
+      v["node"] = f.node;
+      v["start_ns"] = f.start;
+      v["period_ns"] = f.period;
+      v["duty_down"] = f.duty_down;
+      v["cycles"] = f.cycles;
+      arr.push_back(std::move(v));
+    }
+    root["flaps"] = std::move(arr);
+  }
+  if (!slowdowns.empty()) {
+    Value arr = Value::array();
+    for (const NodeSlowdown& s : slowdowns) {
+      Value v = Value::object();
+      v["node"] = s.node;
+      v["start_ns"] = s.start;
+      v["end_ns"] = s.end;
+      v["factor"] = s.factor;
+      arr.push_back(std::move(v));
+    }
+    root["slowdowns"] = std::move(arr);
+  }
+  if (!targeted_drops.empty()) {
+    Value arr = Value::array();
+    for (const TargetedDrop& t : targeted_drops) {
+      Value v = Value::object();
+      v["src"] = t.src;
+      v["dst"] = t.dst;
+      v["nth"] = t.nth;
+      arr.push_back(std::move(v));
+    }
+    root["targeted_drops"] = std::move(arr);
+  }
+  if (!deaths.empty()) {
+    Value arr = Value::array();
+    for (const NodeDeath& d : deaths) {
+      Value v = Value::object();
+      v["node"] = d.node;
+      v["time_ns"] = d.time;
+      arr.push_back(std::move(v));
+    }
+    root["deaths"] = std::move(arr);
+  }
+  if (!degrades.empty()) {
+    Value arr = Value::array();
+    for (const LinkDegrade& d : degrades) {
+      Value v = Value::object();
+      v["node"] = d.node;
+      v["time_ns"] = d.time;
+      v["factor"] = d.factor;
+      arr.push_back(std::move(v));
+    }
+    root["degrades"] = std::move(arr);
+  }
+  return root;
 }
 
 }  // namespace cm5::sim

@@ -31,6 +31,13 @@ void NodeHandle::advance(util::SimDuration d) {
   auto lock = k.exec_lock();
   k.check_abort(id_);
   Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  // Gray failure: a slowed node's compute and per-message service time
+  // stretch by the configured factor. The == 1.0 test keeps the healthy
+  // path's integer arithmetic bit-identical to a build without faults.
+  if (me.compute_scale != 1.0) {
+    d = static_cast<util::SimDuration>(static_cast<double>(d) *
+                                       me.compute_scale);
+  }
   me.clock += d;
   me.counters.compute_time += d;
   k.push_runnable(id_);
@@ -392,6 +399,23 @@ void Kernel::check_abort(NodeId me) const {
 
 void Kernel::set_fault_plan(FaultPlan plan) {
   plan.validate(topo_.num_nodes());
+  // Partition cuts are checked against the actual tree shape, which
+  // FaultPlan::validate cannot see (it only knows nprocs).
+  for (const FaultPlan::Partition& p : plan.partitions) {
+    if (p.level >= topo_.levels()) {
+      throw std::invalid_argument(
+          "FaultPlan: partition level " + std::to_string(p.level) +
+          " has no parent link in a " + std::to_string(topo_.levels()) +
+          "-level tree");
+    }
+    std::int64_t width = 1;
+    for (std::int32_t l = 0; l < p.level; ++l) width *= topo_.config().arity;
+    if (static_cast<std::int64_t>(p.subtree) * width >= topo_.num_nodes()) {
+      throw std::invalid_argument(
+          "FaultPlan: partition subtree " + std::to_string(p.subtree) +
+          " at level " + std::to_string(p.level) + " is outside the machine");
+    }
+  }
   fault_plan_ = std::move(plan);
 }
 
@@ -456,6 +480,27 @@ void Kernel::start_raw_transfer(util::SimTime match_time, NodeId src,
       dropped = d.drop;
       corrupt = d.corrupt;
       extra_delay = d.extra_delay;
+    }
+    // Correlated fault processes share the probabilistic exemptions
+    // (control traffic and tiny messages pass unharmed).
+    if (fault_plan_->fault_eligible(user_bytes, tag)) {
+      if (fault_plan_->burst.enabled()) {
+        // The chain steps on every eligible message — even one already
+        // doomed — so its trajectory depends only on the traffic order.
+        bool bad = burst_bad_[idx(src)] != 0;
+        const bool burst_drop =
+            fault_plan_->burst_step(src, burst_count_[idx(src)]++, bad);
+        burst_bad_[idx(src)] = bad ? 1 : 0;
+        dropped = dropped || burst_drop;
+      }
+      if (!dropped &&
+          fault_plan_->partition_blocks(src, dst, match_time,
+                                        topo_.config().arity)) {
+        dropped = true;
+      }
+      if (!dropped && fault_plan_->flap_blocks(src, dst, match_time)) {
+        dropped = true;
+      }
     }
     if (extra_delay > 0) {
       emit(TraceEvent::Kind::FaultDelay, match_time, src, dst, extra_delay,
@@ -656,10 +701,19 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
           break;
         case 2: {
           const TimedFault f = fault_timeline_[fault_cursor_++];
-          if (f.is_death) {
-            apply_death(f.node, f.time);
-          } else {
-            apply_degrade(f.node, f.time, f.factor);
+          switch (f.kind) {
+            case TimedFaultKind::Death:
+              apply_death(f.node, f.time);
+              break;
+            case TimedFaultKind::Degrade:
+              apply_degrade(f.node, f.time, f.factor);
+              break;
+            case TimedFaultKind::SlowStart:
+              apply_slow(f.node, f.time, f.factor);
+              break;
+            case TimedFaultKind::SlowEnd:
+              apply_slow(f.node, f.time, 1.0);
+              break;
           }
           break;
         }
@@ -783,6 +837,14 @@ void Kernel::apply_degrade(NodeId node, util::SimTime t, double factor) {
   fluid_->set_link_capacity_scale(t, topo_.inject_link(node), factor);
   fluid_->set_link_capacity_scale(t, topo_.eject_link(node), factor);
   emit(TraceEvent::Kind::FaultDegrade, t, node, -1,
+       static_cast<std::int64_t>(factor * 1e6));
+}
+
+void Kernel::apply_slow(NodeId node, util::SimTime t, double factor) {
+  NodeState& st = *nodes_[idx(node)];
+  if (st.killed || st.status == NodeStatus::Done) return;
+  st.compute_scale = factor;
+  emit(TraceEvent::Kind::FaultSlow, t, node, -1,
        static_cast<std::int64_t>(factor * 1e6));
 }
 
@@ -970,12 +1032,24 @@ RunResult Kernel::run(const NodeProgram& program) {
   fault_timeline_.clear();
   fault_cursor_ = 0;
   pair_send_count_.clear();
+  burst_bad_.clear();
+  burst_count_.clear();
   if (fault_plan_) {
     for (const FaultPlan::NodeDeath& d : fault_plan_->deaths) {
-      fault_timeline_.push_back(TimedFault{d.time, true, d.node, 0.0});
+      fault_timeline_.push_back(
+          TimedFault{d.time, TimedFaultKind::Death, d.node, 0.0});
     }
     for (const FaultPlan::LinkDegrade& d : fault_plan_->degrades) {
-      fault_timeline_.push_back(TimedFault{d.time, false, d.node, d.factor});
+      fault_timeline_.push_back(
+          TimedFault{d.time, TimedFaultKind::Degrade, d.node, d.factor});
+    }
+    for (const FaultPlan::NodeSlowdown& s : fault_plan_->slowdowns) {
+      fault_timeline_.push_back(
+          TimedFault{s.start, TimedFaultKind::SlowStart, s.node, s.factor});
+      if (s.end < util::kTimeNever) {
+        fault_timeline_.push_back(
+            TimedFault{s.end, TimedFaultKind::SlowEnd, s.node, 1.0});
+      }
     }
     std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
                      [](const TimedFault& a, const TimedFault& b) {
@@ -983,6 +1057,10 @@ RunResult Kernel::run(const NodeProgram& program) {
                      });
     pair_send_count_.assign(
         static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+    if (fault_plan_->burst.enabled()) {
+      burst_bad_.assign(static_cast<std::size_t>(n), 0);
+      burst_count_.assign(static_cast<std::size_t>(n), 0);
+    }
   }
   done_count_ = 0;
   run_finished_ = false;

@@ -37,6 +37,7 @@ bool is_fault(Kind kind) {
     case Kind::FaultDelay:
     case Kind::FaultDegrade:
     case Kind::FaultKill:
+    case Kind::FaultSlow:
       return true;
     default:
       return false;

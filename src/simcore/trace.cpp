@@ -40,6 +40,8 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "FAULT degrade";
     case TraceEvent::Kind::FaultKill:
       return "FAULT kill";
+    case TraceEvent::Kind::FaultSlow:
+      return "FAULT slow";
     case TraceEvent::Kind::WaitTimeout:
       return "wait timeout";
   }

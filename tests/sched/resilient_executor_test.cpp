@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "cm5/machine/machine.hpp"
@@ -11,6 +13,8 @@
 #include "cm5/sched/builders.hpp"
 #include "cm5/sched/pattern.hpp"
 #include "cm5/sim/fault.hpp"
+#include "cm5/util/check.hpp"
+#include "cm5/util/json.hpp"
 #include "cm5/util/time.hpp"
 
 namespace cm5::sched {
@@ -221,6 +225,220 @@ TEST(ResilientExecutorTest, OverheadIsReportedAgainstFaultFreeBaseline) {
   // The summary renders without crashing and mentions the key numbers.
   const std::string text = report.to_string();
   EXPECT_NE(text.find("edges delivered"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff boundary behaviour
+// ---------------------------------------------------------------------------
+
+TEST(ResilientBackoffTest, DoublesThenClampsWithoutOverflow) {
+  ResilientOptions o;
+  o.backoff_base = from_us(100);
+  o.backoff_max = util::from_ms(20);
+  o.backoff_jitter = 0.0;
+  EXPECT_EQ(resilient_backoff(o, 0, 1), from_us(100));
+  EXPECT_EQ(resilient_backoff(o, 1, 1), from_us(200));
+  EXPECT_EQ(resilient_backoff(o, 2, 1), from_us(400));
+  EXPECT_EQ(resilient_backoff(o, 7, 1), from_us(12800));
+  // 100 us << 8 = 25.6 ms: past the cap from here on.
+  EXPECT_EQ(resilient_backoff(o, 8, 1), util::from_ms(20));
+  EXPECT_EQ(resilient_backoff(o, 61, 1), util::from_ms(20));
+  // Shifts that would overflow the 63-bit duration still return the cap.
+  EXPECT_EQ(resilient_backoff(o, 62, 1), util::from_ms(20));
+  EXPECT_EQ(resilient_backoff(o, std::numeric_limits<std::int32_t>::max(), 1),
+            util::from_ms(20));
+  // Degenerate configurations.
+  EXPECT_EQ(resilient_backoff(o, -3, 1), from_us(100));  // clamped to 0
+  o.backoff_base = 0;
+  EXPECT_EQ(resilient_backoff(o, 5, 1), 0);
+}
+
+TEST(ResilientBackoffTest, JitterIsDeterministicAndBounded) {
+  ResilientOptions o;
+  o.backoff_base = from_us(100);
+  o.backoff_max = util::from_ms(20);
+  o.backoff_jitter = 0.25;
+  bool saw_distinct = false;
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    const util::SimDuration d = resilient_backoff(o, 3, key);
+    EXPECT_EQ(d, resilient_backoff(o, 3, key));  // pure function of the key
+    // Jitter only ever shortens, by at most backoff_jitter of the value.
+    EXPECT_LE(d, from_us(800));
+    EXPECT_GE(d, from_us(600));
+    if (d != resilient_backoff(o, 3, key + 1)) saw_distinct = true;
+  }
+  EXPECT_TRUE(saw_distinct);  // keys actually desynchronize peers
+}
+
+// ---------------------------------------------------------------------------
+// Ack loss
+// ---------------------------------------------------------------------------
+
+TEST(ResilientExecutorTest, LostAcksCauseRetriesNotFalseSuspicion) {
+  // One directed edge 0 -> 1, so the only 1 -> 0 traffic is the ack.
+  // Targeted drops pierce the control_tag_floor exemption: kill the
+  // first two acks. The sender must time out and resend, the receiver's
+  // end-of-step drain re-acks the duplicate copies, and the edge ends
+  // delivered with nobody suspected.
+  auto machine = make_machine(4);
+  sim::FaultPlan plan;
+  plan.targeted_drops.push_back({1, 0, 0});
+  plan.targeted_drops.push_back({1, 0, 1});
+  machine.set_fault_plan(plan);
+
+  CommPattern pattern(4);
+  pattern.set(0, 1, 512);
+  const CommSchedule schedule = build_schedule(Scheduler::Linear, pattern);
+  ResilientOptions options;
+  options.measure_fault_free_baseline = false;
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule, options);
+
+  EXPECT_EQ(report.edges_total, 1);
+  EXPECT_EQ(report.edges_delivered, 1) << report.to_string();
+  EXPECT_TRUE(report.lost_edges.empty());
+  EXPECT_TRUE(report.dead_nodes.empty());
+  EXPECT_EQ(report.repairs, 0);
+  EXPECT_GE(report.retries, 2);        // one resend per killed ack
+  EXPECT_GE(report.recv_timeouts, 2);  // the sender's ack waits expired
+}
+
+TEST(ResilientExecutorTest, AckLossUnderFixedPolicyAlsoRecovers) {
+  // Same scenario through the fixed-timeout oracle: the recovery path
+  // must not depend on the adaptive estimator.
+  auto machine = make_machine(4);
+  sim::FaultPlan plan;
+  plan.targeted_drops.push_back({1, 0, 0});
+  machine.set_fault_plan(plan);
+
+  CommPattern pattern(4);
+  pattern.set(0, 1, 512);
+  const CommSchedule schedule = build_schedule(Scheduler::Linear, pattern);
+  ResilientOptions options;
+  options.timeout_policy = TimeoutPolicy::kFixed;
+  options.measure_fault_free_baseline = false;
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule, options);
+
+  EXPECT_EQ(report.edges_delivered, 1) << report.to_string();
+  EXPECT_TRUE(report.dead_nodes.empty());
+  EXPECT_GE(report.retries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Gray failure: slow is not dead
+// ---------------------------------------------------------------------------
+
+TEST(ResilientExecutorTest, GraySlowNodeIsWaitedOutNotExcised) {
+  // Node 3 runs 3x slow for the whole schedule. The suspicion threshold
+  // must wait it out: full delivery, no repairs, nobody excised — just a
+  // longer makespan than the fault-free baseline.
+  auto machine = make_machine(8);
+  sim::FaultPlan plan;
+  plan.slowdowns.push_back({3, 0, util::kTimeNever, 3.0});
+  machine.set_fault_plan(plan);
+
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+  const ResilientRunReport report =
+      run_resilient_schedule(machine, schedule);
+
+  EXPECT_EQ(report.edges_delivered, report.edges_total)
+      << report.to_string();
+  EXPECT_TRUE(report.dead_nodes.empty()) << report.to_string();
+  EXPECT_TRUE(report.lost_edges.empty());
+  EXPECT_EQ(report.repairs, 0);
+  EXPECT_GE(report.makespan, report.fault_free_makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+TEST(ResilientCheckpointTest, JsonRoundTripsAndRejectsGarbage) {
+  ResilientCheckpoint cp;
+  cp.nprocs = 8;
+  cp.num_steps = 7;
+  cp.steps_completed = 3;
+  cp.config_digest = 0xdeadbeefcafef00dULL;
+  cp.step_digests = {0x1ULL, 0, 0xffffffffffffffffULL};
+  cp.dead_nodes = {2, 5};
+  cp.delivered_keys = {1, 9, 64};
+
+  const ResilientCheckpoint back =
+      ResilientCheckpoint::from_json(cp.to_json());
+  EXPECT_EQ(back.nprocs, cp.nprocs);
+  EXPECT_EQ(back.num_steps, cp.num_steps);
+  EXPECT_EQ(back.steps_completed, cp.steps_completed);
+  EXPECT_EQ(back.config_digest, cp.config_digest);
+  EXPECT_EQ(back.step_digests, cp.step_digests);
+  EXPECT_EQ(back.dead_nodes, cp.dead_nodes);
+  EXPECT_EQ(back.delivered_keys, cp.delivered_keys);
+
+  EXPECT_THROW(ResilientCheckpoint::from_json(
+                   util::json::Value::parse("{\"nprocs\": 8}")),
+               std::runtime_error);
+  EXPECT_THROW(ResilientCheckpoint::from_json(
+                   util::json::Value::parse("[1, 2, 3]")),
+               std::runtime_error);
+}
+
+TEST(ResilientCheckpointTest, StoppedRunResumesToIdenticalReport) {
+  // Stop after step 2 of a faulty run, then resume from the emitted
+  // checkpoint: the resumed report must match the uninterrupted run's
+  // JSON byte for byte.
+  sim::FaultPlan plan;
+  plan.seed = 404;
+  plan.drop_prob = 0.03;
+  plan.deaths.push_back({6, from_us(2000)});
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+
+  auto machine_full = make_machine(8);
+  machine_full.set_fault_plan(plan);
+  const ResilientRunReport full =
+      run_resilient_schedule(machine_full, schedule);
+
+  std::shared_ptr<const ResilientCheckpoint> token;
+  ResilientOptions stop_options;
+  stop_options.stop_after_step = 2;
+  stop_options.checkpoint_sink = [&](const ResilientCheckpoint& cp) {
+    token = std::make_shared<ResilientCheckpoint>(cp);
+  };
+  auto machine_stop = make_machine(8);
+  machine_stop.set_fault_plan(plan);
+  const ResilientRunReport partial =
+      run_resilient_schedule(machine_stop, schedule, stop_options);
+  ASSERT_NE(token, nullptr);
+  EXPECT_EQ(token->steps_completed, 3);
+  EXPECT_EQ(partial.steps_completed, 3);
+
+  ResilientOptions resume_options;
+  resume_options.resume_from = token;
+  auto machine_resume = make_machine(8);
+  machine_resume.set_fault_plan(plan);
+  const ResilientRunReport resumed =
+      run_resilient_schedule(machine_resume, schedule, resume_options);
+  EXPECT_EQ(resumed.to_json().dump(), full.to_json().dump());
+}
+
+TEST(ResilientCheckpointTest, ResumeRejectsMismatchedConfiguration) {
+  // A checkpoint from one schedule must not replay against another.
+  const CommSchedule schedule = balanced_exchange_schedule(8, 512);
+  std::shared_ptr<const ResilientCheckpoint> token;
+  ResilientOptions stop_options;
+  stop_options.stop_after_step = 1;
+  stop_options.checkpoint_sink = [&](const ResilientCheckpoint& cp) {
+    token = std::make_shared<ResilientCheckpoint>(cp);
+  };
+  auto machine = make_machine(8);
+  run_resilient_schedule(machine, schedule, stop_options);
+  ASSERT_NE(token, nullptr);
+
+  const CommSchedule other = balanced_exchange_schedule(8, 256);
+  ResilientOptions resume_options;
+  resume_options.resume_from = token;
+  auto machine2 = make_machine(8);
+  EXPECT_THROW(run_resilient_schedule(machine2, other, resume_options),
+               util::CheckError);
 }
 
 }  // namespace

@@ -75,6 +75,129 @@ TEST(FaultPlanTest, ValidateRejectsBadPlans) {
   EXPECT_NO_THROW(plan.validate(4));
 }
 
+TEST(FaultPlanTest, ValidateRejectsBadCorrelatedFaults) {
+  FaultPlan plan;
+  plan.burst.p_enter = 1.5;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.burst.loss_bad = -0.1;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.partitions.push_back({0, 0, 0, from_us(1)});  // level < 1
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.partitions.push_back({1, 0, from_us(5), from_us(1)});  // end < start
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.flaps.push_back({0, 0, 0, 0.5, 0});  // period <= 0
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.flaps.push_back({7, 0, from_us(10), 0.5, 0});  // node out of range
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.slowdowns.push_back({0, 0, util::kTimeNever, 0.5});  // speeds it up
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.slowdowns.push_back({0, from_us(5), from_us(1), 2.0});  // end < start
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan = {};
+  plan.burst = {0.05, 0.3, 0.0, 0.9};
+  plan.partitions.push_back({1, 0, 0, from_us(100)});
+  plan.flaps.push_back({1, 0, from_us(10), 0.5, 3});
+  plan.slowdowns.push_back({2, 0, util::kTimeNever, 4.0});
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(FaultPlanTest, KernelRejectsPartitionOutsideTopology) {
+  // 16 nodes at arity 4 -> 2 switch levels; only level-1 cuts have a
+  // parent link to sever, and only subtrees 0..3 exist.
+  auto topo = make_topo(16);
+  ASSERT_EQ(topo.levels(), 2);
+  {
+    Kernel kernel(topo);
+    FaultPlan plan;
+    plan.partitions.push_back({2, 0, 0, from_us(1)});
+    EXPECT_THROW(kernel.set_fault_plan(plan), std::invalid_argument);
+  }
+  {
+    Kernel kernel(topo);
+    FaultPlan plan;
+    plan.partitions.push_back({1, 4, 0, from_us(1)});  // 4 * 4 >= 16
+    EXPECT_THROW(kernel.set_fault_plan(plan), std::invalid_argument);
+  }
+  {
+    Kernel kernel(topo);
+    FaultPlan plan;
+    plan.partitions.push_back({1, 3, 0, from_us(1)});
+    EXPECT_NO_THROW(kernel.set_fault_plan(plan));
+  }
+}
+
+TEST(FaultPlanTest, BurstChainIsDeterministicAndBursty) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.burst.p_enter = 0.05;
+  plan.burst.p_exit = 0.3;
+  plan.burst.loss_bad = 1.0;  // loss_good stays 0: drops only in bursts
+
+  auto roll = [&](net::NodeId src) {
+    std::vector<bool> drops;
+    bool in_bad = false;
+    for (std::int64_t nth = 0; nth < 4096; ++nth) {
+      drops.push_back(plan.burst_step(src, nth, in_bad));
+    }
+    return drops;
+  };
+  const std::vector<bool> a = roll(0);
+  EXPECT_EQ(a, roll(0));   // pure function of (plan, src, ordinal)
+  EXPECT_NE(a, roll(1));   // each source carries an independent chain
+
+  // Burstiness: the stationary bad-state fraction is p_enter /
+  // (p_enter + p_exit) ~ 0.14, but after a drop the chain stays bad
+  // with probability 1 - p_exit = 0.7 and drops again for sure. The
+  // conditional drop-after-drop rate must dwarf the marginal rate.
+  int drops = 0, follow_ups = 0, repeat_drops = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i]) ++drops;
+    if (i > 0 && a[i - 1]) {
+      ++follow_ups;
+      if (a[i]) ++repeat_drops;
+    }
+  }
+  ASSERT_GT(drops, 100);      // the process actually fires
+  EXPECT_LT(drops, 4096 / 2); // ... but is not a constant drop
+  const double marginal = static_cast<double>(drops) / 4096.0;
+  const double conditional =
+      static_cast<double>(repeat_drops) / static_cast<double>(follow_ups);
+  EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(FaultPlanTest, PartitionBlocksOnlyCrossTrafficInWindow) {
+  FaultPlan plan;
+  plan.partitions.push_back({1, 0, from_us(10), from_us(20)});
+  const std::int32_t arity = 4;  // level-1 subtree 0 = nodes 0..3
+  EXPECT_TRUE(plan.partition_blocks(0, 5, from_us(10), arity));
+  EXPECT_TRUE(plan.partition_blocks(5, 0, from_us(15), arity));   // symmetric
+  EXPECT_FALSE(plan.partition_blocks(0, 3, from_us(15), arity));  // inside
+  EXPECT_FALSE(plan.partition_blocks(5, 9, from_us(15), arity));  // outside
+  EXPECT_FALSE(plan.partition_blocks(0, 5, from_us(9), arity));   // early
+  EXPECT_FALSE(plan.partition_blocks(0, 5, from_us(20), arity));  // healed
+}
+
+TEST(FaultPlanTest, FlapFollowsDutyCycleForConfiguredCycles) {
+  FaultPlan plan;
+  // Node 2: from 100 us, 100 us period, down for the first half, twice.
+  plan.flaps.push_back({2, from_us(100), from_us(100), 0.5, 2});
+  EXPECT_FALSE(plan.flap_blocks(2, 0, from_us(50)));    // before start
+  EXPECT_TRUE(plan.flap_blocks(2, 0, from_us(100)));    // cycle 1 down
+  EXPECT_TRUE(plan.flap_blocks(0, 2, from_us(149)));    // either endpoint
+  EXPECT_FALSE(plan.flap_blocks(2, 0, from_us(150)));   // cycle 1 up
+  EXPECT_TRUE(plan.flap_blocks(2, 0, from_us(210)));    // cycle 2 down
+  EXPECT_FALSE(plan.flap_blocks(2, 0, from_us(275)));   // cycle 2 up
+  EXPECT_FALSE(plan.flap_blocks(2, 0, from_us(310)));   // flapping over
+  EXPECT_FALSE(plan.flap_blocks(0, 1, from_us(120)));   // unrelated pair
+}
+
 // ---------------------------------------------------------------------------
 // Timed waits (no faults involved)
 // ---------------------------------------------------------------------------
@@ -348,6 +471,133 @@ TEST(FaultInjectionTest, AsyncSendToDeadNodeIsDroppedSilently) {
 }
 
 // ---------------------------------------------------------------------------
+// Correlated faults in the kernel
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, BurstLossDecidesInCurrentStateThenTransitions) {
+  // A degenerate chain (enter for sure, never exit, lose everything in
+  // the bad state) pins the semantics: the first eligible message from a
+  // source is decided in the good state and delivered, the transition
+  // then applies, and every later message from that source is dropped.
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.burst = {1.0, 0.0, 0.0, 1.0};
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      for (int i = 0; i < 4; ++i) h.post_send(1, i, 64, 2000, 0, {});
+    } else if (h.id() == 1) {
+      ASSERT_TRUE(h.post_receive_timeout(0, 0, from_us(500)).has_value());
+      for (int i = 1; i < 4; ++i) {
+        EXPECT_FALSE(h.post_receive_timeout(0, i, from_us(500)).has_value());
+      }
+    }
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultDrop), 3);
+}
+
+TEST(FaultInjectionTest, PartitionDropsCrossSubtreeTrafficAndHeals) {
+  // Cut subtree 0 (nodes 0..3) off for the first 500 us. Within-subtree
+  // traffic and the control network keep working; cross-subtree traffic
+  // resumes once the partition heals.
+  auto topo = make_topo(16);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.partitions.push_back({1, 0, 0, from_us(500)});
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.post_send(1, 5, 64, 2000, 0, {});  // within the cut subtree
+      h.post_send(4, 6, 64, 2000, 0, {});  // crosses the cut: dropped
+      h.advance(from_us(600));             // wait out the partition
+      h.post_send(4, 7, 64, 2000, 0, {});  // healed: delivered
+    } else if (h.id() == 1) {
+      ASSERT_TRUE(h.post_receive_timeout(0, 5, from_us(400)).has_value());
+    } else if (h.id() == 4) {
+      EXPECT_FALSE(h.post_receive_timeout(0, 6, from_us(400)).has_value());
+      const Message m = h.post_receive(0, 7);
+      EXPECT_EQ(m.size, 64);
+    }
+    // The CM-5 control network is physically separate: global ops
+    // complete across the cut (the run would hang here otherwise).
+    (void)h.global_op({}, from_us(4));
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultDrop), 1);
+}
+
+TEST(FaultInjectionTest, FlappingLinkDropsWhileDownDeliversWhileUp) {
+  // Node 1's links are down for the first 200 us of each 400 us cycle.
+  // A transfer entering the network during the down phase is dropped;
+  // one entering during the up phase is delivered.
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  FaultPlan plan;
+  plan.flaps.push_back({1, 0, from_us(400), 0.5, 0});
+  kernel.set_fault_plan(plan);
+
+  TraceRecorder rec;
+  kernel.set_trace(rec.sink());
+  kernel.run([](NodeHandle& h) {
+    if (h.id() == 0) {
+      h.advance(from_us(100));  // down phase
+      h.post_send(1, 5, 64, 2000, 0, {});
+      h.advance(from_us(150));  // now ~250 us: up phase
+      h.post_send(1, 6, 64, 2000, 0, {});
+    } else if (h.id() == 1) {
+      EXPECT_FALSE(h.post_receive_timeout(0, 5, from_us(200)).has_value());
+      ASSERT_TRUE(h.post_receive_timeout(0, 6, from_us(500)).has_value());
+    }
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::FaultDrop), 1);
+}
+
+TEST(FaultInjectionTest, GraySlowdownScalesComputeAndHeals) {
+  // Node 0 parks in a receive until node 1 shows up at 200 us — so the
+  // slow window's start/end fire from the event loop while it waits —
+  // then charges 50 us of compute.
+  auto run_once = [](std::vector<FaultPlan::NodeSlowdown> slowdowns,
+                     TraceRecorder* rec) {
+    auto topo = make_topo(4);
+    Kernel kernel(topo);
+    FaultPlan plan;
+    plan.slowdowns = std::move(slowdowns);
+    kernel.set_fault_plan(plan);
+    if (rec != nullptr) kernel.set_trace(rec->sink());
+    return kernel
+        .run([](NodeHandle& h) {
+          if (h.id() == 1) {
+            h.advance(from_us(200));
+            h.post_send(0, 5, 64, 2000, 0, {});
+          } else if (h.id() == 0) {
+            (void)h.post_receive(1, 5);
+            h.advance(from_us(50));
+          }
+        })
+        .finish_time[0];
+  };
+  const SimTime healthy = run_once({}, nullptr);
+
+  // Slowed for good: the 50 us compute phase doubles.
+  TraceRecorder slow_rec;
+  EXPECT_EQ(run_once({{0, 0, util::kTimeNever, 2.0}}, &slow_rec),
+            healthy + from_us(50));
+  EXPECT_EQ(slow_rec.count(TraceEvent::Kind::FaultSlow), 1);
+
+  // Healed at 100 us, before the compute phase: timing is bit-identical
+  // to the healthy run, and both the slow and heal edges were traced.
+  TraceRecorder heal_rec;
+  EXPECT_EQ(run_once({{0, 0, from_us(100), 2.0}}, &heal_rec), healthy);
+  EXPECT_EQ(heal_rec.count(TraceEvent::Kind::FaultSlow), 2);
+}
+
+// ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------
 
@@ -371,6 +621,10 @@ TEST(FaultInjectionTest, FixedSeedIsBitForBitReproducible) {
   plan.delay_prob = 0.2;
   plan.delay = from_us(13);
   plan.degrades.push_back({3, from_us(40), 0.5});
+  plan.burst = {0.05, 0.3, 0.0, 0.8};
+  plan.partitions.push_back({1, 0, from_us(100), from_us(200)});
+  plan.flaps.push_back({2, from_us(50), from_us(100), 0.4, 0});
+  plan.slowdowns.push_back({5, from_us(20), from_us(300), 2.0});
 
   auto run_once = [&](RunResult& result, TraceRecorder& rec) {
     auto topo = make_topo(8);
