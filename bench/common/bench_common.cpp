@@ -41,6 +41,8 @@ Measured measure_program(const machine::MachineParams& params,
   out.rate_solves = result.network.rate_solves;
   out.heap_pops = result.network.heap_pops;
   out.context_switches = result.context_switches;
+  out.lanes = result.lanes;
+  out.speculative_grants = result.speculative_grants;
   out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
   out.violations = sim::validate_trace(recorder, params.tree.num_nodes, &result);
   return out;
@@ -79,6 +81,8 @@ Measured measure_scheduled_pattern(const sched::CommPattern& pattern,
   out.rate_solves = run.result.network.rate_solves;
   out.heap_pops = run.result.network.heap_pops;
   out.context_switches = run.result.context_switches;
+  out.lanes = run.result.lanes;
+  out.speculative_grants = run.result.speculative_grants;
   out.metrics = std::move(run.metrics);
   out.violations = std::move(run.violations);
   return out;
@@ -205,6 +209,8 @@ void MetricsEmitter::record(const std::string& id, const Measured& run,
   perf["rate_solves"] = run.rate_solves;
   perf["heap_pops"] = run.heap_pops;
   perf["context_switches"] = run.context_switches;
+  perf["lanes"] = static_cast<std::int64_t>(run.lanes);
+  perf["speculative_grants"] = run.speculative_grants;
   row["perf"] = std::move(perf);
   row["metrics"] = run.metrics.to_json();
   if (!run.violations.empty()) {
@@ -246,6 +252,8 @@ void MetricsEmitter::write() {
   root["smoke"] = smoke_mode();
   root["exec_backend"] = std::string(
       sim::to_string(sim::default_execution_model()));
+  root["exec_lanes"] =
+      static_cast<std::int64_t>(sim::execution_lanes());
   root["violations_total"] = violations_total_;
   if (!deterministic_mode()) {
     // Whole-bench perf trajectory; omitted in deterministic mode so that

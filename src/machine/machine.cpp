@@ -225,6 +225,7 @@ Cm5Machine::Cm5Machine(MachineParams params)
 sim::RunResult Cm5Machine::run(const Program& program) {
   sim::Kernel kernel(topo_);
   kernel.set_execution_model(exec_model_);
+  kernel.set_execution_lanes(exec_lanes_);
   if (fault_plan_) kernel.set_fault_plan(*fault_plan_);
   return kernel.run([this, &program](sim::NodeHandle& handle) {
     Node node(handle, params_);
@@ -236,6 +237,7 @@ sim::RunResult Cm5Machine::run_traced(const Program& program,
                                       sim::TraceSink sink) {
   sim::Kernel kernel(topo_);
   kernel.set_execution_model(exec_model_);
+  kernel.set_execution_lanes(exec_lanes_);
   if (fault_plan_) kernel.set_fault_plan(*fault_plan_);
   kernel.set_trace(std::move(sink));
   return kernel.run([this, &program](sim::NodeHandle& handle) {

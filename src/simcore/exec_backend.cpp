@@ -32,19 +32,39 @@
 namespace cm5::sim {
 
 std::unique_ptr<ExecutionBackend> make_fiber_backend();  // fiber_backend.cpp
+std::unique_ptr<ExecutionBackend> make_multilane_backend(
+    std::int32_t lanes);  // multilane_backend.cpp
 
 const char* to_string(ExecutionModel model) noexcept {
-  return model == ExecutionModel::kFibers ? "fibers" : "threads";
+  switch (model) {
+    case ExecutionModel::kFibers:
+      return "fibers";
+    case ExecutionModel::kThreads:
+      return "threads";
+    case ExecutionModel::kFibersMultiLane:
+      return "multilane";
+  }
+  return "unknown";
 }
 
 bool execution_model_pinned_to_threads() noexcept { return CM5_TSAN != 0; }
 
+std::int32_t execution_lanes() {
+  if (const char* v = std::getenv("CM5_LANES"); v != nullptr && v[0] != '\0') {
+    const long n = std::atol(v);
+    if (n > 64) return 64;
+    if (n >= 1) return static_cast<std::int32_t>(n);
+  }
+  return 1;
+}
+
 ExecutionModel default_execution_model() {
-  if (execution_model_pinned_to_threads()) return ExecutionModel::kThreads;
   if (const char* v = std::getenv("CM5_EXEC_THREADS");
       v != nullptr && v[0] == '1' && v[1] == '\0') {
     return ExecutionModel::kThreads;
   }
+  if (execution_lanes() > 1) return ExecutionModel::kFibersMultiLane;
+  if (execution_model_pinned_to_threads()) return ExecutionModel::kThreads;
   return ExecutionModel::kFibers;
 }
 
@@ -127,7 +147,10 @@ class ThreadBackend final : public ExecutionBackend {
 }  // namespace
 
 std::unique_ptr<ExecutionBackend> ExecutionBackend::create(
-    ExecutionModel model) {
+    ExecutionModel model, std::int32_t lanes) {
+  if (model == ExecutionModel::kFibersMultiLane) {
+    return make_multilane_backend(lanes > 0 ? lanes : execution_lanes());
+  }
   if (execution_model_pinned_to_threads()) model = ExecutionModel::kThreads;
   if (model == ExecutionModel::kFibers) return make_fiber_backend();
   return std::make_unique<ThreadBackend>();

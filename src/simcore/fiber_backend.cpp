@@ -1,41 +1,16 @@
 #include <cstdint>
-#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "cm5/sim/exec_backend.hpp"
 #include "cm5/util/check.hpp"
-
-#include <sys/mman.h>
-#include <unistd.h>
-
-#if defined(__SANITIZE_ADDRESS__)
-#define CM5_ASAN 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define CM5_ASAN 1
-#endif
-#endif
-#ifndef CM5_ASAN
-#define CM5_ASAN 0
-#endif
-
-#if CM5_ASAN
-#include <pthread.h>
-#include <sanitizer/common_interface_defs.h>
-#endif
-
-#if defined(__x86_64__)
-#define CM5_FIBER_ASM 1
-#else
-#define CM5_FIBER_ASM 0
-#include <ucontext.h>
-#endif
+#include "fiber_context.hpp"
 
 /// \file fiber_backend.cpp
 /// The kFibers execution backend: every node program runs on its own
-/// mmap'd stack (guard page below), and a token handoff is a user-space
-/// register switch on the one thread that called Kernel::run().
+/// pooled, guard-paged stack (see stack_pool.hpp), and a token handoff
+/// is a user-space register switch on the one thread that called
+/// Kernel::run().
 ///
 /// Control discipline: the kernel's token protocol guarantees exactly
 /// one context executes at a time, so this backend is single-threaded
@@ -47,58 +22,23 @@
 /// ready queue serializes those wakeups in grant order so each fiber
 /// can unwind, mirroring the thread backend's release-everyone notify.
 ///
-/// On x86_64 the switch is the hand-rolled register swap in
-/// fiber_context_x86_64.S (~tens of ns; no syscall). Elsewhere it falls
-/// back to swapcontext(), which costs a sigprocmask syscall per switch
-/// but needs no per-architecture code. Under AddressSanitizer every
-/// switch is bracketed with the __sanitizer_*_switch_fiber annotations
-/// so fake-stack bookkeeping follows the fibers; ThreadSanitizer builds
-/// never construct this backend (see ExecutionBackend::create).
+/// The switch primitive and sanitizer annotations live in
+/// fiber_context.hpp, shared with the multi-lane backend. Plain-fiber
+/// requests are still coerced to kThreads under ThreadSanitizer (see
+/// ExecutionBackend::create); the multi-lane backend is the fiber
+/// configuration TSAN exercises.
 
 namespace cm5::sim {
 namespace {
 
-class FiberBackend;
-
-struct Context {
-  FiberBackend* backend = nullptr;
-  NodeId id = -1;           ///< -1 is the driver context
-  void* sp = nullptr;       ///< parked stack pointer (asm path)
-  std::byte* map = nullptr; ///< mmap base (nullptr for the driver)
-  std::size_t map_size = 0;
-  std::byte* stack = nullptr;  ///< usable stack bottom (above the guard)
-  std::size_t stack_size = 0;
-  bool finished = false;
-#if !CM5_FIBER_ASM
-  ucontext_t uc;
-#endif
-};
-
-}  // namespace
-}  // namespace cm5::sim
-
-extern "C" {
-#if CM5_FIBER_ASM
-void cm5_fiber_switch_x86_64(void** save_sp, void* load_sp);
-void cm5_fiber_boot_x86_64();
-#endif
-/// Entry trampoline target; defined below, referenced from the boot
-/// stack image (asm) or makecontext (ucontext fallback).
-void cm5_fiber_entry(void* ctx);
-}
-
-namespace cm5::sim {
-namespace {
+using fiber::FiberContext;
 
 class FiberBackend final : public ExecutionBackend {
  public:
-  FiberBackend() {
-    driver_.backend = this;
-    driver_.id = -1;
-  }
+  FiberBackend() { driver_.backend = this; }
 
   ~FiberBackend() override {
-    for (auto& c : contexts_) release_stack(*c);
+    for (auto& c : contexts_) fiber::destroy_fiber(*c);
   }
 
   ExecutionModel model() const noexcept override {
@@ -108,24 +48,24 @@ class FiberBackend final : public ExecutionBackend {
 
   void launch(std::int32_t n, std::function<void(NodeId)> body) override {
     body_ = std::move(body);
-    stack_bytes_ = fiber_stack_bytes();
-#if CM5_ASAN
-    capture_driver_stack();
-#endif
+    const std::size_t stack_bytes = fiber_stack_bytes();
+    fiber::adopt_host_context(driver_);
     contexts_.reserve(static_cast<std::size_t>(n));
     for (NodeId i = 0; i < n; ++i) {
-      auto c = std::make_unique<Context>();
+      auto c = std::make_unique<FiberContext>();
       c->backend = this;
       c->id = i;
-      allocate_stack(*c);
-      prepare(*c);
+      c->entry = [](FiberContext* ctx) {
+        static_cast<FiberBackend*>(ctx->backend)->run(*ctx);
+      };
+      fiber::create_fiber(*c, stack_bytes);
       contexts_.push_back(std::move(c));
     }
   }
 
   void park(std::unique_lock<std::mutex>&, NodeId me,
             const bool& token) override {
-    Context& self = *contexts_[static_cast<std::size_t>(me)];
+    FiberContext& self = *contexts_[static_cast<std::size_t>(me)];
     while (!token) transfer(self, next_target(), /*dying=*/false);
   }
 
@@ -141,7 +81,9 @@ class FiberBackend final : public ExecutionBackend {
   }
 
   void drive(std::unique_lock<std::mutex>&, const bool& finished) override {
-    while (Context* t = pop_ready()) transfer(driver_, *t, /*dying=*/false);
+    while (FiberContext* t = pop_ready()) {
+      transfer(driver_, *t, /*dying=*/false);
+    }
     CM5_CHECK_MSG(finished,
                   "fiber scheduler ran dry before the run finished "
                   "(lost token grant)");
@@ -153,12 +95,7 @@ class FiberBackend final : public ExecutionBackend {
   std::int64_t switches() const noexcept override { return switches_; }
 
   /// Fiber bodies start here (via the boot trampoline). Never returns.
-  [[noreturn]] void run(Context& ctx) {
-#if CM5_ASAN
-    // First code on a fresh stack: complete the annotation handshake
-    // opened by the context that switched to us.
-    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
-#endif
+  [[noreturn]] void run(FiberContext& ctx) {
     body_(ctx.id);
     ctx.finished = true;
     transfer(ctx, next_target(), /*dying=*/true);
@@ -170,14 +107,14 @@ class FiberBackend final : public ExecutionBackend {
   /// Next context to run: the oldest live ready entry, else the driver.
   /// Stale entries (fibers that finished after being granted a token on
   /// the abort path) are dropped here.
-  Context& next_target() {
-    if (Context* c = pop_ready()) return *c;
+  FiberContext& next_target() {
+    if (FiberContext* c = pop_ready()) return *c;
     return driver_;
   }
 
-  Context* pop_ready() {
+  FiberContext* pop_ready() {
     while (head_ < ready_.size()) {
-      Context& c = *contexts_[static_cast<std::size_t>(ready_[head_++])];
+      FiberContext& c = *contexts_[static_cast<std::size_t>(ready_[head_++])];
       if (head_ == ready_.size()) {
         ready_.clear();
         head_ = 0;
@@ -189,113 +126,18 @@ class FiberBackend final : public ExecutionBackend {
     return nullptr;
   }
 
-  void transfer(Context& from, Context& to, bool dying) {
+  void transfer(FiberContext& from, FiberContext& to, bool dying) {
     ++switches_;
     current_ = to.id;
-#if CM5_ASAN
-    void* fake = nullptr;
-    __sanitizer_start_switch_fiber(dying ? nullptr : &fake, to.stack,
-                                   to.stack_size);
-#else
-    (void)dying;
-#endif
-#if CM5_FIBER_ASM
-    cm5_fiber_switch_x86_64(&from.sp, to.sp);
-#else
-    swapcontext(&from.uc, &to.uc);
-#endif
-#if CM5_ASAN
-    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
-#endif
+    fiber::switch_fiber(from, to, dying);
   }
-
-  void allocate_stack(Context& c) {
-    const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
-    const std::size_t usable = (stack_bytes_ + page - 1) / page * page;
-    c.map_size = usable + page;  // one guard page below the stack
-    void* mem = ::mmap(nullptr, c.map_size, PROT_READ | PROT_WRITE,
-                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    CM5_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
-    CM5_CHECK_MSG(::mprotect(mem, page, PROT_NONE) == 0,
-                  "fiber guard page mprotect failed");
-    c.map = static_cast<std::byte*>(mem);
-    c.stack = c.map + page;
-    c.stack_size = usable;
-  }
-
-  void release_stack(Context& c) {
-    if (c.map != nullptr) ::munmap(c.map, c.map_size);
-    c.map = nullptr;
-  }
-
-  void prepare(Context& c) {
-#if CM5_FIBER_ASM
-    // Build the exact register image fiber_context_x86_64.S restores;
-    // the first switch into this fiber "returns" into the boot
-    // trampoline with the context pointer in r12. The parked sp must be
-    // 16-byte aligned (see the .S frame-layout comment).
-    std::byte* top = c.stack + c.stack_size;
-    top -= reinterpret_cast<std::uintptr_t>(top) & 15u;
-    std::byte* sp = top - 80;
-    std::memset(sp, 0, 80);
-    std::uint32_t mxcsr;
-    std::uint16_t fcw;
-    __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
-    __asm__ volatile("fnstcw %0" : "=m"(fcw));
-    std::memcpy(sp + 0, &mxcsr, 4);
-    std::memcpy(sp + 4, &fcw, 2);
-    const auto put = [sp](std::size_t off, std::uint64_t v) {
-      std::memcpy(sp + off, &v, 8);
-    };
-    put(32, reinterpret_cast<std::uint64_t>(&c));  // r12 -> context
-    put(56, reinterpret_cast<std::uint64_t>(&cm5_fiber_boot_x86_64));
-    c.sp = sp;
-#else
-    CM5_CHECK_MSG(getcontext(&c.uc) == 0, "getcontext failed");
-    c.uc.uc_stack.ss_sp = c.stack;
-    c.uc.uc_stack.ss_size = c.stack_size;
-    c.uc.uc_link = nullptr;  // fibers never fall off their entry
-    // makecontext passes ints; split the pointer into two halves.
-    const auto p = reinterpret_cast<std::uintptr_t>(&c);
-    makecontext(&c.uc, reinterpret_cast<void (*)()>(&ucontext_boot), 2,
-                static_cast<unsigned>(p & 0xffffffffu),
-                static_cast<unsigned>(p >> 32));
-#endif
-  }
-
-#if !CM5_FIBER_ASM
-  static void ucontext_boot(unsigned lo, unsigned hi) {
-    const std::uintptr_t p =
-        static_cast<std::uintptr_t>(lo) |
-        (static_cast<std::uintptr_t>(hi) << 32);
-    cm5_fiber_entry(reinterpret_cast<void*>(p));
-  }
-#endif
-
-#if CM5_ASAN
-  void capture_driver_stack() {
-    // ASAN wants real bounds for every stack it switches to, including
-    // the driver thread's own.
-    pthread_attr_t attr;
-    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
-      void* base = nullptr;
-      std::size_t size = 0;
-      if (pthread_attr_getstack(&attr, &base, &size) == 0) {
-        driver_.stack = static_cast<std::byte*>(base);
-        driver_.stack_size = size;
-      }
-      pthread_attr_destroy(&attr);
-    }
-  }
-#endif
 
   std::function<void(NodeId)> body_;
-  std::vector<std::unique_ptr<Context>> contexts_;
-  Context driver_;
+  std::vector<std::unique_ptr<FiberContext>> contexts_;
+  FiberContext driver_;
   std::vector<NodeId> ready_;  ///< FIFO of granted-but-unswitched fibers
   std::size_t head_ = 0;
   NodeId current_ = -1;  ///< running context (-1 = driver)
-  std::size_t stack_bytes_ = 0;
   std::int64_t switches_ = 0;
 };
 
@@ -306,8 +148,3 @@ std::unique_ptr<ExecutionBackend> make_fiber_backend() {
 }
 
 }  // namespace cm5::sim
-
-extern "C" void cm5_fiber_entry(void* ctx) {
-  auto* c = static_cast<cm5::sim::Context*>(ctx);
-  c->backend->run(*c);
-}

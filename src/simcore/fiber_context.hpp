@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/stack_pool.hpp"
+
+/// \file fiber_context.hpp
+/// Stackful-fiber machinery shared by the fiber execution backends
+/// (fiber_backend.cpp and multilane_backend.cpp): context layout, boot
+/// image construction, the switch primitive, and the sanitizer
+/// annotations that let AddressSanitizer and ThreadSanitizer follow a
+/// stack switch.
+///
+/// On x86_64 a switch is the hand-rolled register swap in
+/// fiber_context_x86_64.S (~tens of ns; no syscall); elsewhere it falls
+/// back to swapcontext(), which costs a sigprocmask syscall per switch.
+/// A fiber is pinned to the OS thread that first resumes it — the
+/// sanitizer handshakes are per-thread, and the multi-lane backend's
+/// static node->lane assignment guarantees it.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CM5_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CM5_ASAN 1
+#endif
+#endif
+#ifndef CM5_ASAN
+#define CM5_ASAN 0
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define CM5_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CM5_TSAN 1
+#endif
+#endif
+#ifndef CM5_TSAN
+#define CM5_TSAN 0
+#endif
+
+#if defined(__x86_64__)
+#define CM5_FIBER_ASM 1
+#else
+#define CM5_FIBER_ASM 0
+#include <ucontext.h>
+#endif
+
+namespace cm5::sim::fiber {
+
+struct FiberContext {
+  /// Entry trampoline: called once on the fiber's own stack; must never
+  /// return (finish with a dying switch). Null for host contexts.
+  void (*entry)(FiberContext*) = nullptr;
+  void* backend = nullptr;  ///< owning backend, for the entry trampoline
+  net::NodeId id = -1;      ///< -1 for host (driver) contexts
+  void* sp = nullptr;       ///< parked stack pointer (asm path)
+  FiberStackPool::Stack stack;  ///< empty for host contexts
+  bool finished = false;
+#if CM5_TSAN
+  void* tsan_fiber = nullptr;
+#endif
+#if !CM5_FIBER_ASM
+  ucontext_t uc;
+#endif
+};
+
+/// Gives `c` a pooled stack and builds the boot image so the first
+/// switch into it enters `c.entry(&c)`. `entry`, `backend`, and `id`
+/// must already be set.
+void create_fiber(FiberContext& c, std::size_t stack_bytes);
+
+/// Returns `c`'s stack to the pool (and destroys its TSAN fiber).
+/// Safe on a fiber that never ran or was abandoned parked; must not be
+/// called on the running fiber.
+void destroy_fiber(FiberContext& c);
+
+/// Initializes a host context: the calling thread's own stack, so
+/// sanitizers have real bounds when fibers switch back to it. Call once
+/// per driver thread, on that thread.
+void adopt_host_context(FiberContext& c);
+
+/// Switches from `from` (the running context, on this thread) to `to`.
+/// `dying` marks `from` as never resuming (its sanitizer state is
+/// released rather than parked).
+void switch_fiber(FiberContext& from, FiberContext& to, bool dying);
+
+}  // namespace cm5::sim::fiber

@@ -22,15 +22,18 @@ std::int32_t NodeHandle::nprocs() const noexcept {
 
 util::SimTime NodeHandle::now() const {
   auto lock = kernel_->exec_lock();
-  return kernel_->nodes_[idx(id_)]->clock;
+  // Safe without the commit gate: a speculated node is Runnable, and a
+  // runnable node's clock only moves at its own hand.
+  return kernel_->nodes_[idx(id_)].clock;
 }
 
 void NodeHandle::advance(util::SimDuration d) {
   CM5_CHECK_MSG(d >= 0, "cannot charge negative compute time");
   Kernel& k = *kernel_;
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
   // Gray failure: a slowed node's compute and per-message service time
   // stretch by the configured factor. The == 1.0 test keeps the healthy
   // path's integer arithmetic bit-identical to a build without faults.
@@ -57,9 +60,10 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
-  if (k.nodes_[idx(dst)]->killed) {
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
+  if (k.nodes_[idx(dst)].killed) {
     throw PeerFailedError("send failed: node " + std::to_string(dst) +
                           " is dead");
   }
@@ -70,7 +74,7 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
   Kernel::PendingSend ps{id_,     tag,      user_bytes,
                          wire_bytes, latency, std::move(payload),
                          me.clock, /*async=*/false, k.send_seq_++};
-  Kernel::NodeState& receiver = *k.nodes_[idx(dst)];
+  Kernel::NodeState& receiver = k.nodes_[idx(dst)];
   if (receiver.posted_recv &&
       (receiver.posted_recv->src_filter == kAnyNode ||
        receiver.posted_recv->src_filter == id_) &&
@@ -86,12 +90,13 @@ void NodeHandle::post_send(NodeId dst, std::int32_t tag,
   }
 
   me.status = Kernel::NodeStatus::Blocked;
-  me.blocked_on = "send_block to node " + std::to_string(dst);
+  me.blocked_on = "send_block to node";
+  me.blocked_peer = dst;
   me.has_token = false;
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
   if (me.peer_failed) {
     me.peer_failed = false;
     throw PeerFailedError("send failed: node " + std::to_string(dst) +
@@ -111,12 +116,13 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
   ++me.counters.sends;
   me.counters.bytes_sent += user_bytes;
   k.emit(TraceEvent::Kind::SendPosted, me.clock, id_, dst, user_bytes, tag);
-  if (k.nodes_[idx(dst)]->killed) {
+  if (k.nodes_[idx(dst)].killed) {
     // Fire-and-forget into a dead node: silently lost, like a real NIC.
     k.emit(TraceEvent::Kind::FaultDrop, me.clock, id_, dst, user_bytes, tag);
     k.yield(lock, id_);
@@ -128,7 +134,7 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
   Kernel::PendingSend ps{id_,     tag,      user_bytes,
                          wire_bytes, latency, std::move(payload),
                          me.clock, /*async=*/true, k.send_seq_++};
-  Kernel::NodeState& receiver = *k.nodes_[idx(dst)];
+  Kernel::NodeState& receiver = k.nodes_[idx(dst)];
   if (receiver.posted_recv &&
       (receiver.posted_recv->src_filter == kAnyNode ||
        receiver.posted_recv->src_filter == id_) &&
@@ -151,17 +157,19 @@ void NodeHandle::post_send_async(NodeId dst, std::int32_t tag,
 void NodeHandle::wait_async_sends() {
   Kernel& k = *kernel_;
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
   if (me.async_in_flight == 0) return;
   me.waiting_async_drain = true;
   me.status = Kernel::NodeStatus::Blocked;
   me.blocked_on = "wait_async_sends";
+  me.blocked_peer = -1;
   me.has_token = false;
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
 }
 
 Message NodeHandle::post_receive(NodeId src, std::int32_t tag) {
@@ -182,9 +190,10 @@ std::optional<Message> NodeHandle::receive_impl(
   CM5_CHECK_MSG(src == kAnyNode || (src >= 0 && src < k.topo_.num_nodes()),
                 "receive: bad source filter");
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
-  if (!timeout && src != kAnyNode && k.nodes_[idx(src)]->killed) {
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
+  if (!timeout && src != kAnyNode && k.nodes_[idx(src)].killed) {
     throw PeerFailedError("receive failed: node " + std::to_string(src) +
                           " is dead");
   }
@@ -221,13 +230,14 @@ std::optional<Message> NodeHandle::receive_impl(
   }
 
   me.status = Kernel::NodeStatus::Blocked;
-  me.blocked_on = "receive_block from node " +
-                  (src == kAnyNode ? std::string("ANY") : std::to_string(src));
+  me.blocked_on = src == kAnyNode ? "receive_block from node ANY"
+                                  : "receive_block from node";
+  me.blocked_peer = src == kAnyNode ? -1 : src;
   me.has_token = false;
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
   if (me.timed_out) {
     me.timed_out = false;
     return std::nullopt;
@@ -253,9 +263,10 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
                     static_cast<std::int64_t>(payload.size()) == user_bytes,
                 "payload must be empty (phantom) or exactly user_bytes long");
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
-  if (k.nodes_[idx(peer)]->killed) {
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
+  if (k.nodes_[idx(peer)].killed) {
     throw PeerFailedError("swap failed: node " + std::to_string(peer) +
                           " is dead");
   }
@@ -283,7 +294,7 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
                          std::move(other.payload),
                          Kernel::TransferKind::Swap, std::nullopt);
     me.swap_remaining = 2;
-    k.nodes_[idx(peer)]->swap_remaining = 2;
+    k.nodes_[idx(peer)].swap_remaining = 2;
   } else {
     k.pending_swaps_.push_back(Kernel::PendingSwap{
         id_, peer, tag, user_bytes, wire_bytes, latency, std::move(payload),
@@ -291,12 +302,13 @@ Message NodeHandle::post_swap(NodeId peer, std::int32_t tag,
   }
 
   me.status = Kernel::NodeStatus::Blocked;
-  me.blocked_on = "swap with node " + std::to_string(peer);
+  me.blocked_on = "swap with node";
+  me.blocked_peer = peer;
   me.has_token = false;
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
   if (me.peer_failed) {
     me.peer_failed = false;
     throw PeerFailedError("swap failed: node " + std::to_string(peer) +
@@ -312,11 +324,12 @@ std::vector<std::byte> NodeHandle::global_op(
   Kernel& k = *kernel_;
   CM5_CHECK(duration >= 0);
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
   ++me.counters.global_ops;
 
-  k.emit(TraceEvent::Kind::GlobalOpEnter, k.nodes_[idx(id_)]->clock, id_);
+  k.emit(TraceEvent::Kind::GlobalOpEnter, me.clock, id_);
   auto& g = k.gop_;
   g.contributions[idx(id_)].assign(contribution.begin(), contribution.end());
   g.waiting[idx(id_)] = true;
@@ -326,12 +339,13 @@ std::vector<std::byte> NodeHandle::global_op(
 
   me.status = Kernel::NodeStatus::Blocked;
   me.blocked_on = "global_op (control network)";
+  me.blocked_peer = -1;
   me.has_token = false;
   k.maybe_complete_global_op(me.clock, id_);
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
   return std::move(me.gop_result);
 }
 
@@ -341,8 +355,9 @@ bool NodeHandle::try_barrier(util::SimDuration timeout,
   CM5_CHECK(duration >= 0);
   CM5_CHECK_MSG(timeout >= 0, "barrier timeout must be non-negative");
   auto lock = k.exec_lock();
+  k.commit_gate(lock, id_);
   k.check_abort(id_);
-  Kernel::NodeState& me = *k.nodes_[idx(id_)];
+  Kernel::NodeState& me = k.nodes_[idx(id_)];
   ++me.counters.global_ops;
 
   k.emit(TraceEvent::Kind::GlobalOpEnter, me.clock, id_);
@@ -362,12 +377,13 @@ bool NodeHandle::try_barrier(util::SimDuration timeout,
 
   me.status = Kernel::NodeStatus::Blocked;
   me.blocked_on = "try_barrier (control network)";
+  me.blocked_peer = -1;
   me.has_token = false;
   k.maybe_complete_global_op(me.clock, id_);
   k.schedule_next(lock);
   k.wait_for_token(lock, id_);
   k.check_abort(id_);
-  me.blocked_on.clear();
+  me.blocked_on = nullptr;
   me.gop_deadline.reset();
   if (me.timed_out) {
     me.timed_out = false;
@@ -391,7 +407,7 @@ void Kernel::emit(TraceEvent::Kind kind, util::SimTime time, NodeId node,
 void Kernel::check_abort(NodeId me) const {
   if (deadlock_) throw DeadlockError(deadlock_message_);
   if (abort_) throw AbortError("run aborted because another node failed");
-  if (nodes_[idx(me)]->killed) {
+  if (nodes_[idx(me)].killed) {
     throw NodeKilledError("node " + std::to_string(me) +
                           " killed by fault plan");
   }
@@ -425,27 +441,39 @@ std::unique_lock<std::mutex> Kernel::exec_lock() {
 }
 
 void Kernel::wait_for_token(std::unique_lock<std::mutex>& lock, NodeId me) {
-  backend_->park(lock, me, nodes_[idx(me)]->has_token);
+  // Every block point is speculable: a spec_resume releases the wait
+  // without the token, the epilogue and following user code run ahead,
+  // and the next kernel entry's commit_gate re-serializes the node.
+  NodeState& st = nodes_[idx(me)];
+  backend_->park_speculable(lock, me, st.has_token, st.spec_resume);
+  st.spec_resume = false;
+}
+
+void Kernel::commit_gate(std::unique_lock<std::mutex>& lock, NodeId me) {
+  NodeState& st = nodes_[idx(me)];
+  if (!st.has_token) backend_->park(lock, me, st.has_token);
 }
 
 void Kernel::grant(NodeId id) {
-  nodes_[idx(id)]->has_token = true;
+  NodeState& st = nodes_[idx(id)];
+  st.has_token = true;
+  st.speculated = false;
   backend_->unpark(id);
 }
 
 void Kernel::yield(std::unique_lock<std::mutex>& lock, NodeId me) {
-  NodeState& st = *nodes_[idx(me)];
+  NodeState& st = nodes_[idx(me)];
   st.has_token = false;
   schedule_next(lock);
   wait_for_token(lock, me);
 }
 
 void Kernel::push_runnable(NodeId id) {
-  runnable_queue_.push(RunnableEntry{nodes_[idx(id)]->clock, id});
+  runnable_queue_.push(RunnableEntry{nodes_[idx(id)].clock, id});
 }
 
 void Kernel::wake_node(NodeId id, util::SimTime t) {
-  NodeState& st = *nodes_[idx(id)];
+  NodeState& st = nodes_[idx(id)];
   CM5_CHECK(st.status == NodeStatus::Blocked);
   CM5_CHECK_MSG(st.clock <= t, "waking a node into its past");
   st.clock = t;
@@ -546,8 +574,8 @@ void Kernel::process_completions(util::SimTime t) {
     emit(TraceEvent::Kind::TransferComplete, t, tr.src, tr.dst, tr.user_bytes,
          tr.tag);
 
-    NodeState& sender = *nodes_[idx(tr.src)];
-    NodeState& receiver = *nodes_[idx(tr.dst)];
+    NodeState& sender = nodes_[idx(tr.src)];
+    NodeState& receiver = nodes_[idx(tr.dst)];
     const bool sender_waiting =
         !sender.killed && sender.status == NodeStatus::Blocked;
 
@@ -662,7 +690,7 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
     util::SimTime best_t = util::kTimeNever;
     while (!runnable_queue_.empty()) {
       const RunnableEntry e = runnable_queue_.top();
-      const NodeState& st = *nodes_[idx(e.node)];
+      const NodeState& st = nodes_[idx(e.node)];
       if (st.status == NodeStatus::Runnable && st.clock == e.clock) {
         best = e.node;
         best_t = e.clock;
@@ -729,6 +757,7 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
 
     if (best != -1) {
       grant(best);
+      if (speculate_) speculate_same_time(best, best_t);
       return;
     }
 
@@ -747,13 +776,46 @@ void Kernel::schedule_next(std::unique_lock<std::mutex>& lock) {
   }
 }
 
+void Kernel::speculate_same_time(NodeId granted, util::SimTime t) {
+  // Wake other nodes runnable at exactly the granted virtual time so
+  // their user code can overlap with the token holder's on other lanes.
+  // This must not disturb scheduling state: heap entries are popped,
+  // examined, and re-pushed identically (same clock, same node), and
+  // nothing here touches clocks, statuses, or the token. Nodes in any
+  // abnormal state (killed / timed out / peer failed) are skipped — the
+  // speculative path must never race an abort-flag handoff.
+  std::int32_t budget = spec_lookahead_;
+  spec_scan_.clear();
+  while (budget > 0 && !runnable_queue_.empty() &&
+         runnable_queue_.top().clock == t) {
+    const RunnableEntry e = runnable_queue_.top();
+    runnable_queue_.pop();
+    const NodeState& st = nodes_[idx(e.node)];
+    if (st.status != NodeStatus::Runnable || st.clock != e.clock) {
+      continue;  // stale entry: drop it, it costs no budget
+    }
+    spec_scan_.push_back(e);
+    --budget;
+    if (e.node == granted || st.has_token || st.speculated ||
+        st.spec_resume || st.killed || st.timed_out || st.peer_failed) {
+      continue;
+    }
+    NodeState& wr = nodes_[idx(e.node)];
+    wr.speculated = true;
+    wr.spec_resume = true;
+    ++spec_grants_;
+    backend_->unpark_speculative(e.node);
+  }
+  for (const RunnableEntry& e : spec_scan_) runnable_queue_.push(e);
+}
+
 void Kernel::recompute_gop_max_arrival() {
   // Waiting nodes' clocks are frozen at their arrival times, so the max
   // arrival can be rebuilt exactly after a withdrawal.
   gop_.max_arrival = 0;
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     if (gop_.waiting[idx(n)]) {
-      gop_.max_arrival = std::max(gop_.max_arrival, nodes_[idx(n)]->clock);
+      gop_.max_arrival = std::max(gop_.max_arrival, nodes_[idx(n)].clock);
     }
   }
 }
@@ -776,7 +838,7 @@ void Kernel::maybe_complete_global_op(util::SimTime now, NodeId completer) {
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     if (!g.waiting[idx(n)]) continue;
     g.waiting[idx(n)] = false;
-    NodeState& st = *nodes_[idx(n)];
+    NodeState& st = nodes_[idx(n)];
     st.gop_result = g.result;
     st.gop_deadline.reset();
     wake_node(n, release);
@@ -784,7 +846,7 @@ void Kernel::maybe_complete_global_op(util::SimTime now, NodeId completer) {
 }
 
 void Kernel::fire_timer(const Timer& timer) {
-  NodeState& st = *nodes_[idx(timer.node)];
+  NodeState& st = nodes_[idx(timer.node)];
   // A timer is stale if the wait it was armed for is over: the node
   // moved on (generation), was killed, or the wait state is gone.
   if (st.killed || st.status != NodeStatus::Blocked) return;
@@ -841,7 +903,7 @@ void Kernel::apply_degrade(NodeId node, util::SimTime t, double factor) {
 }
 
 void Kernel::apply_slow(NodeId node, util::SimTime t, double factor) {
-  NodeState& st = *nodes_[idx(node)];
+  NodeState& st = nodes_[idx(node)];
   if (st.killed || st.status == NodeStatus::Done) return;
   st.compute_scale = factor;
   emit(TraceEvent::Kind::FaultSlow, t, node, -1,
@@ -849,7 +911,7 @@ void Kernel::apply_slow(NodeId node, util::SimTime t, double factor) {
 }
 
 void Kernel::apply_death(NodeId node, util::SimTime t) {
-  NodeState& st = *nodes_[idx(node)];
+  NodeState& st = nodes_[idx(node)];
   if (st.killed || st.status == NodeStatus::Done) return;
   st.killed = true;
   ++killed_count_;
@@ -874,7 +936,7 @@ void Kernel::apply_death(NodeId node, util::SimTime t) {
   // Queued sends toward it will never match: async ones are lost, and
   // rendezvous senders are woken to fail with PeerFailedError.
   for (PendingSend& s : send_queues_[idx(node)]) {
-    NodeState& sender = *nodes_[idx(s.src)];
+    NodeState& sender = nodes_[idx(s.src)];
     emit(TraceEvent::Kind::FaultDrop, t, s.src, node, s.user_bytes, s.tag);
     if (s.async) {
       --sender.async_in_flight;
@@ -895,7 +957,7 @@ void Kernel::apply_death(NodeId node, util::SimTime t) {
   std::erase_if(pending_swaps_, [&](const PendingSwap& s) {
     if (s.poster == node) return true;
     if (s.peer == node) {
-      NodeState& poster = *nodes_[idx(s.poster)];
+      NodeState& poster = nodes_[idx(s.poster)];
       if (!poster.killed && poster.status == NodeStatus::Blocked) {
         poster.peer_failed = true;
         wake_node(s.poster, t);
@@ -910,7 +972,7 @@ void Kernel::apply_death(NodeId node, util::SimTime t) {
   // tell a dead peer from a silent one).
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     if (n == node) continue;
-    NodeState& other = *nodes_[idx(n)];
+    NodeState& other = nodes_[idx(n)];
     if (other.killed || other.status != NodeStatus::Blocked) continue;
     if (other.posted_recv && other.posted_recv->src_filter == node &&
         !other.posted_recv->deadline) {
@@ -934,7 +996,7 @@ std::string Kernel::deadlock_report() const {
   std::ostringstream os;
   os << "simulation deadlock: all nodes blocked, no events pending\n";
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    const NodeState& st = *nodes_[idx(n)];
+    const NodeState& st = nodes_[idx(n)];
     os << "  node " << n << " @" << util::format_duration(st.clock) << ": ";
     switch (st.status) {
       case NodeStatus::Runnable:
@@ -944,7 +1006,9 @@ std::string Kernel::deadlock_report() const {
         os << "done";
         break;
       case NodeStatus::Blocked:
-        os << "blocked on " << st.blocked_on;
+        os << "blocked on "
+           << (st.blocked_on != nullptr ? st.blocked_on : "unknown");
+        if (st.blocked_peer >= 0) os << " " << st.blocked_peer;
         break;
     }
     if (st.killed) os << " [killed]";
@@ -967,9 +1031,14 @@ void Kernel::node_main(const NodeProgram& program, NodeId id) {
     // Another node failed first; unwind quietly.
   } catch (const DeadlockError&) {
     auto lock = exec_lock();
+    commit_gate(lock, id);
     if (!first_error_) first_error_ = std::current_exception();
   } catch (...) {
     auto lock = exec_lock();
+    // A speculating node may throw from user code before it holds the
+    // token; the gate re-serializes so "first" error means first in
+    // token order, identically at every lane count.
+    commit_gate(lock, id);
     if (!first_error_) {
       first_error_ = std::current_exception();
       abort_ = true;
@@ -978,7 +1047,8 @@ void Kernel::node_main(const NodeProgram& program, NodeId id) {
   }
 
   auto lock = exec_lock();
-  NodeState& me = *nodes_[idx(id)];
+  commit_gate(lock, id);
+  NodeState& me = nodes_[idx(id)];
   me.status = NodeStatus::Done;
   me.has_token = false;
   ++done_count_;
@@ -1010,10 +1080,7 @@ RunResult Kernel::run(const NodeProgram& program) {
       mode != nullptr && mode[0] == '1' && mode[1] == '\0') {
     fluid_->set_solver_mode(net::FluidNetwork::SolverMode::kOracle);
   }
-  nodes_.clear();
-  for (std::int32_t i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<NodeState>());
-  }
+  nodes_.assign(static_cast<std::size_t>(n), NodeState{});
   send_queues_.assign(static_cast<std::size_t>(n), {});
   pending_swaps_.clear();
   event_queue_ = {};
@@ -1069,8 +1136,15 @@ RunResult Kernel::run(const NodeProgram& program) {
   deadlock_message_.clear();
   first_error_ = nullptr;
 
-  backend_ = ExecutionBackend::create(exec_model_);
+  ExecutionModel model = exec_model_;
+  if (exec_lanes_ > 1 && model == ExecutionModel::kFibers) {
+    model = ExecutionModel::kFibersMultiLane;
+  }
+  backend_ = ExecutionBackend::create(model, exec_lanes_);
   backend_concurrent_ = backend_->concurrent();
+  speculate_ = backend_->supports_speculation();
+  spec_lookahead_ = 4 * backend_->lanes();
+  spec_grants_ = 0;
   backend_->launch(n, [this, &program](NodeId i) { node_main(program, i); });
 
   {
@@ -1080,6 +1154,7 @@ RunResult Kernel::run(const NodeProgram& program) {
   }
   const ExecutionModel ran_model = backend_->model();
   const std::int64_t switches = backend_->switches();
+  const std::int32_t ran_lanes = backend_->lanes();
   backend_.reset();
   backend_concurrent_ = true;
 
@@ -1103,13 +1178,15 @@ RunResult Kernel::run(const NodeProgram& program) {
   result.finish_time.reserve(static_cast<std::size_t>(n));
   result.node_counters.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
-    result.finish_time.push_back(nodes_[idx(i)]->clock);
-    result.makespan = std::max(result.makespan, nodes_[idx(i)]->clock);
-    result.node_counters.push_back(nodes_[idx(i)]->counters);
+    result.finish_time.push_back(nodes_[idx(i)].clock);
+    result.makespan = std::max(result.makespan, nodes_[idx(i)].clock);
+    result.node_counters.push_back(nodes_[idx(i)].counters);
   }
   result.network = fluid_->stats();
   result.exec_model = ran_model;
   result.context_switches = switches;
+  result.lanes = ran_lanes;
+  result.speculative_grants = spec_grants_;
   return result;
 }
 

@@ -1,0 +1,231 @@
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cm5/sim/exec_backend.hpp"
+#include "cm5/util/check.hpp"
+#include "fiber_context.hpp"
+
+/// \file multilane_backend.cpp
+/// The kFibersMultiLane execution backend: node fibers statically
+/// partitioned into contiguous blocks over CM5_LANES lane threads.
+///
+/// Determinism comes from the kernel, not from here: token grants are
+/// issued in exactly the single-lane order, and a node's kernel-state
+/// mutations happen only while it holds the token. What this backend
+/// adds is a second, non-deterministic wake channel — speculative
+/// resumes — that lets a woken-but-not-yet-granted node run its *user*
+/// code early, in parallel with the committing node, on its own lane
+/// thread. The node re-parks at its next kernel entry until the real
+/// token arrives, so everything observable stays in token order (the
+/// lane-invariance contract, docs/MODEL.md).
+///
+/// Mechanics: each lane owns a FIFO of resume requests and a condvar.
+/// A fiber parks by switching to its lane's driver context; the driver
+/// pops the next request, filters requests that went stale (fiber
+/// finished, or the wake was absorbed by a predicate re-check), and
+/// switches in. Wakeups cannot be lost: a park predicate is evaluated
+/// under the kernel mutex, every cross-fiber unpark enqueues
+/// unconditionally, and a fiber's own lane driver cannot run before the
+/// fiber has switched out (they share the OS thread). Fibers never
+/// migrate between lanes, which keeps the sanitizer handshakes
+/// per-thread-correct; this backend carries full __tsan fiber
+/// annotations and is the fiber configuration the TSAN CI job runs.
+
+namespace cm5::sim {
+namespace {
+
+using fiber::FiberContext;
+
+/// Fiber currently running on this lane thread (-1 on the main driver
+/// thread and on lane threads while their driver context runs).
+thread_local NodeId tl_current = -1;
+
+class MultiLaneBackend final : public ExecutionBackend {
+ public:
+  explicit MultiLaneBackend(std::int32_t lanes)
+      : configured_lanes_(lanes < 1 ? 1 : lanes) {}
+
+  ~MultiLaneBackend() override {
+    shutdown();
+    for (auto& c : contexts_) fiber::destroy_fiber(*c);
+  }
+
+  ExecutionModel model() const noexcept override {
+    return ExecutionModel::kFibersMultiLane;
+  }
+  bool concurrent() const noexcept override { return true; }
+  std::int32_t lanes() const noexcept override {
+    return lanes_.empty() ? configured_lanes_
+                          : static_cast<std::int32_t>(lanes_.size());
+  }
+  bool supports_speculation() const noexcept override {
+    return configured_lanes_ > 1;
+  }
+
+  void launch(std::int32_t n, std::function<void(NodeId)> body) override {
+    body_ = std::move(body);
+    const std::size_t stack_bytes = fiber_stack_bytes();
+    const std::int32_t nlanes = std::min(configured_lanes_, n);
+    contexts_.reserve(static_cast<std::size_t>(n));
+    lane_of_.reserve(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      auto c = std::make_unique<FiberContext>();
+      c->backend = this;
+      c->id = i;
+      c->entry = [](FiberContext* ctx) {
+        static_cast<MultiLaneBackend*>(ctx->backend)->run(*ctx);
+      };
+      fiber::create_fiber(*c, stack_bytes);
+      contexts_.push_back(std::move(c));
+      lane_of_.push_back(static_cast<std::int32_t>(
+          (static_cast<std::int64_t>(i) * nlanes) / n));
+    }
+    lanes_.reserve(static_cast<std::size_t>(nlanes));
+    for (std::int32_t l = 0; l < nlanes; ++l) {
+      lanes_.push_back(std::make_unique<Lane>());
+    }
+    // Threads start only after every lane exists: a lane thread may
+    // immediately receive work for any fiber.
+    for (auto& lane : lanes_) {
+      Lane* lp = lane.get();
+      lane->thread = std::thread([this, lp] { lane_main(*lp); });
+    }
+  }
+
+  void park(std::unique_lock<std::mutex>& lock, NodeId me,
+            const bool& token) override {
+    while (!token) switch_out(me, lock);
+  }
+
+  void park_speculable(std::unique_lock<std::mutex>& lock, NodeId me,
+                       const bool& token, const bool& spec) override {
+    while (!token && !spec) switch_out(me, lock);
+  }
+
+  void unpark(NodeId target) override {
+    ++switches_;
+    enqueue(target);
+  }
+
+  void unpark_speculative(NodeId target) override { enqueue(target); }
+
+  void notify_finished() override { run_done_cv_.notify_all(); }
+
+  void drive(std::unique_lock<std::mutex>& lock,
+             const bool& finished) override {
+    run_done_cv_.wait(lock, [&finished] { return finished; });
+    lock.unlock();
+    shutdown();
+    for (const auto& c : contexts_) {
+      CM5_CHECK_MSG(c->finished, "node fiber still live after run end");
+    }
+  }
+
+  std::int64_t switches() const noexcept override { return switches_; }
+
+  /// Fiber bodies start here (via the boot trampoline). Never returns.
+  [[noreturn]] void run(FiberContext& ctx) {
+    body_(ctx.id);
+    ctx.finished = true;
+    fiber::switch_fiber(ctx, lane_of(ctx.id).driver, /*dying=*/true);
+    CM5_CHECK_MSG(false, "finished fiber was resumed");
+    std::abort();
+  }
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<NodeId> ready;  ///< resume requests, FIFO
+    bool stop = false;
+    FiberContext driver;  ///< the lane thread's own context
+    std::thread thread;
+  };
+
+  Lane& lane_of(NodeId id) {
+    return *lanes_[static_cast<std::size_t>(
+        lane_of_[static_cast<std::size_t>(id)])];
+  }
+
+  /// Queues a resume request for `target` on its lane. Requests are
+  /// never dropped (except the self case, where the running fiber will
+  /// re-check its predicate before it parks); a request whose wake was
+  /// already absorbed resumes the fiber spuriously, and its park loop
+  /// re-parks it — wasteful, never wrong.
+  void enqueue(NodeId target) {
+    if (target == tl_current) return;
+    Lane& lane = lane_of(target);
+    {
+      std::lock_guard<std::mutex> g(lane.mu);
+      lane.ready.push_back(target);
+    }
+    lane.cv.notify_one();
+  }
+
+  /// Parks the running fiber `me`: kernel mutex is released across the
+  /// switch (the lane driver, or another lane's committer, needs it).
+  void switch_out(NodeId me, std::unique_lock<std::mutex>& lock) {
+    Lane& lane = lane_of(me);
+    lock.unlock();
+    fiber::switch_fiber(*contexts_[static_cast<std::size_t>(me)], lane.driver,
+                        /*dying=*/false);
+    lock.lock();
+  }
+
+  void lane_main(Lane& lane) {
+    fiber::adopt_host_context(lane.driver);
+    for (;;) {
+      NodeId id;
+      {
+        std::unique_lock<std::mutex> lk(lane.mu);
+        lane.cv.wait(lk, [&lane] { return lane.stop || !lane.ready.empty(); });
+        if (lane.ready.empty()) return;  // stop, and the queue is drained
+        id = lane.ready.front();
+        lane.ready.pop_front();
+      }
+      FiberContext& c = *contexts_[static_cast<std::size_t>(id)];
+      // `finished` is written by the fiber on this same thread, so this
+      // read is race-free; requests for finished fibers (abort path
+      // grants everyone) are dropped here.
+      if (c.finished) continue;
+      tl_current = id;
+      fiber::switch_fiber(lane.driver, c, /*dying=*/false);
+      tl_current = -1;
+    }
+  }
+
+  void shutdown() {
+    for (auto& lane : lanes_) {
+      {
+        std::lock_guard<std::mutex> g(lane->mu);
+        lane->stop = true;
+      }
+      lane->cv.notify_all();
+    }
+    for (auto& lane : lanes_) {
+      if (lane->thread.joinable()) lane->thread.join();
+    }
+  }
+
+  std::function<void(NodeId)> body_;
+  std::int32_t configured_lanes_;
+  std::vector<std::unique_ptr<FiberContext>> contexts_;
+  std::vector<std::int32_t> lane_of_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::condition_variable run_done_cv_;
+  std::int64_t switches_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_multilane_backend(std::int32_t lanes) {
+  return std::make_unique<MultiLaneBackend>(lanes);
+}
+
+}  // namespace cm5::sim

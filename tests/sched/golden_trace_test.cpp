@@ -13,6 +13,7 @@
 #include "cm5/sched/builders.hpp"
 #include "cm5/sched/complete_exchange.hpp"
 #include "cm5/sched/executor.hpp"
+#include "cm5/sim/golden_guard.hpp"
 #include "cm5/sim/metrics.hpp"
 #include "cm5/sim/trace.hpp"
 
@@ -47,10 +48,10 @@ constexpr std::int64_t kBytes = 256;
 constexpr std::uint64_t kSeed = 42;
 constexpr double kDensity = 0.35;
 
-bool regen_mode() {
-  const char* env = std::getenv("CM5_REGEN_GOLDEN");
-  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
-}
+// The guard refuses (throws, failing the test) when regeneration is
+// requested under a non-default execution configuration — see
+// cm5/sim/golden_guard.hpp.
+bool regen_mode() { return sim::golden_regen_requested(); }
 
 /// Full trace serialization: every event, one to_string() line each, in
 /// execution order (which the sequential kernel makes deterministic).

@@ -8,6 +8,7 @@
 
 #include "cm5/machine/machine.hpp"
 #include "cm5/sched/complete_exchange.hpp"
+#include "cm5/sim/golden_guard.hpp"
 
 /// Golden baselines for the ext_machines large-partition rows: recursive
 /// complete exchange at N = 1024 and N = 2048 (the sizes the fiber
@@ -34,10 +35,10 @@ using machine::Cm5Machine;
 using machine::MachineParams;
 using machine::Node;
 
-bool regen_mode() {
-  const char* env = std::getenv("CM5_REGEN_GOLDEN");
-  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
-}
+// The guard refuses (throws, failing the test) when regeneration is
+// requested under a non-default execution configuration — see
+// cm5/sim/golden_guard.hpp.
+bool regen_mode() { return sim::golden_regen_requested(); }
 
 std::string golden_path(const std::string& name) {
   return std::string(CM5_GOLDEN_DIR) + "/" + name + ".summary";

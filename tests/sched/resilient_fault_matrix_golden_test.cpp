@@ -14,6 +14,7 @@
 #include "cm5/sched/pattern.hpp"
 #include "cm5/sched/resilient_executor.hpp"
 #include "cm5/sim/fault.hpp"
+#include "cm5/sim/golden_guard.hpp"
 #include "cm5/util/time.hpp"
 
 /// Golden baselines for the fault matrix (bench/ext_fault_matrix.cpp):
@@ -46,10 +47,10 @@ using util::from_us;
 constexpr std::int32_t kNodes = 16;
 constexpr std::int64_t kBytes = 512;
 
-bool regen_mode() {
-  const char* env = std::getenv("CM5_REGEN_GOLDEN");
-  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
-}
+// The guard refuses (throws, failing the test) when regeneration is
+// requested under a non-default execution configuration — see
+// cm5/sim/golden_guard.hpp.
+bool regen_mode() { return sim::golden_regen_requested(); }
 
 std::string golden_path() {
   return std::string(CM5_GOLDEN_DIR) + "/fault_matrix.summary";

@@ -1,0 +1,277 @@
+#include "cm5/sim/exec_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "cm5/net/topology.hpp"
+#include "cm5/sim/kernel.hpp"
+#include "cm5/util/time.hpp"
+
+/// \file multilane_backend_test.cpp
+/// Coverage for the multi-lane fiber backend and its selection knobs.
+/// The lane-invariance *contract* (byte-identical results at any lane
+/// count, across schedules, faults and checkpoints) is proven by the
+/// differential battery in tests/integration/fuzz_test.cpp; this file
+/// covers the machinery around it: knob parsing and clamping, model
+/// upgrade/priority rules, error-path unwinding across lanes, and a
+/// 4096-node stress run. Unlike plain fibers, the multi-lane backend is
+/// never pinned away under TSAN — it carries fiber annotations — so
+/// these tests exercise the real backend in every build configuration.
+
+namespace cm5::sim {
+namespace {
+
+using util::from_us;
+
+net::FatTreeTopology make_topo(std::int32_t n) {
+  return net::FatTreeTopology(net::FatTreeConfig::cm5(n));
+}
+
+/// Saves one environment variable on construction, restores on scope
+/// exit — the knob tests must not leak state into later tests (or
+/// clobber a CI matrix row's configuration permanently).
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    if (v != nullptr) {
+      had_ = true;
+      saved_ = v;
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(MultiLaneBackendTest, ToStringNamesMultilane) {
+  EXPECT_STREQ(to_string(ExecutionModel::kFibersMultiLane), "multilane");
+}
+
+TEST(MultiLaneBackendTest, LaneKnobClampsToSupportedRange) {
+  ScopedEnv guard("CM5_LANES");
+  ASSERT_EQ(::unsetenv("CM5_LANES"), 0);
+  EXPECT_EQ(execution_lanes(), 1);
+  ASSERT_EQ(::setenv("CM5_LANES", "4", 1), 0);
+  EXPECT_EQ(execution_lanes(), 4);
+  ASSERT_EQ(::setenv("CM5_LANES", "0", 1), 0);
+  EXPECT_EQ(execution_lanes(), 1);
+  ASSERT_EQ(::setenv("CM5_LANES", "-3", 1), 0);
+  EXPECT_EQ(execution_lanes(), 1);
+  ASSERT_EQ(::setenv("CM5_LANES", "999", 1), 0);
+  EXPECT_EQ(execution_lanes(), 64);
+}
+
+TEST(MultiLaneBackendTest, DefaultModelHonorsKnobPriority) {
+  ScopedEnv lanes_guard("CM5_LANES");
+  ScopedEnv threads_guard("CM5_EXEC_THREADS");
+
+  // CM5_LANES > 1 selects the multi-lane backend...
+  ASSERT_EQ(::unsetenv("CM5_EXEC_THREADS"), 0);
+  ASSERT_EQ(::setenv("CM5_LANES", "4", 1), 0);
+  EXPECT_EQ(default_execution_model(), ExecutionModel::kFibersMultiLane);
+
+  // ...but the thread oracle wins when both are requested: it exists to
+  // be the differential reference, so an explicit request for it must
+  // never be silently upgraded.
+  ASSERT_EQ(::setenv("CM5_EXEC_THREADS", "1", 1), 0);
+  EXPECT_EQ(default_execution_model(), ExecutionModel::kThreads);
+
+  // Neither knob: plain fibers (or threads on a pinned build).
+  ASSERT_EQ(::unsetenv("CM5_EXEC_THREADS"), 0);
+  ASSERT_EQ(::unsetenv("CM5_LANES"), 0);
+  if (execution_model_pinned_to_threads()) {
+    EXPECT_EQ(default_execution_model(), ExecutionModel::kThreads);
+  } else {
+    EXPECT_EQ(default_execution_model(), ExecutionModel::kFibers);
+  }
+}
+
+TEST(MultiLaneBackendTest, LanesUpgradeFibersAndClampToPartitionSize) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(8);
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    h.advance(from_us(1));
+    h.global_op({}, from_us(4));
+  });
+  EXPECT_EQ(r.exec_model, ExecutionModel::kFibersMultiLane);
+  // 8 lanes for 4 nodes would leave half the lanes empty forever.
+  EXPECT_EQ(r.lanes, 4);
+}
+
+TEST(MultiLaneBackendTest, ExplicitThreadOracleIgnoresLanes) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kThreads);
+  kernel.set_execution_lanes(4);
+  const RunResult r = kernel.run([](NodeHandle& h) { h.advance(from_us(1)); });
+  EXPECT_EQ(r.exec_model, ExecutionModel::kThreads);
+  EXPECT_EQ(r.lanes, 1);
+}
+
+TEST(MultiLaneBackendTest, ResultsMatchSingleLaneExactly) {
+  // A quick in-file spot check of lane invariance: same program, same
+  // numbers, with speculation live. (The exhaustive version is the
+  // LaneDifferential* battery in tests/integration/fuzz_test.cpp.)
+  const std::int32_t n = 64;
+  auto program = [n](NodeHandle& h) {
+    for (int round = 0; round < 10; ++round) {
+      h.advance(from_us(static_cast<std::int64_t>((h.id() + round) % 5) + 1));
+      const net::NodeId peer = static_cast<net::NodeId>((h.id() + 1) % n);
+      if (h.id() % 2 == 0) {
+        h.post_send(peer, round, 64, 80, from_us(5), {});
+        (void)h.post_receive(kAnyNode, round);
+      } else {
+        (void)h.post_receive(kAnyNode, round);
+        h.post_send(peer, round, 64, 80, from_us(5), {});
+      }
+      h.global_op({}, from_us(4));
+    }
+  };
+
+  auto topo = make_topo(n);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(1);
+  const RunResult single = kernel.run(program);
+
+  kernel.set_execution_lanes(4);
+  const RunResult multi = kernel.run(program);
+  EXPECT_EQ(multi.exec_model, ExecutionModel::kFibersMultiLane);
+  EXPECT_EQ(multi.lanes, 4);
+  EXPECT_GE(multi.speculative_grants, 0);
+
+  EXPECT_EQ(multi.makespan, single.makespan);
+  EXPECT_EQ(multi.finish_time, single.finish_time);
+  ASSERT_EQ(multi.node_counters.size(), single.node_counters.size());
+  for (std::size_t i = 0; i < single.node_counters.size(); ++i) {
+    EXPECT_EQ(multi.node_counters[i].sends, single.node_counters[i].sends);
+    EXPECT_EQ(multi.node_counters[i].receives,
+              single.node_counters[i].receives);
+  }
+}
+
+TEST(MultiLaneBackendTest, FourThousandNodeRingOnFourLanes) {
+  // The fiber-backend 4096-node stress, on four lanes: dense node state
+  // and pooled stacks at giant-partition scale, with real cross-lane
+  // token handoffs (the block partition puts ring neighbours i and i+1
+  // on different lanes at every partition boundary).
+  const std::int32_t n = 4096;
+  auto topo = make_topo(n);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(4);
+  const RunResult r = kernel.run([n](NodeHandle& h) {
+    h.advance(from_us(static_cast<std::int64_t>(h.id() % 7) + 1));
+    h.global_op({}, from_us(4));
+    const net::NodeId next = (h.id() + 1) % n;
+    const net::NodeId prev = (h.id() + n - 1) % n;
+    if (h.id() % 2 == 0) {
+      h.post_send(next, 7, 64, 80, from_us(5), {});
+      (void)h.post_receive(prev, 7);
+    } else {
+      (void)h.post_receive(prev, 7);
+      h.post_send(next, 7, 64, 80, from_us(5), {});
+    }
+    h.global_op({}, from_us(4));
+  });
+  EXPECT_EQ(r.exec_model, ExecutionModel::kFibersMultiLane);
+  EXPECT_EQ(r.lanes, 4);
+  ASSERT_EQ(r.finish_time.size(), static_cast<std::size_t>(n));
+  for (std::int32_t i = 1; i < n; ++i) {
+    EXPECT_EQ(r.finish_time[static_cast<std::size_t>(i)], r.finish_time[0]);
+  }
+  EXPECT_EQ(r.node_counters[0].sends, 1);
+  EXPECT_EQ(r.node_counters[0].receives, 1);
+}
+
+TEST(MultiLaneBackendTest, FailStopUnwindWorksAcrossLanes) {
+  // A node death must unwind its fiber on whichever lane carries it,
+  // and rendezvous peers on *other* lanes must see PeerFailedError.
+  auto topo = make_topo(8);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(4);
+  FaultPlan plan;
+  plan.deaths.push_back({2, from_us(50)});
+  kernel.set_fault_plan(plan);
+  const RunResult r = kernel.run([](NodeHandle& h) {
+    h.advance(from_us(10));
+    if (h.id() == 2) {
+      (void)h.post_receive_timeout(3, 99, from_us(10000));
+      ADD_FAILURE() << "killed node resumed past its death";
+    }
+    h.global_op({}, from_us(4));
+  });
+  EXPECT_EQ(r.exec_model, ExecutionModel::kFibersMultiLane);
+  for (const net::NodeId survivor : {0, 1, 3, 4, 5, 6, 7}) {
+    EXPECT_EQ(r.finish_time[static_cast<std::size_t>(survivor)],
+              r.finish_time[0]);
+  }
+}
+
+TEST(MultiLaneBackendTest, ProgramExceptionPropagatesAcrossLanes) {
+  auto topo = make_topo(8);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(4);
+  EXPECT_THROW(kernel.run([](NodeHandle& h) {
+                 h.advance(from_us(static_cast<std::int64_t>(h.id()) + 1));
+                 if (h.id() == 5) throw std::runtime_error("boom");
+                 h.global_op({}, from_us(4));
+               }),
+               std::runtime_error);
+  // All lane threads must have been joined and the kernel reusable.
+  const RunResult r = kernel.run([](NodeHandle& h) { h.advance(from_us(1)); });
+  EXPECT_EQ(r.makespan, from_us(1));
+}
+
+TEST(MultiLaneBackendTest, DeadlockIsReportedAcrossLanes) {
+  auto topo = make_topo(4);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(4);
+  EXPECT_THROW(kernel.run([](NodeHandle& h) {
+                 // Everyone receives from the left neighbour; nobody
+                 // sends: a full-circle wait with no progress.
+                 (void)h.post_receive((h.id() + 3) % 4, 0);
+               }),
+               DeadlockError);
+}
+
+TEST(MultiLaneBackendTest, BackToBackRunsReuseTheKernel) {
+  auto topo = make_topo(16);
+  Kernel kernel(topo);
+  kernel.set_execution_model(ExecutionModel::kFibers);
+  kernel.set_execution_lanes(2);
+  util::SimTime last = 0;
+  for (int round = 0; round < 5; ++round) {
+    const RunResult r = kernel.run([round](NodeHandle& h) {
+      h.advance(from_us(round + 1));
+      h.global_op({}, from_us(4));
+    });
+    EXPECT_EQ(r.exec_model, ExecutionModel::kFibersMultiLane);
+    EXPECT_GT(r.makespan, 0);
+    EXPECT_NE(r.makespan, last);
+    last = r.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace cm5::sim
