@@ -1,0 +1,124 @@
+/// Extension bench: the streaming schedule service. A seeded
+/// multi-tenant request stream (bursty arrivals, mixed regular and
+/// irregular patterns, per-request deadlines) runs through the stream
+/// executor under the reference mid-stream fault script — burst loss, a
+/// fail-stop death, a gray slowdown — once per batching policy. The
+/// service-level numbers the table and JSON report are the ones the
+/// stream layer makes promises about: per-request latency percentiles
+/// (queue / service / end-to-end), shed counts, and excised nodes.
+///
+/// Invariants checked (the bench aborts if violated):
+///   * every request reaches a terminal outcome — nothing is silently
+///     dropped (shed requests appear in the shed log);
+///   * edge accounting balances: delivered + repaired + lost ==
+///     admitted total, with losses only against excised nodes;
+///   * the trace-level delivery invariant holds for every batch
+///     (validate_trace runs inside run_stream).
+///
+/// The smoke row (16 nodes x 60 requests, seed 1) is the exact scenario
+/// pinned by tests/sched/golden/stream_reference_16x60.summary, so CI
+/// catches any drift between the bench and the committed golden.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/machine/params.hpp"
+#include "cm5/sched/stream.hpp"
+#include "cm5/util/check.hpp"
+#include "common/bench_common.hpp"
+
+namespace {
+
+using namespace cm5;
+using machine::Cm5Machine;
+using machine::MachineParams;
+using sched::BatchPolicy;
+using sched::StreamOptions;
+using sched::StreamReport;
+
+constexpr std::int32_t kNodes = 16;
+constexpr std::uint64_t kSeed = 1;
+
+void check_accounting(const StreamReport& report, const char* label) {
+  CM5_CHECK_MSG(report.violations.empty(),
+                "stream run failed invariant validation");
+  CM5_CHECK_MSG(report.requests_terminal() == report.requests_generated,
+                "stream left requests in a non-terminal state");
+  CM5_CHECK_MSG(static_cast<std::int64_t>(report.shed_log.size()) ==
+                    report.shed_count,
+                "shed log disagrees with shed count");
+  (void)label;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "ext_stream",
+      "streaming schedule service: admission, backpressure, shedding and "
+      "mid-stream fault recovery across batching policies");
+
+  // Smoke keeps the golden-pinned 60-request stream; the full run uses
+  // the issue's ~200-request stream for stable tail percentiles.
+  const std::int32_t requests = bench::smoke_mode() ? 60 : 200;
+
+  bench::MetricsEmitter metrics("ext_stream");
+
+  struct Row {
+    BatchPolicy policy;
+    StreamReport report;
+  };
+  std::vector<Row> rows;
+  for (const BatchPolicy policy :
+       {BatchPolicy::kFifo, BatchPolicy::kTenantFair, BatchPolicy::kDeadline}) {
+    StreamOptions options =
+        sched::make_reference_stream_options(kNodes, requests, kSeed);
+    options.policy = policy;
+    Cm5Machine machine(MachineParams::cm5_defaults(kNodes));
+    StreamReport report = sched::run_stream(machine, options);
+    check_accounting(report, sched::batch_policy_name(policy));
+
+    metrics.record_json(std::string("stream/") +
+                            sched::batch_policy_name(policy) + "/" +
+                            std::to_string(kNodes) + "x" +
+                            std::to_string(requests),
+                        report.to_json(false));
+    rows.push_back({policy, std::move(report)});
+  }
+
+  std::printf("\nstream service, %d nodes, %d requests, seed %llu:\n", kNodes,
+              requests, static_cast<unsigned long long>(kSeed));
+  std::printf("  %-12s %9s %5s %7s %8s %8s %9s %9s %9s %10s\n", "policy",
+              "completed", "shed", "excised", "repairs", "retries", "e2e p50",
+              "e2e p95", "e2e p99", "makespan");
+  for (const Row& row : rows) {
+    const StreamReport& r = row.report;
+    std::printf(
+        "  %-12s %4lld/%-4lld %5lld %7zu %8lld %8lld %6s ms %6s ms %6s ms "
+        "%7s ms\n",
+        sched::batch_policy_name(row.policy),
+        static_cast<long long>(r.requests_completed),
+        static_cast<long long>(r.requests_generated),
+        static_cast<long long>(r.shed_count), r.excised_nodes.size(),
+        static_cast<long long>(r.edges_repaired),
+        static_cast<long long>(r.retries), bench::ms(r.latency_e2e.p50).c_str(),
+        bench::ms(r.latency_e2e.p95).c_str(),
+        bench::ms(r.latency_e2e.p99).c_str(),
+        bench::ms(r.stream_makespan).c_str());
+  }
+  std::printf(
+      "\nqueue-vs-service split (p95): how much of the tail is waiting\n");
+  for (const Row& row : rows) {
+    const StreamReport& r = row.report;
+    std::printf("  %-12s queue %6s ms   service %6s ms   backpressure %s ms\n",
+                sched::batch_policy_name(row.policy),
+                bench::ms(r.latency_queue.p95).c_str(),
+                bench::ms(r.latency_service.p95).c_str(),
+                bench::ms(r.backpressure_ns).c_str());
+  }
+
+  metrics.write();
+  return 0;
+}

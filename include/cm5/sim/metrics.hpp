@@ -146,6 +146,32 @@ struct RunMetrics {
   util::json::Value to_json(bool full = false) const;
 };
 
+/// Order statistics of a set of virtual-time latency samples — the
+/// summary shape every streaming-service artifact reports (per-request
+/// queue wait / service time / end-to-end latency in the stream
+/// executor, and the BENCH_ext_stream.json rows). Percentiles use the
+/// nearest-rank method on the sorted samples (p50 of one sample is that
+/// sample), so every field is an exact observed value: integer, and
+/// bit-reproducible wherever the samples are.
+struct LatencySummary {
+  std::int64_t count = 0;
+  util::SimDuration min = 0;
+  util::SimDuration p50 = 0;
+  util::SimDuration p95 = 0;
+  util::SimDuration p99 = 0;
+  util::SimDuration max = 0;
+  /// Arithmetic mean, rounded down to whole nanoseconds (kept integral
+  /// so summaries stay byte-stable).
+  util::SimDuration mean = 0;
+
+  /// Builds a summary from `samples` (copied and sorted internally; an
+  /// empty set yields the all-zero summary).
+  static LatencySummary from_samples(std::vector<util::SimDuration> samples);
+
+  /// {"count":N,"min_ns":...,"p50_ns":...,...} in insertion order.
+  util::json::Value to_json() const;
+};
+
 /// Derives RunMetrics from a raw event stream (the order TraceRecorder
 /// stores: kernel execution order, per-node times non-decreasing).
 /// `result`, when given, supplies the authoritative makespan and the

@@ -1,0 +1,186 @@
+#include <algorithm>
+
+#include "cm5/sched/stream.hpp"
+#include "cm5/util/check.hpp"
+#include "cm5/util/rng.hpp"
+
+/// Seeded multi-tenant workload generation for the stream executor.
+///
+/// Every draw is integer arithmetic on cm5::util::Rng (the one double,
+/// the random-density parameter, is an IEEE product of exact values, the
+/// same construction chaos_campaign uses), so a (seed, config) pair
+/// yields one exact request sequence on every platform and the stream
+/// determinism contract extends through the workload.
+
+namespace cm5::sched {
+
+namespace {
+
+// Local pattern builders (cm5_patterns links against cm5_sched, so the
+// generator cannot reach for patterns/synthetic.hpp without a cycle).
+
+/// Nearest-neighbour ring with `halo` neighbours on each side.
+CommPattern ring_pattern(std::int32_t nprocs, std::int32_t halo,
+                         std::int64_t bytes) {
+  CommPattern pattern(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (std::int32_t k = 1; k <= halo; ++k) {
+      const NodeId up = (i + k) % nprocs;
+      const NodeId down = (i - k + nprocs) % nprocs;
+      if (up != i) pattern.set(i, up, bytes);
+      if (down != i) pattern.set(i, down, bytes);
+    }
+  }
+  return pattern;
+}
+
+/// Permutation: i sends only to (i + amount) mod nprocs.
+CommPattern shift_pattern(std::int32_t nprocs, std::int32_t amount,
+                          std::int64_t bytes) {
+  CommPattern pattern(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    pattern.set(i, (i + amount) % nprocs, bytes);
+  }
+  return pattern;
+}
+
+/// Irregular pattern: each off-diagonal entry present with probability
+/// `density`, drawn from `rng` in row-major order (deterministic).
+CommPattern random_pattern(std::int32_t nprocs, double density,
+                           std::int64_t bytes, util::Rng& rng) {
+  CommPattern pattern(nprocs);
+  for (NodeId i = 0; i < nprocs; ++i) {
+    for (NodeId j = 0; j < nprocs; ++j) {
+      if (i != j && rng.next_bool(density)) pattern.set(i, j, bytes);
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+util::json::Value StreamWorkloadConfig::to_json() const {
+  using util::json::Value;
+  Value root = Value::object();
+  root["nodes"] = nodes;
+  root["num_requests"] = num_requests;
+  root["tenants"] = tenants;
+  root["seed"] = static_cast<std::int64_t>(seed);
+  root["mean_gap_ns"] = mean_gap;
+  root["burst_prob"] = burst_prob;
+  root["burst_max"] = burst_max;
+  root["deadline_prob"] = deadline_prob;
+  root["deadline_slack_min_ns"] = deadline_slack_min;
+  root["deadline_slack_max_ns"] = deadline_slack_max;
+  root["size_octaves"] = size_octaves;
+  return root;
+}
+
+StreamWorkloadGenerator::StreamWorkloadGenerator(StreamWorkloadConfig config)
+    : config_(config) {
+  CM5_CHECK_MSG(config_.nodes >= 2 &&
+                    (config_.nodes & (config_.nodes - 1)) == 0,
+                "stream workload nodes must be a power of two >= 2");
+  CM5_CHECK_MSG(config_.num_requests >= 0,
+                "stream workload num_requests must be >= 0");
+  CM5_CHECK_MSG(config_.tenants >= 1, "stream workload needs >= 1 tenant");
+  CM5_CHECK_MSG(config_.mean_gap > 0, "stream workload mean_gap must be > 0");
+  CM5_CHECK_MSG(config_.burst_max >= 1, "burst_max must be >= 1");
+  CM5_CHECK_MSG(config_.burst_prob >= 0.0 && config_.burst_prob <= 1.0,
+                "burst_prob must be in [0, 1]");
+  CM5_CHECK_MSG(config_.deadline_prob >= 0.0 && config_.deadline_prob <= 1.0,
+                "deadline_prob must be in [0, 1]");
+  CM5_CHECK_MSG(config_.deadline_slack_min > 0 &&
+                    config_.deadline_slack_max >= config_.deadline_slack_min,
+                "deadline slack range must be positive and ordered");
+  CM5_CHECK_MSG(config_.size_octaves >= 1 && config_.size_octaves <= 16,
+                "size_octaves must be in [1, 16]");
+}
+
+util::SimTime StreamWorkloadGenerator::peek_arrival() {
+  CM5_CHECK_MSG(!done(), "stream workload generator exhausted");
+  stage_next();
+  return staged_request_.arrival;
+}
+
+StreamRequest StreamWorkloadGenerator::next() {
+  CM5_CHECK_MSG(!done(), "stream workload generator exhausted");
+  stage_next();
+  staged_ = false;
+  ++produced_;
+  return std::move(staged_request_);
+}
+
+void StreamWorkloadGenerator::stage_next() {
+  if (staged_) return;
+  // Every request gets its own forked stream keyed by its index, so the
+  // sequence does not depend on how the caller interleaves peeks/pulls.
+  util::Rng rng = util::Rng::forked(
+      config_.seed, 0x57e3a9b1ULL + static_cast<std::uint64_t>(produced_));
+  StreamRequest req;
+  req.id = produced_;
+
+  // Arrival process: bursty on-off. A burst pins the tenant and packs
+  // requests at 1/20th of the mean gap; otherwise gaps are uniform in
+  // [mean/4, 7*mean/4] (mean = mean_gap) and the tenant is uniform.
+  if (burst_left_ > 0) {
+    --burst_left_;
+    producer_clock_ += std::max<util::SimDuration>(1, config_.mean_gap / 20);
+    req.tenant = burst_tenant_;
+  } else {
+    producer_clock_ += config_.mean_gap / 4 +
+                       static_cast<util::SimDuration>(rng.next_below(
+                           static_cast<std::uint64_t>(
+                               std::max<util::SimDuration>(
+                                   1, (3 * config_.mean_gap) / 2))));
+    req.tenant = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(config_.tenants)));
+    if (rng.next_bool(config_.burst_prob)) {
+      burst_left_ = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(config_.burst_max)));
+      burst_tenant_ = req.tenant;
+    }
+  }
+  req.arrival = producer_clock_;
+  req.priority = static_cast<std::int32_t>(rng.next_below(4));
+  if (rng.next_bool(config_.deadline_prob)) {
+    req.deadline =
+        req.arrival + rng.next_in(config_.deadline_slack_min,
+                                  config_.deadline_slack_max);
+  }
+
+  const std::int64_t bytes =
+      64LL << rng.next_below(static_cast<std::uint64_t>(config_.size_octaves));
+  const std::int32_t nodes = config_.nodes;
+  switch (rng.next_below(8)) {
+    case 0:  // dense: full complete exchange (the expensive tail)
+      req.pattern = CommPattern::complete_exchange(nodes, bytes);
+      break;
+    case 1:
+    case 2:
+    case 3: {  // irregular: random density 10-50%
+      const double density = 0.1 + 0.4 * rng.next_double();
+      req.pattern = random_pattern(nodes, density, bytes, rng);
+      break;
+    }
+    case 4:
+    case 5: {  // sparse regular: ring halo
+      const std::int32_t halo =
+          1 + static_cast<std::int32_t>(rng.next_below(2));
+      req.pattern = ring_pattern(nodes, halo, bytes);
+      break;
+    }
+    default: {  // permutation: shift
+      const std::int32_t amount =
+          1 + static_cast<std::int32_t>(
+                  rng.next_below(static_cast<std::uint64_t>(nodes - 1)));
+      req.pattern = shift_pattern(nodes, amount, bytes);
+      break;
+    }
+  }
+  req.scheduler = static_cast<Scheduler>(rng.next_below(4));
+  staged_request_ = std::move(req);
+  staged_ = true;
+}
+
+}  // namespace cm5::sched

@@ -1,6 +1,7 @@
 #include "cm5/sim/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <tuple>
@@ -375,6 +376,48 @@ RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
 RunMetrics analyze(const TraceRecorder& recorder, std::int32_t nprocs,
                    const RunResult* result) {
   return analyze(recorder.events(), nprocs, result);
+}
+
+LatencySummary LatencySummary::from_samples(
+    std::vector<util::SimDuration> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  // Nearest-rank percentile: the smallest sample with at least q*n
+  // samples at or below it — ceil(q * n), 1-based.
+  auto rank = [n](double q) {
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return r - 1;  // 0-based index
+  };
+  s.count = static_cast<std::int64_t>(n);
+  s.min = samples.front();
+  s.p50 = samples[rank(0.50)];
+  s.p95 = samples[rank(0.95)];
+  s.p99 = samples[rank(0.99)];
+  s.max = samples.back();
+  // Integer mean, rounded down; sums fit: samples are nanosecond counts
+  // bounded by run makespans, far below 2^63 / count for any real run.
+  std::int64_t sum = 0;
+  for (const util::SimDuration d : samples) sum += d;
+  s.mean = sum / static_cast<std::int64_t>(n);
+  return s;
+}
+
+util::json::Value LatencySummary::to_json() const {
+  using util::json::Value;
+  Value root = Value::object();
+  root["count"] = count;
+  root["min_ns"] = min;
+  root["p50_ns"] = p50;
+  root["p95_ns"] = p95;
+  root["p99_ns"] = p99;
+  root["max_ns"] = max;
+  root["mean_ns"] = mean;
+  return root;
 }
 
 util::json::Value RunMetrics::to_json(bool full) const {

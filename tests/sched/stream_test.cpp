@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/stream.hpp"
+#include "cm5/util/check.hpp"
+#include "cm5/util/time.hpp"
+
+/// Behavioural tests for the streaming schedule service: workload
+/// determinism, admission policies, backpressure, shedding, mid-stream
+/// fault recovery, and the delivery invariant (no admitted request is
+/// ever silently lost — every generated request ends in exactly one
+/// terminal state, with its edges fully accounted).
+
+namespace cm5::sched {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+
+StreamWorkloadConfig small_workload(std::int32_t nodes, std::int64_t requests,
+                                    std::uint64_t seed) {
+  StreamWorkloadConfig config;
+  config.nodes = nodes;
+  config.num_requests = requests;
+  config.tenants = 4;
+  config.seed = seed;
+  // Deadlines off by default: tests asserting full completion must not
+  // race the deadline shedder (deadline tests opt back in).
+  config.deadline_prob = 0.0;
+  return config;
+}
+
+/// Every generated request must be terminal (or pending only in stopped
+/// runs), counted exactly once, and edge-conserving.
+void expect_fully_accounted(const StreamReport& report) {
+  EXPECT_TRUE(report.violations.empty())
+      << "first violation: "
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_EQ(report.requests_terminal(), report.requests_generated);
+  EXPECT_EQ(report.requests.size(),
+            static_cast<std::size_t>(report.requests_generated));
+  for (const StreamRequestRecord& rec : report.requests) {
+    EXPECT_NE(rec.outcome, RequestOutcome::kPending) << "request " << rec.id;
+  }
+  EXPECT_EQ(report.edges_total, report.edges_delivered +
+                                    report.edges_repaired + report.edges_lost);
+}
+
+TEST(StreamWorkload, DeterministicAndWellFormed) {
+  const StreamWorkloadConfig config = small_workload(16, 64, 42);
+  StreamWorkloadGenerator a(config);
+  StreamWorkloadGenerator b(config);
+  util::SimTime last_arrival = 0;
+  while (!a.done()) {
+    ASSERT_FALSE(b.done());
+    const StreamRequest ra = a.next();
+    const StreamRequest rb = b.next();
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.tenant, rb.tenant);
+    EXPECT_EQ(ra.priority, rb.priority);
+    EXPECT_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.deadline, rb.deadline);
+    EXPECT_EQ(ra.scheduler, rb.scheduler);
+    EXPECT_EQ(ra.pattern.num_messages(), rb.pattern.num_messages());
+    EXPECT_EQ(ra.pattern.total_bytes(), rb.pattern.total_bytes());
+
+    EXPECT_GE(ra.tenant, 0);
+    EXPECT_LT(ra.tenant, config.tenants);
+    EXPECT_GE(ra.priority, 0);
+    EXPECT_LT(ra.priority, 4);
+    EXPECT_GE(ra.arrival, last_arrival) << "arrivals must be nondecreasing";
+    last_arrival = ra.arrival;
+    EXPECT_GT(ra.pattern.num_messages(), 0);
+    if (ra.deadline != util::kTimeNever) {
+      EXPECT_GT(ra.deadline, ra.arrival);
+    }
+  }
+  EXPECT_TRUE(b.done());
+  EXPECT_EQ(a.produced(), 64);
+}
+
+TEST(StreamWorkload, PeekDoesNotPerturbSequence) {
+  const StreamWorkloadConfig config = small_workload(8, 16, 7);
+  StreamWorkloadGenerator a(config);
+  StreamWorkloadGenerator b(config);
+  while (!a.done()) {
+    // b peeks (possibly repeatedly) before pulling; sequences must agree.
+    (void)b.peek_arrival();
+    (void)b.peek_arrival();
+    EXPECT_EQ(a.next().arrival, b.next().arrival);
+  }
+}
+
+TEST(StreamExecutor, FaultFreeDrainCompletesEverything) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 40, 3);
+  const StreamReport report = run_stream(m, options);
+
+  expect_fully_accounted(report);
+  EXPECT_EQ(report.requests_generated, 40);
+  EXPECT_EQ(report.requests_admitted, 40);
+  EXPECT_EQ(report.requests_completed, 40);
+  EXPECT_EQ(report.requests_shed, 0);
+  EXPECT_EQ(report.requests_partial, 0);
+  EXPECT_EQ(report.edges_delivered, report.edges_total);
+  EXPECT_EQ(report.edges_repaired, 0);
+  EXPECT_EQ(report.edges_lost, 0);
+  EXPECT_TRUE(report.excised_nodes.empty());
+  EXPECT_EQ(report.shed_count, 0);
+  EXPECT_GT(report.batches, 0);
+  EXPECT_GT(report.stream_makespan, 0);
+  EXPECT_EQ(report.latency_e2e.count, 40);
+  for (const StreamRequestRecord& rec : report.requests) {
+    EXPECT_EQ(rec.outcome, RequestOutcome::kCompleted);
+    EXPECT_GE(rec.latency_e2e, rec.latency_queue);
+    EXPECT_GE(rec.latency_service, 0);
+    EXPECT_GE(rec.admitted_at, rec.arrival);
+  }
+}
+
+TEST(StreamExecutor, RepeatRunsAreByteIdentical) {
+  StreamOptions options;
+  options.workload = small_workload(8, 24, 11);
+  Cm5Machine m1(MachineParams::cm5_defaults(8));
+  Cm5Machine m2(MachineParams::cm5_defaults(8));
+  const std::string a = run_stream(m1, options).to_json(true).dump();
+  const std::string b = run_stream(m2, options).to_json(true).dump();
+  EXPECT_EQ(a, b);
+}
+
+TEST(StreamExecutor, TenantFairSpreadsFirstBatchAcrossTenants) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 48, 5);
+  // Everything arrives before the first batch can launch: a deep backlog.
+  options.workload.mean_gap = util::from_us(1);
+  options.workload.burst_prob = 0.0;
+  options.policy = BatchPolicy::kTenantFair;
+  options.max_batch_requests = 4;
+  options.queue_high_watermark = 0;  // no backpressure: let it all queue
+  options.shed_watermark = 0;        // no shedding either
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+
+  // The first batch launches before the backlog builds (it admits
+  // whatever has arrived), but once the queue is deep, a full batch of 4
+  // under weight-1 round-robin must draw from 4 distinct tenants — not
+  // FIFO head-of-line. Group admissions by batch instant and require at
+  // least one full batch spanning all 4 tenants.
+  std::map<util::SimTime, std::set<std::int32_t>> batches;
+  std::map<util::SimTime, std::int32_t> sizes;
+  for (const StreamRequestRecord& rec : report.requests) {
+    if (rec.attempts > 0) {
+      batches[rec.admitted_at].insert(rec.tenant);
+      ++sizes[rec.admitted_at];
+    }
+  }
+  bool saw_full_spread = false;
+  for (const auto& [at, tenants] : batches) {
+    if (sizes[at] == 4 && tenants.size() == 4) saw_full_spread = true;
+  }
+  EXPECT_TRUE(saw_full_spread)
+      << "no full batch drew from all 4 tenants under weighted round-robin";
+}
+
+TEST(StreamExecutor, DeadlinePolicyAdmitsEarliestDeadlinesFirst) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 32, 9);
+  options.workload.mean_gap = util::from_us(1);  // deep backlog
+  options.workload.deadline_prob = 1.0;
+  options.workload.burst_prob = 0.0;
+  options.policy = BatchPolicy::kDeadline;
+  options.max_batch_requests = 4;
+  options.queue_high_watermark = 0;
+  options.shed_watermark = 0;
+  options.shed_expired = false;  // keep every request admittable
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+
+  // The first batch must be a prefix of the arrived-by-then requests
+  // ordered by (deadline, id).
+  util::SimTime first = util::kTimeNever;
+  for (const StreamRequestRecord& rec : report.requests) {
+    if (rec.attempts > 0) first = std::min(first, rec.admitted_at);
+  }
+  std::vector<const StreamRequestRecord*> arrived;
+  for (const StreamRequestRecord& rec : report.requests) {
+    if (rec.arrival <= first) arrived.push_back(&rec);
+  }
+  std::sort(arrived.begin(), arrived.end(),
+            [](const StreamRequestRecord* a, const StreamRequestRecord* b) {
+              return a->id < b->id;
+            });
+  std::vector<const StreamRequestRecord*> batch;
+  for (const StreamRequestRecord* rec : arrived) {
+    if (rec->admitted_at == first) batch.push_back(rec);
+  }
+  ASSERT_FALSE(batch.empty());
+  // No non-member that had arrived can have a deadline strictly earlier
+  // than a member's (records do not carry the deadline, so compare via
+  // regenerating the workload).
+  StreamWorkloadGenerator gen(options.workload);
+  std::vector<util::SimTime> deadline_of(32, util::kTimeNever);
+  while (!gen.done()) {
+    const StreamRequest req = gen.next();
+    deadline_of[static_cast<std::size_t>(req.id)] = req.deadline;
+  }
+  util::SimTime latest_admitted = 0;
+  for (const StreamRequestRecord* rec : batch) {
+    latest_admitted = std::max(
+        latest_admitted, deadline_of[static_cast<std::size_t>(rec->id)]);
+  }
+  for (const StreamRequestRecord* rec : arrived) {
+    if (rec->admitted_at != first) {
+      EXPECT_GE(deadline_of[static_cast<std::size_t>(rec->id)],
+                latest_admitted)
+          << "request " << rec->id
+          << " had an earlier deadline but was passed over";
+    }
+  }
+}
+
+TEST(StreamExecutor, BackpressureDefersButNeverDrops) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 48, 13);
+  options.workload.mean_gap = util::from_us(2);  // arrivals outpace service
+  options.queue_high_watermark = 4;
+  options.queue_low_watermark = 2;
+  options.shed_watermark = 0;  // isolate backpressure from shedding
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  EXPECT_GT(report.backpressure_events, 0);
+  EXPECT_GT(report.backpressure_ns, 0);
+  EXPECT_EQ(report.requests_shed, 0);
+  EXPECT_EQ(report.requests_completed, report.requests_generated);
+}
+
+TEST(StreamExecutor, OverloadSheddingIsLoggedAndDeterministic) {
+  StreamOptions options;
+  options.workload = small_workload(8, 64, 17);
+  options.workload.mean_gap = util::from_us(1);
+  // Backpressure off: overload shedding is the overflow path for
+  // producers that cannot be blocked.
+  options.queue_high_watermark = 0;
+  options.shed_watermark = 8;
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  EXPECT_GT(report.shed_count, 0);
+  EXPECT_EQ(report.shed_count,
+            static_cast<std::int64_t>(report.shed_log.size()));
+  EXPECT_EQ(report.shed_count, report.requests_shed);
+  for (const StreamShedEntry& entry : report.shed_log) {
+    const StreamRequestRecord& rec =
+        report.requests[static_cast<std::size_t>(entry.id)];
+    EXPECT_EQ(rec.outcome, entry.reason);
+    EXPECT_EQ(rec.tenant, entry.tenant);
+    EXPECT_EQ(rec.attempts, 0) << "admitted requests must never be shed";
+  }
+  // Deterministic shed log: a second run produces the same entries.
+  Cm5Machine m2(MachineParams::cm5_defaults(8));
+  const StreamReport again = run_stream(m2, options);
+  ASSERT_EQ(report.shed_log.size(), again.shed_log.size());
+  for (std::size_t i = 0; i < report.shed_log.size(); ++i) {
+    EXPECT_EQ(report.shed_log[i].id, again.shed_log[i].id);
+    EXPECT_EQ(report.shed_log[i].time, again.shed_log[i].time);
+  }
+}
+
+TEST(StreamExecutor, ExpiredDeadlinesShedAtAdmission) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 32, 19);
+  options.workload.mean_gap = util::from_us(1);
+  options.workload.deadline_prob = 1.0;
+  options.workload.deadline_slack_min = 1;  // expires almost immediately
+  options.workload.deadline_slack_max = 2;
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  EXPECT_GT(report.requests_shed, 0);
+  bool saw_deadline_shed = false;
+  for (const StreamShedEntry& entry : report.shed_log) {
+    if (entry.reason == RequestOutcome::kShedDeadline) {
+      saw_deadline_shed = true;
+      EXPECT_GT(entry.time, 0);
+    }
+  }
+  EXPECT_TRUE(saw_deadline_shed);
+}
+
+TEST(StreamExecutor, FailStopDeathExcisesAndRepairs) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 24, 23);
+  // Node 7 dies early in stream time: the first batch excises it, and
+  // every queued request addressed to it is repaired at admission.
+  options.fault_script.deaths.push_back({7, util::from_us(50)});
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  ASSERT_EQ(report.excised_nodes.size(), 1u);
+  EXPECT_EQ(report.excised_nodes[0], 7);
+  EXPECT_GE(report.excision_events, 1);
+  EXPECT_GT(report.edges_repaired, 0);
+  EXPECT_GT(report.requests_completed, 0);
+  // Repaired requests report honestly.
+  bool saw_repaired = false;
+  for (const StreamRequestRecord& rec : report.requests) {
+    if (rec.outcome == RequestOutcome::kRepaired) {
+      saw_repaired = true;
+      EXPECT_GT(rec.edges_repaired, 0);
+    }
+  }
+  EXPECT_TRUE(saw_repaired);
+}
+
+TEST(StreamExecutor, BurstLossTriggersRetriesNotSilentLoss) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 24, 29);
+  options.fault_script.seed = 77;
+  options.fault_script.burst.p_enter = 0.05;
+  options.fault_script.burst.p_exit = 0.2;
+  options.fault_script.burst.loss_bad = 0.8;
+  options.resilient.max_attempts = 2;  // let losses reach the stream layer
+  options.max_request_attempts = 2;
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  EXPECT_GT(report.retries, 0);
+  // Whatever the protocol could not deliver is either retried as a
+  // follow-up request or reported as partial loss — never dropped
+  // silently (expect_fully_accounted checked the books).
+  EXPECT_EQ(report.requests_completed + report.requests_partial,
+            report.requests_generated);
+}
+
+TEST(StreamExecutor, ReferenceScenarioRunsHealthy) {
+  Cm5Machine m(MachineParams::cm5_defaults(16));
+  const StreamOptions options = make_reference_stream_options(16, 40, 7);
+  const StreamReport report = run_stream(m, options);
+  expect_fully_accounted(report);
+  EXPECT_EQ(report.requests_generated, 40);
+  // The scripted death excises node 15 mid-stream.
+  ASSERT_FALSE(report.excised_nodes.empty());
+  EXPECT_EQ(report.excised_nodes[0], 15);
+  EXPECT_GT(report.latency_e2e.p95, 0);
+}
+
+TEST(StreamExecutor, RejectsMisconfiguredOptions) {
+  Cm5Machine m(MachineParams::cm5_defaults(8));
+  StreamOptions options;
+  options.workload = small_workload(8, 4, 1);
+  options.queue_high_watermark = 4;
+  options.queue_low_watermark = 9;  // low above high
+  EXPECT_THROW(run_stream(m, options), util::CheckError);
+
+  StreamOptions owned = options;
+  owned.queue_low_watermark = 2;
+  owned.resilient.stop_after_step = 3;  // stream-owned member
+  EXPECT_THROW(run_stream(m, owned), util::CheckError);
+
+  StreamOptions mismatched;
+  mismatched.workload = small_workload(16, 4, 1);  // machine has 8 nodes
+  EXPECT_THROW(run_stream(m, mismatched), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cm5::sched

@@ -27,6 +27,7 @@
 ///                  [--repro INDEX]
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -400,6 +401,38 @@ int usage(const char* argv0) {
   return 2;
 }
 
+/// Strict base-10 parse of an entire token into [min_value, max].
+/// atoll-style parsing turns "1e3", "-5", or "abc" into a silently
+/// wrong campaign (0 runs "passes" CI); a typo must die loudly instead.
+bool parse_i64(const char* text, std::int64_t min_value, std::int64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull silently wraps "-1" to UINT64_MAX; reject signs up front.
+  if (*text == '-' || *text == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+int bad_value(const char* argv0, const char* flag, const char* text) {
+  std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", argv0, flag,
+               text == nullptr ? "" : text);
+  return usage(argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,20 +444,24 @@ int main(int argc, char** argv) {
     };
     if (arg == "--runs") {
       const char* v = value();
-      if (!v) return usage(argv[0]);
-      opt.runs = std::atoll(v);
+      if (!parse_i64(v, 1, &opt.runs)) return bad_value(argv[0], "--runs", v);
     } else if (arg == "--nodes") {
+      std::int64_t nodes = 0;
       const char* v = value();
-      if (!v) return usage(argv[0]);
-      opt.nodes = std::atoi(v);
+      if (!parse_i64(v, 2, &nodes) || nodes > (1 << 20)) {
+        return bad_value(argv[0], "--nodes", v);
+      }
+      opt.nodes = static_cast<std::int32_t>(nodes);
     } else if (arg == "--seed") {
       const char* v = value();
-      if (!v) return usage(argv[0]);
-      opt.seed = std::strtoull(v, nullptr, 10);
+      if (!parse_u64(v, &opt.seed)) return bad_value(argv[0], "--seed", v);
     } else if (arg == "--jobs") {
+      std::int64_t jobs = 0;
       const char* v = value();
-      if (!v) return usage(argv[0]);
-      opt.jobs = std::atoi(v);
+      if (!parse_i64(v, 0, &jobs) || jobs > 4096) {
+        return bad_value(argv[0], "--jobs", v);
+      }
+      opt.jobs = static_cast<int>(jobs);
     } else if (arg == "--out") {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -443,8 +480,9 @@ int main(int argc, char** argv) {
       opt.compare = true;
     } else if (arg == "--repro") {
       const char* v = value();
-      if (!v) return usage(argv[0]);
-      opt.repro = std::atoll(v);
+      if (!parse_i64(v, 0, &opt.repro)) {
+        return bad_value(argv[0], "--repro", v);
+      }
     } else {
       return usage(argv[0]);
     }

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+/// CLI robustness for the developer tools (docs/FAULTS.md "Streaming
+/// mode" notes the CI jobs that depend on these exit codes):
+///
+///   * chaos_campaign / stream_soak reject malformed or negative
+///     numeric arguments with a usage message and exit code 2 — an
+///     atoi-style silent zero would make a typo'd campaign "pass" CI;
+///   * trace_analyzer diff/check on a missing, truncated, or non-JSON
+///     metrics file prints a one-line diagnosis naming the file and
+///     exits 2 instead of dying on an uncaught exception.
+///
+/// Binary paths are injected by tools/CMakeLists.txt.
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else {
+    result.exit_code = -WTERMSIG(status);  // crashed — never acceptable
+  }
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << text;
+}
+
+TEST(ChaosCampaignCli, RejectsMalformedNumericArgs) {
+  const std::string bin = CM5_CHAOS_CAMPAIGN_BIN;
+  const char* bad_args[] = {
+      "--runs abc",  "--runs -5",  "--runs 0",    "--runs 10x",
+      "--runs 1e3",  "--nodes -8", "--nodes foo", "--nodes 8q",
+      "--jobs -1",   "--jobs 2.5", "--seed -3",   "--seed 9bad",
+      "--repro -2",  "--repro x",
+  };
+  for (const char* args : bad_args) {
+    const RunResult r = run(bin + " " + args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("invalid value"), std::string::npos)
+        << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos)
+        << args << "\n" << r.output;
+  }
+  // Missing value for a numeric flag is also a usage error.
+  const RunResult r = run(bin + " --runs");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ChaosCampaignCli, WellFormedTinyCampaignStillRuns) {
+  const std::string out = temp_path("cli_robustness_chaos.json");
+  const RunResult r = run(std::string(CM5_CHAOS_CAMPAIGN_BIN) +
+                          " --runs 3 --nodes 4 --seed 5 --jobs 1 --out " + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("zero invariant violations"), std::string::npos)
+      << r.output;
+  std::remove(out.c_str());
+}
+
+TEST(StreamSoakCli, RejectsMalformedNumericArgs) {
+  const std::string bin = CM5_STREAM_SOAK_BIN;
+  const char* bad_args[] = {
+      "--requests abc", "--requests -1", "--requests 0", "--nodes 3",
+      "--nodes -16",    "--seed -1",     "--seed zz",    "--policy bogus",
+  };
+  for (const char* args : bad_args) {
+    const RunResult r = run(bin + " " + args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos)
+        << args << "\n" << r.output;
+  }
+}
+
+TEST(TraceAnalyzerCli, MissingFileIsOneLineDiagnosisNamingTheFile) {
+  const std::string bin = CM5_TRACE_ANALYZER_BIN;
+  const std::string missing = temp_path("cli_robustness_no_such_file.json");
+  std::remove(missing.c_str());
+  for (const std::string& mode : std::vector<std::string>{
+           "check ", "show ", "diff " + missing + " "}) {
+    const RunResult r = run(bin + " " + mode + missing);
+    EXPECT_EQ(r.exit_code, 2) << mode << "\n" << r.output;
+    EXPECT_NE(r.output.find(missing), std::string::npos)
+        << "diagnosis must name the file:\n" << r.output;
+    // One line, not a stack of them (and certainly not a crash dump).
+    EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1)
+        << r.output;
+  }
+}
+
+TEST(TraceAnalyzerCli, TruncatedJsonIsDiagnosedNotThrown) {
+  const std::string path = temp_path("cli_robustness_truncated.json");
+  write_text(path, "{\"bench\": \"x\", \"rows\": [");
+  const RunResult r = run(std::string(CM5_TRACE_ANALYZER_BIN) + " check " +
+                          path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find(path), std::string::npos)
+      << "diagnosis must name the file:\n" << r.output;
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(TraceAnalyzerCli, NonJsonFileIsDiagnosedNotThrown) {
+  const std::string path = temp_path("cli_robustness_not_json.txt");
+  write_text(path, "this is not json at all\n");
+  for (const std::string& mode : std::vector<std::string>{
+           "check", "diff " + path}) {
+    const RunResult r = run(std::string(CM5_TRACE_ANALYZER_BIN) + " " + mode +
+                            " " + path);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find(path), std::string::npos)
+        << "diagnosis must name the file:\n" << r.output;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+/// stream_soak — seeded long-stream soak over the streaming schedule
+/// service (see docs/MODEL.md "Streaming mode"). One invocation drives
+/// a multi-tenant request stream through run_stream under the reference
+/// mid-stream fault script (burst loss + a fail-stop death + a gray
+/// slowdown) and gates on the service-level invariants:
+///
+///   * zero trace/delivery violations (validate_trace runs per batch);
+///   * every request reaches a terminal outcome — nothing silently lost;
+///   * the shed log length equals the shed count;
+///   * edge accounting balances across delivered / repaired / lost.
+///
+/// With --compare the same stream additionally runs under the
+/// fixed-timeout oracle, so the JSON artifact records how much stream
+/// makespan the adaptive receive-window policy wins back. (The two
+/// policies may legitimately differ in deadline sheds — stream clocks
+/// diverge — so the gate is per-run invariants, not cross-run equality.)
+///
+/// Exit status: 0 all invariants held; 1 a violation was detected;
+/// 2 bad usage.
+///
+///   stream_soak [--requests N] [--nodes N] [--seed S]
+///               [--policy fifo|tenant_fair|deadline] [--compare]
+///               [--out FILE]
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/machine/params.hpp"
+#include "cm5/sched/resilient_executor.hpp"
+#include "cm5/sched/stream.hpp"
+#include "cm5/util/json.hpp"
+
+namespace {
+
+using namespace cm5;
+using machine::Cm5Machine;
+using machine::MachineParams;
+using sched::BatchPolicy;
+using sched::StreamOptions;
+using sched::StreamReport;
+
+struct Options {
+  std::int64_t requests = 200;
+  std::int32_t nodes = 16;
+  std::uint64_t seed = 1;
+  BatchPolicy policy = BatchPolicy::kTenantFair;
+  bool compare = false;
+  std::string out = "stream_soak.json";
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--requests N] [--nodes N] [--seed S]\n"
+               "          [--policy fifo|tenant_fair|deadline] [--compare]\n"
+               "          [--out FILE]\n",
+               argv0);
+  return 2;
+}
+
+/// Strict base-10 parse of an entire token (same contract as
+/// chaos_campaign): malformed or out-of-range values must fail loudly,
+/// never run a silently different soak.
+bool parse_i64(const char* text, std::int64_t min_value, std::int64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (*text == '-' || *text == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+int bad_value(const char* argv0, const char* flag, const char* text) {
+  std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", argv0, flag,
+               text == nullptr ? "" : text);
+  return usage(argv0);
+}
+
+/// Returns the number of invariant failures, printing each to stderr.
+int check_report(const StreamReport& report, const char* label) {
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "stream_soak: [%s] %s\n", label, what.c_str());
+    ++failures;
+  };
+  for (const std::string& v : report.violations) fail("violation: " + v);
+  if (report.requests_terminal() != report.requests_generated) {
+    fail("non-terminal requests: generated " +
+         std::to_string(report.requests_generated) + ", terminal " +
+         std::to_string(report.requests_terminal()));
+  }
+  if (static_cast<std::int64_t>(report.shed_log.size()) != report.shed_count) {
+    fail("shed log (" + std::to_string(report.shed_log.size()) +
+         " entries) disagrees with shed count " +
+         std::to_string(report.shed_count));
+  }
+  return failures;
+}
+
+StreamReport run_once(const Options& opt, sched::TimeoutPolicy timeout_policy) {
+  StreamOptions options = sched::make_reference_stream_options(
+      opt.nodes, static_cast<std::int32_t>(opt.requests), opt.seed);
+  options.policy = opt.policy;
+  options.resilient.timeout_policy = timeout_policy;
+  Cm5Machine machine(MachineParams::cm5_defaults(opt.nodes));
+  return sched::run_stream(machine, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--requests") {
+      const char* v = value();
+      if (!parse_i64(v, 1, &opt.requests) || opt.requests > 100000) {
+        return bad_value(argv[0], "--requests", v);
+      }
+    } else if (arg == "--nodes") {
+      std::int64_t nodes = 0;
+      const char* v = value();
+      if (!parse_i64(v, 2, &nodes) || nodes > 1024 ||
+          (nodes & (nodes - 1)) != 0) {
+        return bad_value(argv[0], "--nodes", v);
+      }
+      opt.nodes = static_cast<std::int32_t>(nodes);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!parse_u64(v, &opt.seed)) return bad_value(argv[0], "--seed", v);
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (v != nullptr && std::strcmp(v, "fifo") == 0) {
+        opt.policy = BatchPolicy::kFifo;
+      } else if (v != nullptr && std::strcmp(v, "tenant_fair") == 0) {
+        opt.policy = BatchPolicy::kTenantFair;
+      } else if (v != nullptr && std::strcmp(v, "deadline") == 0) {
+        opt.policy = BatchPolicy::kDeadline;
+      } else {
+        return bad_value(argv[0], "--policy", v);
+      }
+    } else if (arg == "--compare") {
+      opt.compare = true;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opt.out = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    std::printf("stream_soak: %lld requests on %d nodes, seed %llu, %s\n",
+                static_cast<long long>(opt.requests), opt.nodes,
+                static_cast<unsigned long long>(opt.seed),
+                sched::batch_policy_name(opt.policy));
+
+    const StreamReport adaptive =
+        run_once(opt, sched::TimeoutPolicy::kAdaptive);
+    int failures = check_report(adaptive, "adaptive");
+    std::printf("adaptive: %s\n", adaptive.to_string().c_str());
+
+    util::json::Value root = util::json::Value::object();
+    root["tool"] = std::string("stream_soak");
+    root["nodes"] = opt.nodes;
+    root["requests"] = opt.requests;
+    root["seed"] = static_cast<std::int64_t>(opt.seed);
+    root["policy"] = std::string(sched::batch_policy_name(opt.policy));
+    root["adaptive"] = adaptive.to_json(false);
+
+    if (opt.compare) {
+      const StreamReport fixed = run_once(opt, sched::TimeoutPolicy::kFixed);
+      failures += check_report(fixed, "fixed");
+      std::printf("fixed:    %s\n", fixed.to_string().c_str());
+      root["fixed"] = fixed.to_json(false);
+      if (fixed.stream_makespan > 0) {
+        const double ratio = static_cast<double>(adaptive.stream_makespan) /
+                             static_cast<double>(fixed.stream_makespan);
+        root["adaptive_vs_fixed_makespan"] = ratio;
+        std::printf("adaptive/fixed stream makespan: %.3fx\n", ratio);
+      }
+    }
+
+    root["invariant_failures"] = static_cast<std::int64_t>(failures);
+    util::json::write_file(opt.out, root);
+    std::printf("wrote %s\n", opt.out.c_str());
+
+    if (failures > 0) {
+      std::fprintf(stderr, "stream_soak: %d invariant failure(s)\n", failures);
+      return 1;
+    }
+    std::printf("zero invariant violations\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream_soak: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -82,9 +82,22 @@ std::string backend_of(const Value& file) {
   return file.get("exec_backend", Value("?")).as_string();
 }
 
+/// Loads one metrics file, folding the file name into any I/O or parse
+/// failure. check/diff take many files, and the parser's bare
+/// "parse error at offset N" does not say which one is missing,
+/// truncated, or not JSON at all — main() turns the result into a
+/// one-line diagnosis and exit code 2.
+Value load_metrics_file(const std::string& path) {
+  try {
+    return cm5::util::json::read_file(path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
 int cmd_show(const std::vector<std::string>& files) {
   for (const std::string& path : files) {
-    const Value file = cm5::util::json::read_file(path);
+    const Value file = load_metrics_file(path);
     std::printf("%s — bench '%s'%s [%s backend], %lld invariant violation(s)\n",
                 path.c_str(),
                 file.get("bench", Value("?")).as_string().c_str(),
@@ -139,8 +152,8 @@ int cmd_show(const std::vector<std::string>& files) {
 }
 
 int cmd_diff(const std::string& old_path, const std::string& new_path) {
-  const Value old_file = cm5::util::json::read_file(old_path);
-  const Value new_file = cm5::util::json::read_file(new_path);
+  const Value old_file = load_metrics_file(old_path);
+  const Value new_file = load_metrics_file(new_path);
   // Cross-backend diffs are legitimate (simulated times are backend-
   // invariant; host-side perf fields are not) — name both sides so the
   // reader knows which comparison they are looking at.
@@ -188,7 +201,7 @@ int cmd_diff(const std::string& old_path, const std::string& new_path) {
 int cmd_check(const std::vector<std::string>& files) {
   std::int64_t total = 0;
   for (const std::string& path : files) {
-    const Value file = cm5::util::json::read_file(path);
+    const Value file = load_metrics_file(path);
     std::int64_t count =
         file.get("violations_total", Value(std::int64_t{0})).as_int();
     for (const RowView& row : rows_of(file)) {
