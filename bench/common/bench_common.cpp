@@ -1,8 +1,11 @@
 #include "common/bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "cm5/util/parallel.hpp"
@@ -34,6 +37,21 @@ Measured measure_program(const machine::MachineParams& params,
   machine::Cm5Machine m(params);
   Measured out;
   sim::TraceRecorder recorder;
+  // CM5_TRACE_STREAM: analyze/validate incrementally as events commit
+  // and retain nothing, so peak memory stays O(state) instead of O(E).
+  // Either way the resulting cells are byte-identical (the streaming
+  // consumers match the batch path exactly; tests/integration fuzzes
+  // the equivalence).
+  std::optional<sim::MetricsBuilder> builder;
+  std::optional<sim::TraceValidator> validator;
+  const bool streaming = sim::trace_stream_requested();
+  if (streaming) {
+    builder.emplace(params.tree.num_nodes);
+    validator.emplace(params.tree.num_nodes);
+    recorder.add_consumer(&*builder);
+    recorder.add_consumer(&*validator);
+    recorder.set_max_retained(0);
+  }
   const double t0 = wall_now_ms();
   const sim::RunResult result = m.run_traced(program, recorder.sink());
   out.wall_ms = wall_now_ms() - t0;
@@ -43,8 +61,14 @@ Measured measure_program(const machine::MachineParams& params,
   out.context_switches = result.context_switches;
   out.lanes = result.lanes;
   out.speculative_grants = result.speculative_grants;
-  out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
-  out.violations = sim::validate_trace(recorder, params.tree.num_nodes, &result);
+  if (streaming) {
+    out.metrics = builder->finalize(&result);
+    out.violations = validator->finalize(&result);
+  } else {
+    out.metrics = sim::analyze(recorder, params.tree.num_nodes, &result);
+    out.violations =
+        sim::validate_trace(recorder, params.tree.num_nodes, &result);
+  }
   return out;
 }
 
@@ -261,6 +285,14 @@ void MetricsEmitter::write() {
     Value perf = Value::object();
     perf["total_wall_ms"] = wall_now_ms() - start_wall_ms_;
     perf["threads"] = static_cast<std::int64_t>(bench_threads());
+    // Peak resident set of the whole bench process (ru_maxrss is KB on
+    // Linux) — the perf-smoke gate watches this alongside wall time to
+    // catch memory regressions, e.g. streaming mode losing its O(state)
+    // bound.
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      perf["peak_rss_kb"] = static_cast<std::int64_t>(usage.ru_maxrss);
+    }
     if (has_perf_baseline_) perf["baseline"] = perf_baseline_;
     root["perf"] = std::move(perf);
   }

@@ -34,6 +34,10 @@
 ///   CM5_BENCH_THREADS=N    worker threads for run_cells() sweeps
 ///                          (default: a small multiple of the hardware
 ///                          threads; 1 forces a serial sweep)
+///   CM5_TRACE_STREAM=1     analyze/validate each cell incrementally as
+///                          events commit (no retained event vector);
+///                          cell contents are byte-identical either way
+///                          but peak RSS stays O(state), not O(events)
 ///   CM5_BENCH_DETERMINISTIC=1  zero all wall-clock fields in the JSON so
 ///                          parallel and serial sweeps are byte-identical
 
@@ -70,6 +74,8 @@ struct Measured {
 };
 
 /// Runs `program` on a machine with `params`, traced and analyzed.
+/// Under CM5_TRACE_STREAM=1 the trace is consumed event-by-event
+/// (docs/METRICS.md "Streaming analysis") instead of being buffered.
 Measured measure_program(const machine::MachineParams& params,
                          const machine::Program& program);
 

@@ -1,5 +1,5 @@
 /// Microbenchmarks (google-benchmark) of the fluid network's fast paths:
-/// the precomputed route table, the incremental vs oracle max-min solver
+/// the on-demand route computation, the incremental vs oracle max-min solver
 /// under single-flow churn, the heap-backed next_event() lookup, and a
 /// full exchange-step drain. These are the host-time costs docs/PERF.md
 /// documents; run in Release mode.

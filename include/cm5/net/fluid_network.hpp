@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -135,8 +136,15 @@ class FluidNetwork {
     NodeId dst = -1;
     double bytes_remaining = 0.0;
     double rate = 0.0;
-    /// Route span into the topology's precomputed table (stable).
-    std::span<const LinkId> route;
+    /// Route links, copied inline at start_flow (topology route_into):
+    /// slot reuse never allocates and flow state holds no pointers into
+    /// topology-owned tables, which is what lets routes be computed on
+    /// demand instead of tabulated O(N²).
+    std::array<LinkId, kMaxRouteLinks> route_links{};
+    std::uint8_t route_len = 0;
+    std::span<const LinkId> route() const noexcept {
+      return {route_links.data(), route_len};
+    }
     /// Invalidation counter for heap entries; bumped whenever the slot's
     /// outstanding entry becomes wrong (new projection, flow retired).
     std::uint64_t epoch = 0;

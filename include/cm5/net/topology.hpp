@@ -58,6 +58,12 @@ struct Link {
   double capacity = 0.0;  ///< bytes per second
 };
 
+/// Upper bound on route length (2 links per level plus inject/eject),
+/// generous enough for every supported partition: arity 4 to 4^15 nodes,
+/// arity 2 to 2^15. Lets flow state embed routes inline instead of
+/// holding pointers into a table.
+inline constexpr std::int32_t kMaxRouteLinks = 32;
+
 /// Precomputed fat-tree structure: link table and routing.
 ///
 /// Links, per node n: inject(n) (node -> leaf switch) and eject(n)
@@ -90,13 +96,25 @@ class FatTreeTopology {
   /// Capacity lookup.
   const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
 
-  /// The route (sequence of directed links) for a message src -> dst:
-  /// inject(src), up-links of src's subtrees below the NCA, down-links of
-  /// dst's subtrees below the NCA, eject(dst). Requires src != dst.
-  ///
-  /// The returned span points into a route table precomputed at
-  /// construction; it stays valid (and never reallocates) for the
-  /// lifetime of the topology, so callers may cache it per flow.
+  /// Writes the route (sequence of directed links) for a message
+  /// src -> dst into `out` and returns its length: inject(src), up-links
+  /// of src's subtrees below the NCA, down-links of dst's subtrees below
+  /// the NCA, eject(dst). Requires src != dst; `out` must hold at least
+  /// max_route_links() entries. Allocation-free — routes are computed on
+  /// demand from the tree structure. (A precomputed O(N² · levels) route
+  /// table was what capped giant partitions: 3.7 GB at N = 8192, and the
+  /// ROADMAP's N = 65536 target would need terabytes. Recomputing costs
+  /// O(levels) integer divisions per flow start, noise next to the rate
+  /// solve.)
+  std::size_t route_into(NodeId src, NodeId dst, LinkId* out) const;
+
+  /// Longest route this topology can produce: 2 * levels() links.
+  std::int32_t max_route_links() const noexcept { return 2 * levels_; }
+
+  /// Convenience wrapper over route_into() for tests and diagnostics:
+  /// returns a span over a thread-local buffer, valid only until the next
+  /// route() call on the same thread. Long-lived holders (e.g. flow
+  /// state) must copy — see FluidNetwork's inline per-slot storage.
   std::span<const LinkId> route(NodeId src, NodeId dst) const;
 
   /// Named link accessors (used by tests and the stats module).
@@ -122,14 +140,6 @@ class FatTreeTopology {
   // ceil(N/arity^l), then down x ceil(N/arity^l)].
   std::vector<std::int32_t> level_offset_;  // first link id of level l's ups
   std::vector<std::int32_t> level_count_;   // number of subtrees at level l
-  // Precomputed route table: pair (src, dst) occupies the fixed-stride
-  // slice route_table_[(src * N + dst) * route_stride_ ..] with
-  // route_len_[src * N + dst] valid entries (0 on the diagonal). A flat
-  // table instead of per-pair vectors keeps route() allocation-free and
-  // lets FluidNetwork hold spans into it for the lifetime of a flow.
-  std::size_t route_stride_ = 0;
-  std::vector<LinkId> route_table_;
-  std::vector<std::uint8_t> route_len_;
 };
 
 }  // namespace cm5::net

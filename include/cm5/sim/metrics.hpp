@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -177,12 +178,81 @@ struct LatencySummary {
 /// `result`, when given, supplies the authoritative makespan and the
 /// per-node finish times for the idle-tail computation; without it the
 /// NodeDone events serve.
+///
+/// Implementation: streams the vector through a MetricsBuilder —
+/// O(state) working memory, byte-identical output. CM5_ANALYZE_BATCH=1
+/// selects the retained batch oracle instead (analyze_batch); the
+/// differential fuzz in tests/integration compares the two.
 RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
                    const RunResult* result = nullptr);
 
 /// Convenience overload over a recorder.
 RunMetrics analyze(const TraceRecorder& recorder, std::int32_t nprocs,
                    const RunResult* result = nullptr);
+
+/// The original multi-pass batch analyzer, retained as the oracle the
+/// streaming MetricsBuilder is differentially fuzzed against. Needs the
+/// whole event vector (O(E) memory).
+RunMetrics analyze_batch(const std::vector<TraceEvent>& events,
+                         std::int32_t nprocs,
+                         const RunResult* result = nullptr);
+
+/// True when CM5_ANALYZE_BATCH routes analyze()/validate_trace() to the
+/// batch oracle (set, non-empty, not "0").
+bool analyze_batch_requested();
+
+/// Streaming analyze(): feed events in commit order via on_event() (or
+/// register on a TraceRecorder), then call finalize() exactly once —
+/// with the RunResult when one exists — to obtain the RunMetrics.
+/// Output is byte-identical to analyze_batch() on any kernel-produced
+/// trace; working memory is O(nprocs + in-flight messages + distinct
+/// tags/links), not O(events).
+///
+/// Exactness over out-of-order streams: per-step/per-link aggregates
+/// are order-independent (hash-map state, deterministically sorted at
+/// finalize); the contention sweep relies on the kernel's commit-order
+/// guarantee that TransferComplete times are globally non-decreasing
+/// and no later event carries an earlier time (the conservative DES
+/// frontier), buffering only not-yet-completed posts per receiver.
+class MetricsBuilder : public TraceConsumer {
+ public:
+  explicit MetricsBuilder(std::int32_t nprocs);
+  ~MetricsBuilder() override;
+
+  MetricsBuilder(const MetricsBuilder&) = delete;
+  MetricsBuilder& operator=(const MetricsBuilder&) = delete;
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Completes the analysis and returns the metrics. Call once; the
+  /// builder is spent afterwards.
+  RunMetrics finalize(const RunResult* result = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Streaming validate_trace(): the same incremental shape as
+/// MetricsBuilder, producing the identical violation list (order, text,
+/// 50-line cap and suppression tail included).
+class TraceValidator : public TraceConsumer {
+ public:
+  explicit TraceValidator(std::int32_t nprocs);
+  ~TraceValidator() override;
+
+  TraceValidator(const TraceValidator&) = delete;
+  TraceValidator& operator=(const TraceValidator&) = delete;
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Completes validation and returns the violations. Call once.
+  std::vector<std::string> finalize(const RunResult* result = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Checks the structural invariants of a trace; returns one human-
 /// readable line per violation (empty == valid). Checked:
@@ -209,6 +279,12 @@ std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
 std::vector<std::string> validate_trace(const TraceRecorder& recorder,
                                         std::int32_t nprocs,
                                         const RunResult* result = nullptr);
+
+/// The original single-pass batch validator, retained as the oracle the
+/// streaming TraceValidator is differentially fuzzed against.
+std::vector<std::string> validate_trace_batch(
+    const std::vector<TraceEvent>& events, std::int32_t nprocs,
+    const RunResult* result = nullptr);
 
 /// gtest-friendly: joins validate_trace output ("" == valid).
 std::string validation_report(const std::vector<TraceEvent>& events,

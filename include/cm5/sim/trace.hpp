@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cm5/net/topology.hpp"
@@ -19,6 +21,12 @@
 /// TraceRecorder::sorted() gives the virtual-time ordering. Sinks run
 /// inside the kernel under its lock: they must be fast and must not
 /// call back into the simulation.
+///
+/// Streaming mode (docs/METRICS.md "Streaming analysis"): consumers
+/// registered on a TraceRecorder see every event as it is committed,
+/// and set_max_retained() bounds (or eliminates) the recorder's own
+/// buffer — a giant-N run can then be analyzed in O(state) memory
+/// instead of materializing the O(E) event vector first.
 
 namespace cm5::sim {
 
@@ -45,6 +53,9 @@ struct TraceEvent {
                    ///< for receives; peer = awaited src or kAnyNode)
   };
 
+  /// Number of Kind values (for per-kind counters).
+  static constexpr std::size_t kNumKinds = 16;
+
   Kind kind{};
   util::SimTime time = 0;     ///< when the event happened (virtual)
   net::NodeId node = -1;      ///< acting node
@@ -59,25 +70,67 @@ using TraceSink = std::function<void(const TraceEvent&)>;
 /// "t=88.000 us  node 3  send -> 5  (256 B, tag 2)" style rendering.
 std::string to_string(const TraceEvent& event);
 
-/// Convenience sink: records all events in order and offers simple
-/// queries; used by tests and the pattern-explorer's --trace mode.
+/// Incremental receiver of a trace stream. on_event() is called once
+/// per event, in the kernel's commit order (the exact order
+/// TraceRecorder::events() would store). When fed from a live run it
+/// executes under the kernel lock: implementations must be fast and
+/// must never call back into the simulation. Concrete consumers
+/// (MetricsBuilder, TraceValidator, TraceFileWriter) expose their own
+/// typed finalize step for whatever they accumulate.
+class TraceConsumer {
+ public:
+  virtual ~TraceConsumer() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// True when CM5_TRACE_STREAM selects streaming trace analysis (set,
+/// non-empty, not "0"): bench/common and the observed schedule runner
+/// then feed registered consumers directly and discard committed
+/// events instead of buffering the full run (docs/METRICS.md).
+bool trace_stream_requested();
+
+/// Convenience sink: records events in order and offers simple queries;
+/// used by tests and the pattern-explorer's --trace mode. Also the
+/// streaming hub: registered TraceConsumers see every event as it
+/// arrives, and set_max_retained() bounds the recorder's own buffer so
+/// giant runs need not materialize the whole event vector.
 class TraceRecorder {
  public:
   /// The sink to hand to the kernel. The recorder must outlive the run.
   TraceSink sink();
 
+  /// Registers a consumer fed every subsequently recorded event (in
+  /// commit order, before the event is buffered). Not owned — the
+  /// consumer must outlive the recorder's use. Consumers run inside the
+  /// kernel's sink path: fast, no calls back into the simulation.
+  void add_consumer(TraceConsumer* consumer);
+
+  /// Bounds the retained buffer: only the first `max_events` events are
+  /// kept in events() (0 keeps none — pure streaming). Consumers and
+  /// the total/per-kind counters always see the full stream. Unlimited
+  /// by default.
+  void set_max_retained(std::size_t max_events);
+
+  /// The retained events (everything, unless set_max_retained() capped
+  /// the buffer).
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
 
-  /// Events stably sorted by virtual time.
+  /// Retained events stably sorted by virtual time.
   std::vector<TraceEvent> sorted() const;
 
-  /// Number of events of one kind.
+  /// Number of events of one kind seen so far — O(1), counted over the
+  /// full stream even when the buffer is capped.
   std::int64_t count(TraceEvent::Kind kind) const;
 
-  /// Events involving one node (as actor or peer), in order.
+  /// Total events seen (retained or not).
+  std::int64_t total_events() const noexcept { return total_events_; }
+
+  /// Retained events involving one node (as actor or peer), in order.
+  /// Served from a lazily built per-node index, so repeated queries on
+  /// a large trace cost O(answer), not O(E) rescans per call.
   std::vector<TraceEvent> for_node(net::NodeId node) const;
 
-  /// Renders up to `max_lines` events as text lines.
+  /// Renders up to `max_lines` retained events as text lines.
   std::string render(std::size_t max_lines = 100) const;
 
   /// Renders an ASCII timeline: one row per node, `width` time buckets
@@ -87,7 +140,19 @@ class TraceRecorder {
   std::string timeline(std::int32_t nprocs, std::size_t width = 72) const;
 
  private:
+  void ingest(const TraceEvent& event);
+  void ensure_node_index() const;
+
   std::vector<TraceEvent> events_;
+  std::vector<TraceConsumer*> consumers_;
+  std::size_t max_retained_ = static_cast<std::size_t>(-1);
+  std::array<std::int64_t, TraceEvent::kNumKinds> kind_counts_{};
+  std::int64_t total_events_ = 0;
+  /// Lazy per-node index over the retained buffer (event positions where
+  /// the node appears as actor or peer); rebuilt after new events arrive.
+  mutable std::unordered_map<net::NodeId, std::vector<std::size_t>>
+      node_index_;
+  mutable bool node_index_valid_ = false;
 };
 
 }  // namespace cm5::sim

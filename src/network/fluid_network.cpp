@@ -126,7 +126,8 @@ FlowId FluidNetwork::start_flow(util::SimTime now, NodeId src, NodeId dst,
   f.dst = dst;
   f.bytes_remaining = wire_bytes;
   f.rate = 0.0;
-  f.route = topo_.route(src, dst);
+  f.route_len = static_cast<std::uint8_t>(
+      topo_.route_into(src, dst, f.route_links.data()));
   f.heap_time = kNoHeapEntry;
   f.live = true;
   ++active_count_;
@@ -134,7 +135,7 @@ FlowId FluidNetwork::start_flow(util::SimTime now, NodeId src, NodeId dst,
 
   rates_dirty_ = true;
   ++stats_.flows_started;
-  for (LinkId l : f.route) {
+  for (LinkId l : f.route()) {
     if (flows_on_link_[static_cast<std::size_t>(l)]++ == 0) {
       live_links_.push_back(l);
     }
@@ -293,7 +294,7 @@ void FluidNetwork::resolve_incremental() {
       const std::uint32_t k = fill_flows_[i];
       Slot& f = slots_[active_order_[k].slot];
       bool bottlenecked = false;
-      for (LinkId l : f.route) {
+      for (LinkId l : f.route()) {
         if (link_share_[static_cast<std::size_t>(l)] <= tol) {
           bottlenecked = true;
           break;
@@ -308,7 +309,7 @@ void FluidNetwork::resolve_incremental() {
         changed_slots_.push_back(active_order_[k].slot);
       }
       froze_any = true;
-      for (LinkId l : f.route) {
+      for (LinkId l : f.route()) {
         const auto li = static_cast<std::size_t>(l);
         residual_[li] -= share;
         if (residual_[li] < 0.0) residual_[li] = 0.0;
@@ -334,7 +335,7 @@ void FluidNetwork::resolve_incremental() {
   }
   for (const ActiveRef ref : active_order_) {
     const Slot& f = slots_[ref.slot];
-    for (LinkId l : f.route) {
+    for (LinkId l : f.route()) {
       link_load_[static_cast<std::size_t>(l)] += f.rate;
     }
   }
@@ -382,14 +383,14 @@ void FluidNetwork::resolve_oracle() {
   oracle_routes_.clear();
   oracle_routes_.reserve(oracle_order_.size());
   for (std::uint32_t si : oracle_order_) {
-    oracle_routes_.push_back(FlowRoute{slots_[si].route});
+    oracle_routes_.push_back(FlowRoute{slots_[si].route()});
   }
   const std::vector<double> rates = solve_max_min(oracle_routes_, oracle_caps_);
   std::fill(link_load_.begin(), link_load_.end(), 0.0);
   for (std::size_t i = 0; i < oracle_order_.size(); ++i) {
     Slot& f = slots_[oracle_order_[i]];
     f.rate = rates[i];
-    for (LinkId l : f.route) {
+    for (LinkId l : f.route()) {
       link_load_[static_cast<std::size_t>(l)] += f.rate;
     }
   }
@@ -472,7 +473,7 @@ std::optional<util::SimTime> FluidNetwork::next_event() {
 
 void FluidNetwork::retire_slot(std::uint32_t si) {
   Slot& f = slots_[si];
-  for (LinkId l : f.route) {
+  for (LinkId l : f.route()) {
     --flows_on_link_[static_cast<std::size_t>(l)];
     mark_dirty(l);
   }

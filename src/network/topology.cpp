@@ -1,6 +1,7 @@
 #include "cm5/net/topology.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "cm5/util/check.hpp"
 
@@ -56,35 +57,12 @@ FatTreeTopology::FatTreeTopology(FatTreeConfig config) : config_(config) {
     size_l *= config_.arity;
   }
 
-  // Precompute the full route table. Every route has exactly
-  // 2 * nca_height links, so a fixed stride of 2 * levels_ per pair
-  // holds any of them; the table is O(N^2 * levels) ints, small even at
-  // the largest modelled partitions (256 nodes: ~2 MB).
-  route_stride_ = static_cast<std::size_t>(2 * levels_);
-  const std::size_t pairs =
-      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-  route_table_.assign(pairs * route_stride_, 0);
-  route_len_.assign(pairs, 0);
-  for (NodeId src = 0; src < n; ++src) {
-    for (NodeId dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      const std::size_t pair = static_cast<std::size_t>(src) *
-                                   static_cast<std::size_t>(n) +
-                               static_cast<std::size_t>(dst);
-      LinkId* out = route_table_.data() + pair * route_stride_;
-      std::size_t len = 0;
-      const std::int32_t h = nca_height(src, dst);
-      out[len++] = inject_link(src);
-      for (std::int32_t l = 1; l < h && l < levels_; ++l) {
-        out[len++] = up_link(l, src);
-      }
-      for (std::int32_t l = std::min(h - 1, levels_ - 1); l >= 1; --l) {
-        out[len++] = down_link(l, dst);
-      }
-      out[len++] = eject_link(dst);
-      route_len_[pair] = static_cast<std::uint8_t>(len);
-    }
-  }
+  // Routes are computed on demand (route_into), never tabulated: a
+  // precomputed table is O(N^2 * levels) ints — 3.7 GB at N = 8192 —
+  // and giant partitions are exactly where this model needs to go.
+  CM5_CHECK_MSG(max_route_links() <= kMaxRouteLinks,
+                "partition too deep for inline route storage — "
+                "bump kMaxRouteLinks");
 }
 
 double FatTreeTopology::per_node_bw(std::int32_t height) const {
@@ -140,13 +118,26 @@ std::int32_t FatTreeTopology::link_level(LinkId id) const {
   return link_levels_[static_cast<std::size_t>(id)];
 }
 
-std::span<const LinkId> FatTreeTopology::route(NodeId src, NodeId dst) const {
+std::size_t FatTreeTopology::route_into(NodeId src, NodeId dst,
+                                        LinkId* out) const {
   CM5_CHECK_MSG(src != dst, "no route from a node to itself");
   CM5_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
-  const std::size_t pair = static_cast<std::size_t>(src) *
-                               static_cast<std::size_t>(num_nodes()) +
-                           static_cast<std::size_t>(dst);
-  return {route_table_.data() + pair * route_stride_, route_len_[pair]};
+  std::size_t len = 0;
+  const std::int32_t h = nca_height(src, dst);
+  out[len++] = inject_link(src);
+  for (std::int32_t l = 1; l < h && l < levels_; ++l) {
+    out[len++] = up_link(l, src);
+  }
+  for (std::int32_t l = std::min(h - 1, levels_ - 1); l >= 1; --l) {
+    out[len++] = down_link(l, dst);
+  }
+  out[len++] = eject_link(dst);
+  return len;
+}
+
+std::span<const LinkId> FatTreeTopology::route(NodeId src, NodeId dst) const {
+  thread_local std::array<LinkId, kMaxRouteLinks> buf;
+  return {buf.data(), route_into(src, dst, buf.data())};
 }
 
 }  // namespace cm5::net

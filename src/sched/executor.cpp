@@ -117,6 +117,22 @@ ObservedScheduleRun run_scheduled_pattern_observed(
   const CommSchedule schedule = build_schedule(scheduler, pattern);
   sim::TraceRecorder recorder;
   ObservedScheduleRun out;
+  if (sim::trace_stream_requested()) {
+    // Stream the trace through the incremental consumers as it commits
+    // and retain no events: same metrics/violations byte for byte, peak
+    // memory O(state) instead of O(events).
+    sim::MetricsBuilder builder(pattern.nprocs());
+    sim::TraceValidator validator(pattern.nprocs());
+    recorder.add_consumer(&builder);
+    recorder.add_consumer(&validator);
+    recorder.set_max_retained(0);
+    out.result = machine.run_traced(
+        [&](machine::Node& node) { execute_schedule(node, schedule, options); },
+        recorder.sink());
+    out.metrics = builder.finalize(&out.result);
+    out.violations = validator.finalize(&out.result);
+    return out;
+  }
   out.result = machine.run_traced(
       [&](machine::Node& node) { execute_schedule(node, schedule, options); },
       recorder.sink());

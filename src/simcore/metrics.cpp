@@ -2,63 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
+
+#include "metrics_internal.hpp"
 
 namespace cm5::sim {
 namespace {
 
-using Kind = TraceEvent::Kind;
-
-/// Kinds emitted by the node's own thread at its current clock. Only
-/// these are guaranteed time-monotonic per node; network-side kinds
-/// (transfers, faults, GlobalOpComplete) are processed in global virtual
-/// time and may interleave behind a node that ran ahead.
-bool is_node_action(Kind kind) {
-  switch (kind) {
-    case Kind::Compute:
-    case Kind::SendPosted:
-    case Kind::RecvPosted:
-    case Kind::SwapPosted:
-    case Kind::GlobalOpEnter:
-    case Kind::WaitTimeout:
-    case Kind::NodeDone:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool is_fault(Kind kind) {
-  switch (kind) {
-    case Kind::FaultDrop:
-    case Kind::FaultCorrupt:
-    case Kind::FaultDelay:
-    case Kind::FaultDegrade:
-    case Kind::FaultKill:
-    case Kind::FaultSlow:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Message identity for rendezvous matching: (src, dst, tag).
-using MsgKey = std::tuple<net::NodeId, net::NodeId, std::int32_t>;
-
-struct MsgCounts {
-  std::int64_t posted = 0;
-  std::int64_t started = 0;
-  std::int64_t completed = 0;
-  std::int64_t bytes_posted = 0;
-  std::int64_t bytes_started = 0;
-  std::int64_t bytes_completed = 0;
-  /// Start times of in-flight transfers, FIFO — the kernel matches and
-  /// completes equal-key transfers in posting order.
-  std::deque<util::SimTime> open_starts;
-};
+using metrics_internal::in_range;
+using metrics_internal::is_fault;
+using metrics_internal::is_node_action;
+using metrics_internal::Int32PairHash;
+using metrics_internal::Kind;
+using metrics_internal::MsgCounts;
+using metrics_internal::MsgKey;
+using metrics_internal::MsgKeyHash;
 
 /// A dropped in-flight transfer emits TransferComplete immediately
 /// followed by FaultDrop with the same key and time; an async send into
@@ -97,10 +59,6 @@ util::SimDuration merged_interval_length(
   return total + (hi - lo);
 }
 
-bool in_range(net::NodeId node, std::int32_t nprocs) {
-  return node >= 0 && node < nprocs;
-}
-
 }  // namespace
 
 std::int32_t RunMetrics::max_step_receiver_messages() const noexcept {
@@ -135,8 +93,13 @@ util::SimDuration RunMetrics::total_barrier_wait() const noexcept {
   return t;
 }
 
-RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
-                   const RunResult* result) {
+bool analyze_batch_requested() {
+  const char* v = std::getenv("CM5_ANALYZE_BATCH");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+RunMetrics analyze_batch(const std::vector<TraceEvent>& events,
+                         std::int32_t nprocs, const RunResult* result) {
   RunMetrics m;
   m.nprocs = nprocs;
   m.num_events = static_cast<std::int64_t>(events.size());
@@ -172,10 +135,17 @@ RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
                               Kind::NodeDone);
   std::vector<util::SimTime> prev_end(
       static_cast<std::size_t>(std::max(nprocs, 0)), 0);
-  std::map<MsgKey, MsgCounts> messages;
-  std::map<std::int32_t, StepMetrics> steps;
-  std::map<std::pair<std::int32_t, net::NodeId>, std::int32_t> step_receiver;
-  std::map<std::pair<net::NodeId, net::NodeId>, LinkTraffic> links;
+  // Hash maps during the walk (O(1) amortized per event); anything that
+  // feeds ordered output is sorted once at the end so results stay
+  // byte-identical to the old std::map-based pass.
+  std::unordered_map<MsgKey, MsgCounts, MsgKeyHash> messages;
+  std::unordered_map<std::int32_t, StepMetrics> steps;
+  std::unordered_map<std::pair<std::int32_t, net::NodeId>, std::int32_t,
+                     Int32PairHash>
+      step_receiver;
+  std::unordered_map<std::pair<net::NodeId, net::NodeId>, LinkTraffic,
+                     Int32PairHash>
+      links;
   std::vector<std::vector<std::pair<util::SimTime, util::SimTime>>>
       port_intervals(static_cast<std::size_t>(std::max(nprocs, 0)));
 
@@ -317,20 +287,38 @@ RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
             b.node >= 0 ? b.node : 0)]);
   }
 
-  // Step table (sorted by tag via the map) with hot receivers.
-  for (const auto& [key, count] : step_receiver) {
-    StepMetrics& s = steps[key.first];
-    if (count > s.max_receiver_messages ||
-        (count == s.max_receiver_messages && s.hot_receiver < 0)) {
-      s.max_receiver_messages = count;
-      s.hot_receiver = key.second;
+  // Step table with hot receivers. The merge must visit (tag, peer)
+  // keys in ascending order so ties resolve to the lowest peer, exactly
+  // as the old ordered map did.
+  {
+    std::vector<std::pair<std::int32_t, net::NodeId>> receiver_keys;
+    receiver_keys.reserve(step_receiver.size());
+    for (const auto& [key, count] : step_receiver) receiver_keys.push_back(key);
+    std::sort(receiver_keys.begin(), receiver_keys.end());
+    for (const auto& key : receiver_keys) {
+      const std::int32_t count = step_receiver[key];
+      StepMetrics& s = steps[key.first];
+      if (count > s.max_receiver_messages ||
+          (count == s.max_receiver_messages && s.hot_receiver < 0)) {
+        s.max_receiver_messages = count;
+        s.hot_receiver = key.second;
+      }
     }
   }
+  m.steps.reserve(steps.size());
   for (const auto& [tag, s] : steps) m.steps.push_back(s);
+  std::sort(m.steps.begin(), m.steps.end(),
+            [](const StepMetrics& a, const StepMetrics& b) {
+              return a.tag < b.tag;
+            });
 
-  // Link table sorted by (src, dst) via the map.
+  // Link table sorted by (src, dst).
   m.links.reserve(links.size());
   for (const auto& [key, link] : links) m.links.push_back(link);
+  std::sort(m.links.begin(), m.links.end(),
+            [](const LinkTraffic& a, const LinkTraffic& b) {
+              return std::make_pair(a.src, a.dst) < std::make_pair(b.src, b.dst);
+            });
 
   // Hot-receiver contention: sweep posts (+1 on the destination) and
   // completions (-1) in virtual-time order. Under rendezvous semantics
@@ -371,6 +359,14 @@ RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
   }
 
   return m;
+}
+
+RunMetrics analyze(const std::vector<TraceEvent>& events, std::int32_t nprocs,
+                   const RunResult* result) {
+  if (analyze_batch_requested()) return analyze_batch(events, nprocs, result);
+  MetricsBuilder builder(nprocs);
+  for (const TraceEvent& e : events) builder.on_event(e);
+  return builder.finalize(result);
 }
 
 RunMetrics analyze(const TraceRecorder& recorder, std::int32_t nprocs,
@@ -516,9 +512,9 @@ util::json::Value RunMetrics::to_json(bool full) const {
   return root;
 }
 
-std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
-                                        std::int32_t nprocs,
-                                        const RunResult* result) {
+std::vector<std::string> validate_trace_batch(
+    const std::vector<TraceEvent>& events, std::int32_t nprocs,
+    const RunResult* result) {
   std::vector<std::string> violations;
   constexpr std::size_t kMaxReported = 50;
   std::size_t suppressed = 0;
@@ -544,7 +540,7 @@ std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
       static_cast<std::size_t>(std::max(nprocs, 0)), 0);
   std::vector<std::int64_t> global_ops_by_node(
       static_cast<std::size_t>(std::max(nprocs, 0)), 0);
-  std::map<MsgKey, MsgCounts> messages;
+  std::unordered_map<MsgKey, MsgCounts, MsgKeyHash> messages;
   util::SimTime max_done = 0;
 
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -644,8 +640,14 @@ std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
     }
   }
 
-  // Matching and conservation per message key.
-  for (const auto& [key, c] : messages) {
+  // Matching and conservation per message key, reported in ascending
+  // key order so the output matches the old std::map-based walk.
+  std::vector<MsgKey> message_keys;
+  message_keys.reserve(messages.size());
+  for (const auto& [key, c] : messages) message_keys.push_back(key);
+  std::sort(message_keys.begin(), message_keys.end());
+  for (const MsgKey& key : message_keys) {
+    const MsgCounts& c = messages[key];
     const auto& [src, dst, tag] = key;
     const std::string who = std::to_string(src) + "->" + std::to_string(dst) +
                             " tag " + std::to_string(tag);
@@ -734,6 +736,17 @@ std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
                          " more violations");
   }
   return violations;
+}
+
+std::vector<std::string> validate_trace(const std::vector<TraceEvent>& events,
+                                        std::int32_t nprocs,
+                                        const RunResult* result) {
+  if (analyze_batch_requested()) {
+    return validate_trace_batch(events, nprocs, result);
+  }
+  TraceValidator validator(nprocs);
+  for (const TraceEvent& e : events) validator.on_event(e);
+  return validator.finalize(result);
 }
 
 std::vector<std::string> validate_trace(const TraceRecorder& recorder,

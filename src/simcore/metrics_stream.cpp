@@ -1,0 +1,699 @@
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cm5/sim/metrics.hpp"
+#include "metrics_internal.hpp"
+
+/// \file metrics_stream.cpp
+/// Incremental reimplementation of analyze() and validate_trace() as
+/// TraceConsumers. Every result must be byte-identical to the batch
+/// oracles in metrics.cpp (differential fuzz enforces it); the point is
+/// the memory model: working state is O(nprocs + in-flight transfers +
+/// distinct tags/keys), never O(events), so a giant-N run can analyze
+/// its trace without ever materializing the event vector.
+///
+/// Two batch behaviors need care to reproduce exactly:
+///
+///   * complete_is_dropped() looks one event *ahead* (a dropped
+///     in-flight transfer emits TransferComplete immediately followed
+///     by a matching FaultDrop). MetricsBuilder therefore runs one
+///     event behind the stream: each event is processed when its
+///     successor arrives, and the last one at finalize().
+///
+///   * the contention sweep stable-sorts posts and completions by time
+///     across the whole trace. The kernel's conservative frontier makes
+///     TransferComplete commit times globally non-decreasing, and no
+///     event is committed after one with a later time — so the sweep
+///     can run online by buffering each receiver's posts in a
+///     (time, stream-seq) min-heap and draining it up to each
+///     completion's timestamp. Per-receiver state is exact, and the
+///     global (max_pending, hot_node) pair resolves at finalize from
+///     per-receiver peaks and first-attainment stamps.
+
+namespace cm5::sim {
+
+namespace {
+
+using metrics_internal::in_range;
+using metrics_internal::is_fault;
+using metrics_internal::is_node_action;
+using metrics_internal::Int32PairHash;
+using metrics_internal::Kind;
+using metrics_internal::MsgCounts;
+using metrics_internal::MsgKey;
+using metrics_internal::MsgKeyHash;
+
+/// Incremental union of half-open time intervals: the stored intervals
+/// are disjoint and non-touching, `total` is their summed length.
+/// Merging is closed (touching intervals coalesce), matching the batch
+/// path's merged_interval_length which extends whenever the next sorted
+/// start is <= the running end.
+struct IntervalUnion {
+  std::map<util::SimTime, util::SimTime> spans;  // start -> end
+  util::SimDuration total = 0;
+
+  void add(util::SimTime lo, util::SimTime hi) {
+    if (lo >= hi) return;  // zero-length: contributes nothing to a union
+    auto it = spans.upper_bound(lo);
+    if (it != spans.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        total -= prev->second - prev->first;
+        it = spans.erase(prev);
+      }
+    }
+    while (it != spans.end() && it->first <= hi) {
+      hi = std::max(hi, it->second);
+      total -= it->second - it->first;
+      it = spans.erase(it);
+    }
+    spans.emplace(lo, hi);
+    total += hi - lo;
+  }
+
+  /// Forgets spans that end at or before `bound` (their length is
+  /// already in `total`). Safe whenever every future add() has
+  /// lo >= bound: a touching future interval ([bound, x] after a sealed
+  /// [a, bound]) changes the union's shape but not its length, and
+  /// length is all the batch path reports. This is what keeps span
+  /// storage O(concurrently busy) instead of O(all intervals ever) —
+  /// without it a long run accumulates one span per barrier-separated
+  /// step per port, which is O(events) again.
+  void seal(util::SimTime bound) {
+    auto it = spans.begin();
+    while (it != spans.end() && it->second <= bound) it = spans.erase(it);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetricsBuilder
+// ---------------------------------------------------------------------------
+
+struct MetricsBuilder::Impl {
+  /// One post buffered for the contention sweep: (post time, stream seq).
+  using Post = std::pair<util::SimTime, std::int64_t>;
+
+  /// Per-receiver contention state. `posts` holds sends targeting this
+  /// receiver that no completion has swept past yet.
+  struct Receiver {
+    std::priority_queue<Post, std::vector<Post>, std::greater<Post>> posts;
+    std::int32_t pending = 0;
+    std::int32_t peak = 0;
+    /// Stamp of the post at which `pending` first reached `peak`.
+    util::SimTime attain_time = 0;
+    std::int64_t attain_seq = 0;
+  };
+
+  explicit Impl(std::int32_t nprocs_in) : nprocs(nprocs_in) {
+    const auto n = static_cast<std::size_t>(std::max(nprocs, 0));
+    metrics.nprocs = nprocs;
+    metrics.nodes.resize(n);
+    for (std::int32_t i = 0; i < nprocs; ++i) {
+      metrics.nodes[static_cast<std::size_t>(i)].node = i;
+    }
+    metrics.max_pending_per_receiver.assign(n, 0);
+    open_wait.assign(n, Kind::NodeDone);
+    prev_end.assign(n, 0);
+    done_finish.assign(n, 0);
+    port_busy.resize(n);
+    port_open.resize(n);
+    receivers.resize(n);
+  }
+
+  std::int32_t nprocs;
+  RunMetrics metrics;
+
+  /// One-event delay so each event can see its successor (drop lookahead).
+  TraceEvent held{};
+  bool has_held = false;
+
+  // Per-node wait attribution (mirrors the batch pass-2 vectors).
+  std::vector<Kind> open_wait;
+  std::vector<util::SimTime> prev_end;
+
+  // NodeDone-derived finish times, used when no RunResult is supplied.
+  std::vector<util::SimTime> done_finish;
+  util::SimTime done_makespan = 0;
+
+  // Rendezvous matching: open transfer start times per (src, dst, tag).
+  // Entries are erased as soon as they drain, keeping the map at
+  // O(in-flight) rather than O(distinct keys ever seen).
+  std::unordered_map<MsgKey, std::deque<util::SimTime>, MsgKeyHash>
+      open_starts;
+
+  std::vector<IntervalUnion> port_busy;
+  /// Start times of each node's in-flight transfers (as either
+  /// endpoint). On a monotone stream min() bounds the lo of every
+  /// future interval added to that node's port_busy — the sealing
+  /// bound. Unmatched starts pin the bound low, which only costs
+  /// memory, never correctness.
+  std::vector<std::multiset<util::SimTime>> port_open;
+
+  std::unordered_map<std::int32_t, StepMetrics> steps;
+  std::unordered_map<std::pair<std::int32_t, net::NodeId>, std::int32_t,
+                     Int32PairHash>
+      step_receiver;
+  std::unordered_map<std::pair<net::NodeId, net::NodeId>, LinkTraffic,
+                     Int32PairHash>
+      links;
+
+  std::vector<Receiver> receivers;
+  std::int64_t next_seq = 0;
+
+  void attribute_gap(net::NodeId node, util::SimDuration gap) {
+    if (gap <= 0 || !in_range(node, nprocs)) return;
+    NodeTimeBreakdown& b = metrics.nodes[static_cast<std::size_t>(node)];
+    switch (open_wait[static_cast<std::size_t>(node)]) {
+      case Kind::SendPosted:
+      case Kind::SwapPosted:
+        b.send_wait += gap;
+        break;
+      case Kind::RecvPosted:
+        b.recv_wait += gap;
+        break;
+      case Kind::GlobalOpEnter:
+        b.barrier_wait += gap;
+        break;
+      default:
+        b.other_wait += gap;
+        break;
+    }
+  }
+
+  /// Replays buffered posts for `r` whose time is <= `limit`, in
+  /// (time, seq) order — exactly the stable time-sort the batch sweep
+  /// applies, because buffered posts all precede the draining completion
+  /// in the stream.
+  void drain_posts(Receiver& r, net::NodeId receiver, util::SimTime limit) {
+    auto& peak_out =
+        metrics.max_pending_per_receiver[static_cast<std::size_t>(receiver)];
+    while (!r.posts.empty() && r.posts.top().first <= limit) {
+      const Post p = r.posts.top();
+      r.posts.pop();
+      ++r.pending;
+      if (r.pending > r.peak) {
+        r.peak = r.pending;
+        r.attain_time = p.first;
+        r.attain_seq = p.second;
+        peak_out = r.peak;
+      }
+    }
+  }
+
+  /// Processes one event with its successor in hand (nullptr at end of
+  /// stream). Logic is a line-for-line port of the batch walk.
+  void process(const TraceEvent& e, const TraceEvent* next) {
+    if (is_node_action(e.kind) && in_range(e.node, nprocs)) {
+      const auto n = static_cast<std::size_t>(e.node);
+      if (e.kind == Kind::Compute) {
+        attribute_gap(e.node, (e.time - e.bytes) - prev_end[n]);
+        metrics.nodes[n].compute += e.bytes;
+      } else {
+        attribute_gap(e.node, e.time - prev_end[n]);
+      }
+      prev_end[n] = std::max(prev_end[n], e.time);
+      switch (e.kind) {
+        case Kind::SendPosted:
+        case Kind::RecvPosted:
+        case Kind::SwapPosted:
+        case Kind::GlobalOpEnter:
+          open_wait[n] = e.kind;
+          break;
+        default:
+          open_wait[n] = Kind::NodeDone;  // not blocked (or done)
+          break;
+      }
+    }
+
+    switch (e.kind) {
+      case Kind::SendPosted:
+      case Kind::SwapPosted: {
+        ++metrics.messages_posted;
+        metrics.bytes_posted += e.bytes;
+        if (in_range(e.node, nprocs)) {
+          NodeTimeBreakdown& b =
+              metrics.nodes[static_cast<std::size_t>(e.node)];
+          ++b.messages_out;
+          b.bytes_out += e.bytes;
+        }
+        StepMetrics& s = steps[e.tag];
+        if (s.messages == 0) {
+          s.tag = e.tag;
+          s.first_post = e.time;
+          s.last_post = e.time;
+        } else {
+          s.first_post = std::min(s.first_post, e.time);
+          s.last_post = std::max(s.last_post, e.time);
+        }
+        ++s.messages;
+        s.bytes += e.bytes;
+        ++step_receiver[{e.tag, e.peer}];
+        if (in_range(e.peer, nprocs)) {
+          receivers[static_cast<std::size_t>(e.peer)].posts.emplace(
+              e.time, next_seq);
+        }
+        ++next_seq;
+        break;
+      }
+      case Kind::TransferStart: {
+        ++metrics.transfers_started;
+        open_starts[{e.node, e.peer, e.tag}].push_back(e.time);
+        for (const net::NodeId endpoint : {e.node, e.peer}) {
+          if (in_range(endpoint, nprocs)) {
+            port_open[static_cast<std::size_t>(endpoint)].insert(e.time);
+          }
+        }
+        break;
+      }
+      case Kind::TransferComplete: {
+        ++metrics.transfers_completed;
+        const auto open = open_starts.find({e.node, e.peer, e.tag});
+        if (open != open_starts.end() && !open->second.empty()) {
+          const util::SimTime start = open->second.front();
+          open->second.pop_front();
+          if (open->second.empty()) open_starts.erase(open);
+          for (const net::NodeId endpoint : {e.node, e.peer}) {
+            if (in_range(endpoint, nprocs)) {
+              const auto p = static_cast<std::size_t>(endpoint);
+              port_busy[p].add(start, e.time);
+              auto& open_here = port_open[p];
+              const auto hit = open_here.find(start);
+              if (hit != open_here.end()) open_here.erase(hit);
+              port_busy[p].seal(open_here.empty()
+                                    ? e.time
+                                    : std::min(*open_here.begin(), e.time));
+            }
+          }
+        }
+        const auto step = steps.find(e.tag);
+        if (step != steps.end()) {
+          step->second.last_complete =
+              std::max(step->second.last_complete, e.time);
+        }
+        const bool dropped = next != nullptr && next->kind == Kind::FaultDrop &&
+                             next->node == e.node && next->peer == e.peer &&
+                             next->tag == e.tag && next->time == e.time;
+        if (!dropped) {
+          if (in_range(e.peer, nprocs)) {
+            NodeTimeBreakdown& b =
+                metrics.nodes[static_cast<std::size_t>(e.peer)];
+            ++b.messages_in;
+            b.bytes_in += e.bytes;
+          }
+          LinkTraffic& link = links[{e.node, e.peer}];
+          link.src = e.node;
+          link.dst = e.peer;
+          ++link.messages;
+          link.bytes += e.bytes;
+          metrics.bytes_delivered += e.bytes;
+        }
+        if (in_range(e.peer, nprocs)) {
+          Receiver& r = receivers[static_cast<std::size_t>(e.peer)];
+          drain_posts(r, e.peer, e.time);
+          r.pending = std::max(0, r.pending - 1);
+        }
+        break;
+      }
+      case Kind::FaultDrop:
+        ++metrics.transfers_dropped;
+        metrics.bytes_dropped += e.bytes;
+        break;
+      case Kind::GlobalOpEnter:
+        ++metrics.global_ops;
+        break;
+      case Kind::NodeDone:
+        if (in_range(e.node, nprocs)) {
+          done_finish[static_cast<std::size_t>(e.node)] = e.time;
+          done_makespan = std::max(done_makespan, e.time);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+MetricsBuilder::MetricsBuilder(std::int32_t nprocs)
+    : impl_(std::make_unique<Impl>(nprocs)) {}
+
+MetricsBuilder::~MetricsBuilder() = default;
+
+void MetricsBuilder::on_event(const TraceEvent& event) {
+  ++impl_->metrics.num_events;
+  if (impl_->has_held) impl_->process(impl_->held, &event);
+  impl_->held = event;
+  impl_->has_held = true;
+}
+
+RunMetrics MetricsBuilder::finalize(const RunResult* result) {
+  Impl& s = *impl_;
+  if (s.has_held) {
+    s.process(s.held, nullptr);
+    s.has_held = false;
+  }
+  RunMetrics& m = s.metrics;
+
+  // Finish times and makespan: RunResult is authoritative when given,
+  // NodeDone events otherwise.
+  if (result != nullptr) {
+    m.makespan = result->makespan;
+    for (std::size_t n = 0;
+         n < m.nodes.size() && n < result->finish_time.size(); ++n) {
+      m.nodes[n].finish = result->finish_time[n];
+    }
+  } else {
+    m.makespan = s.done_makespan;
+    for (std::size_t n = 0; n < m.nodes.size(); ++n) {
+      m.nodes[n].finish = s.done_finish[n];
+    }
+  }
+
+  for (NodeTimeBreakdown& b : m.nodes) {
+    b.idle_tail = std::max<util::SimDuration>(0, m.makespan - b.finish);
+    b.port_busy =
+        s.port_busy[static_cast<std::size_t>(b.node >= 0 ? b.node : 0)].total;
+  }
+
+  // Step table with hot receivers: merge (tag, peer) counts in ascending
+  // key order so ties resolve to the lowest peer (matches the batch
+  // path's ordered walk), then sort steps by tag and links by key.
+  {
+    std::vector<std::pair<std::int32_t, net::NodeId>> receiver_keys;
+    receiver_keys.reserve(s.step_receiver.size());
+    for (const auto& [key, count] : s.step_receiver) {
+      receiver_keys.push_back(key);
+    }
+    std::sort(receiver_keys.begin(), receiver_keys.end());
+    for (const auto& key : receiver_keys) {
+      const std::int32_t count = s.step_receiver[key];
+      StepMetrics& step = s.steps[key.first];
+      if (count > step.max_receiver_messages ||
+          (count == step.max_receiver_messages && step.hot_receiver < 0)) {
+        step.max_receiver_messages = count;
+        step.hot_receiver = key.second;
+      }
+    }
+  }
+  m.steps.reserve(s.steps.size());
+  for (const auto& [tag, step] : s.steps) m.steps.push_back(step);
+  std::sort(m.steps.begin(), m.steps.end(),
+            [](const StepMetrics& a, const StepMetrics& b) {
+              return a.tag < b.tag;
+            });
+  m.links.reserve(s.links.size());
+  for (const auto& [key, link] : s.links) m.links.push_back(link);
+  std::sort(m.links.begin(), m.links.end(),
+            [](const LinkTraffic& a, const LinkTraffic& b) {
+              return std::make_pair(a.src, a.dst) < std::make_pair(b.src, b.dst);
+            });
+
+  // Contention: drain posts no completion swept past, then resolve the
+  // global pair. The batch sweep's hot_node is the receiver at which the
+  // running global max last strictly increased — i.e. the receiver whose
+  // pending count first (in sweep order) reached the final maximum M.
+  for (std::int32_t d = 0; d < s.nprocs; ++d) {
+    Impl::Receiver& r = s.receivers[static_cast<std::size_t>(d)];
+    s.drain_posts(r, d, std::numeric_limits<util::SimTime>::max());
+  }
+  util::SimTime best_time = 0;
+  std::int64_t best_seq = 0;
+  for (std::int32_t d = 0; d < s.nprocs; ++d) {
+    const Impl::Receiver& r = s.receivers[static_cast<std::size_t>(d)];
+    if (r.peak == 0) continue;
+    if (r.peak > m.max_pending ||
+        (r.peak == m.max_pending &&
+         std::make_pair(r.attain_time, r.attain_seq) <
+             std::make_pair(best_time, best_seq))) {
+      m.max_pending = r.peak;
+      m.hot_node = d;
+      best_time = r.attain_time;
+      best_seq = r.attain_seq;
+    }
+  }
+
+  return std::move(m);
+}
+
+// ---------------------------------------------------------------------------
+// TraceValidator
+// ---------------------------------------------------------------------------
+
+struct TraceValidator::Impl {
+  explicit Impl(std::int32_t nprocs_in) : nprocs(nprocs_in) {
+    const auto n = static_cast<std::size_t>(std::max(nprocs, 0));
+    last_action_time.assign(n, 0);
+    node_done_count.assign(n, 0);
+    node_done_time.assign(n, 0);
+    posted_bytes_by_node.assign(n, 0);
+    posted_msgs_by_node.assign(n, 0);
+    global_ops_by_node.assign(n, 0);
+  }
+
+  std::int32_t nprocs;
+  std::vector<std::string> violations;
+  std::size_t suppressed = 0;
+  std::size_t index = 0;  ///< running event index, for violation text
+
+  bool any_fault = false;
+  bool any_timeout = false;
+  std::vector<util::SimTime> last_action_time;
+  std::vector<std::int32_t> node_done_count;
+  std::vector<util::SimTime> node_done_time;
+  std::vector<std::int64_t> posted_bytes_by_node;
+  std::vector<std::int64_t> posted_msgs_by_node;
+  std::vector<std::int64_t> global_ops_by_node;
+  std::unordered_map<MsgKey, MsgCounts, MsgKeyHash> messages;
+  util::SimTime max_done = 0;
+
+  static constexpr std::size_t kMaxReported = 50;
+
+  void report(std::string what) {
+    if (violations.size() < kMaxReported) {
+      violations.push_back(std::move(what));
+    } else {
+      ++suppressed;
+    }
+  }
+};
+
+TraceValidator::TraceValidator(std::int32_t nprocs)
+    : impl_(std::make_unique<Impl>(nprocs)) {}
+
+TraceValidator::~TraceValidator() = default;
+
+void TraceValidator::on_event(const TraceEvent& e) {
+  Impl& s = *impl_;
+  const std::size_t i = s.index++;
+  const std::int32_t nprocs = s.nprocs;
+  if (e.kind == Kind::WaitTimeout) s.any_timeout = true;
+  if (is_fault(e.kind)) s.any_fault = true;
+
+  // Sanity.
+  if (e.time < 0) {
+    s.report("event " + std::to_string(i) + ": negative time " +
+             std::to_string(e.time));
+  }
+  if (!in_range(e.node, nprocs)) {
+    s.report("event " + std::to_string(i) + ": node " +
+             std::to_string(e.node) + " out of range [0, " +
+             std::to_string(nprocs) + ")");
+    return;
+  }
+  if (e.peer != kAnyNode && e.peer != -1 && !in_range(e.peer, nprocs)) {
+    s.report("event " + std::to_string(i) + ": peer " +
+             std::to_string(e.peer) + " out of range");
+  }
+  if (e.bytes < 0) {
+    s.report("event " + std::to_string(i) + ": negative bytes/duration " +
+             std::to_string(e.bytes));
+  }
+  if (e.kind == Kind::Compute && e.time - e.bytes < 0) {
+    s.report("event " + std::to_string(i) +
+             ": compute interval starts before t=0");
+  }
+
+  // Per-node monotonicity over node actions.
+  if (is_node_action(e.kind)) {
+    const auto n = static_cast<std::size_t>(e.node);
+    if (e.time < s.last_action_time[n]) {
+      s.report("node " + std::to_string(e.node) +
+               ": time went backwards at event " + std::to_string(i) + " (" +
+               std::to_string(e.time) + " < " +
+               std::to_string(s.last_action_time[n]) + ")");
+    }
+    s.last_action_time[n] = std::max(s.last_action_time[n], e.time);
+  }
+
+  switch (e.kind) {
+    case Kind::SendPosted:
+    case Kind::SwapPosted: {
+      MsgCounts& c = s.messages[{e.node, e.peer, e.tag}];
+      ++c.posted;
+      c.bytes_posted += e.bytes;
+      s.posted_bytes_by_node[static_cast<std::size_t>(e.node)] += e.bytes;
+      ++s.posted_msgs_by_node[static_cast<std::size_t>(e.node)];
+      break;
+    }
+    case Kind::TransferStart: {
+      MsgCounts& c = s.messages[{e.node, e.peer, e.tag}];
+      ++c.started;
+      c.bytes_started += e.bytes;
+      if (c.started > c.posted) {
+        s.report("transfer " + std::to_string(e.node) + "->" +
+                 std::to_string(e.peer) + " tag " + std::to_string(e.tag) +
+                 ": more starts than posts at event " + std::to_string(i));
+      }
+      break;
+    }
+    case Kind::TransferComplete: {
+      MsgCounts& c = s.messages[{e.node, e.peer, e.tag}];
+      ++c.completed;
+      c.bytes_completed += e.bytes;
+      if (c.completed > c.started) {
+        s.report("transfer " + std::to_string(e.node) + "->" +
+                 std::to_string(e.peer) + " tag " + std::to_string(e.tag) +
+                 ": more completions than starts at event " +
+                 std::to_string(i));
+      }
+      break;
+    }
+    case Kind::GlobalOpEnter:
+      ++s.global_ops_by_node[static_cast<std::size_t>(e.node)];
+      break;
+    case Kind::NodeDone: {
+      const auto n = static_cast<std::size_t>(e.node);
+      ++s.node_done_count[n];
+      s.node_done_time[n] = e.time;
+      s.max_done = std::max(s.max_done, e.time);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<std::string> TraceValidator::finalize(const RunResult* result) {
+  Impl& s = *impl_;
+  const std::int32_t nprocs = s.nprocs;
+
+  for (std::int32_t n = 0; n < nprocs; ++n) {
+    if (s.node_done_count[static_cast<std::size_t>(n)] != 1) {
+      s.report("node " + std::to_string(n) + ": " +
+               std::to_string(s.node_done_count[static_cast<std::size_t>(n)]) +
+               " NodeDone events (expected 1)");
+    }
+  }
+
+  // Matching and conservation per message key, in ascending key order.
+  std::vector<MsgKey> message_keys;
+  message_keys.reserve(s.messages.size());
+  for (const auto& [key, c] : s.messages) message_keys.push_back(key);
+  std::sort(message_keys.begin(), message_keys.end());
+  for (const MsgKey& key : message_keys) {
+    const MsgCounts& c = s.messages[key];
+    const auto& [src, dst, tag] = key;
+    const std::string who = std::to_string(src) + "->" + std::to_string(dst) +
+                            " tag " + std::to_string(tag);
+    if (c.completed > c.started || c.started > c.posted) {
+      s.report("message " + who + ": counts out of order (posted " +
+               std::to_string(c.posted) + ", started " +
+               std::to_string(c.started) + ", completed " +
+               std::to_string(c.completed) + ")");
+      continue;
+    }
+    if (c.bytes_completed > c.bytes_started ||
+        c.bytes_started > c.bytes_posted) {
+      s.report("message " + who + ": byte counts not conserved (posted " +
+               std::to_string(c.bytes_posted) + " B, started " +
+               std::to_string(c.bytes_started) + " B, completed " +
+               std::to_string(c.bytes_completed) + " B)");
+    }
+    if (!s.any_fault && !s.any_timeout) {
+      // Fault-free, timeout-free runs must fully drain the rendezvous:
+      // every post starts, every start completes, byte-for-byte.
+      if (c.completed != c.posted) {
+        s.report("message " + who + ": " + std::to_string(c.posted) +
+                 " posted but " + std::to_string(c.completed) +
+                 " completed in a fault-free run");
+      }
+      if (c.bytes_completed != c.bytes_posted) {
+        s.report("message " + who + ": bytes sent (" +
+                 std::to_string(c.bytes_posted) + ") != bytes received (" +
+                 std::to_string(c.bytes_completed) + ") in a fault-free run");
+      }
+    } else if (c.completed < c.started && !s.any_fault) {
+      s.report("message " + who + ": transfer started but never completed");
+    }
+  }
+
+  // Cross-check against the kernel's own accounting.
+  if (result != nullptr) {
+    const bool any_events = s.index > 0;
+    if (result->makespan != s.max_done && any_events) {
+      s.report("makespan mismatch: RunResult says " +
+               std::to_string(result->makespan) +
+               " ns, max NodeDone time is " + std::to_string(s.max_done) +
+               " ns");
+    }
+    util::SimTime max_finish = 0;
+    for (const util::SimTime t : result->finish_time) {
+      max_finish = std::max(max_finish, t);
+    }
+    if (result->makespan != max_finish) {
+      s.report("makespan mismatch: RunResult says " +
+               std::to_string(result->makespan) + " ns, max finish_time is " +
+               std::to_string(max_finish) + " ns");
+    }
+    const std::size_t limit =
+        std::min(result->node_counters.size(),
+                 static_cast<std::size_t>(std::max(nprocs, 0)));
+    for (std::size_t n = 0; n < limit; ++n) {
+      const NodeCounters& k = result->node_counters[n];
+      if (any_events && result->finish_time.size() > n &&
+          s.node_done_count[n] == 1 &&
+          s.node_done_time[n] != result->finish_time[n]) {
+        s.report("node " + std::to_string(n) + ": NodeDone at " +
+                 std::to_string(s.node_done_time[n]) +
+                 " ns but RunResult finish_time is " +
+                 std::to_string(result->finish_time[n]) + " ns");
+      }
+      if (k.bytes_sent != s.posted_bytes_by_node[n]) {
+        s.report("node " + std::to_string(n) + ": kernel counted " +
+                 std::to_string(k.bytes_sent) + " B sent, trace shows " +
+                 std::to_string(s.posted_bytes_by_node[n]) + " B posted");
+      }
+      if (k.sends != s.posted_msgs_by_node[n]) {
+        s.report("node " + std::to_string(n) + ": kernel counted " +
+                 std::to_string(k.sends) + " sends, trace shows " +
+                 std::to_string(s.posted_msgs_by_node[n]) + " posts");
+      }
+      if (k.global_ops != s.global_ops_by_node[n]) {
+        s.report("node " + std::to_string(n) + ": kernel counted " +
+                 std::to_string(k.global_ops) + " global ops, trace shows " +
+                 std::to_string(s.global_ops_by_node[n]));
+      }
+    }
+  }
+
+  if (s.suppressed > 0) {
+    s.violations.push_back("... and " + std::to_string(s.suppressed) +
+                           " more violations");
+  }
+  return std::move(s.violations);
+}
+
+}  // namespace cm5::sim

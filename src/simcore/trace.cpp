@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
+#include <cstdlib>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -85,8 +86,37 @@ std::string to_string(const TraceEvent& event) {
   return os.str();
 }
 
+bool trace_stream_requested() {
+  const char* v = std::getenv("CM5_TRACE_STREAM");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+void TraceRecorder::ingest(const TraceEvent& event) {
+  ++total_events_;
+  const auto k = static_cast<std::size_t>(event.kind);
+  if (k < kind_counts_.size()) ++kind_counts_[k];
+  for (TraceConsumer* c : consumers_) c->on_event(event);
+  if (events_.size() < max_retained_) {
+    events_.push_back(event);
+    node_index_valid_ = false;
+  }
+}
+
 TraceSink TraceRecorder::sink() {
-  return [this](const TraceEvent& event) { events_.push_back(event); };
+  return [this](const TraceEvent& event) { ingest(event); };
+}
+
+void TraceRecorder::add_consumer(TraceConsumer* consumer) {
+  if (consumer != nullptr) consumers_.push_back(consumer);
+}
+
+void TraceRecorder::set_max_retained(std::size_t max_events) {
+  max_retained_ = max_events;
+  if (events_.size() > max_retained_) {
+    events_.resize(max_retained_);
+    events_.shrink_to_fit();
+    node_index_valid_ = false;
+  }
 }
 
 std::vector<TraceEvent> TraceRecorder::sorted() const {
@@ -99,15 +129,37 @@ std::vector<TraceEvent> TraceRecorder::sorted() const {
 }
 
 std::int64_t TraceRecorder::count(TraceEvent::Kind kind) const {
-  return std::count_if(events_.begin(), events_.end(),
-                       [&](const TraceEvent& e) { return e.kind == kind; });
+  const auto k = static_cast<std::size_t>(kind);
+  return k < kind_counts_.size() ? kind_counts_[k] : 0;
+}
+
+void TraceRecorder::ensure_node_index() const {
+  if (node_index_valid_) return;
+  node_index_.clear();
+  // Size each node's posting list exactly before filling it: one
+  // counting pass, one fill pass, no vector regrowth.
+  std::unordered_map<net::NodeId, std::size_t> sizes;
+  for (const TraceEvent& e : events_) {
+    ++sizes[e.node];
+    if (e.peer != e.node) ++sizes[e.peer];
+  }
+  node_index_.reserve(sizes.size());
+  for (const auto& [node, n] : sizes) node_index_[node].reserve(n);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    node_index_[e.node].push_back(i);
+    if (e.peer != e.node) node_index_[e.peer].push_back(i);
+  }
+  node_index_valid_ = true;
 }
 
 std::vector<TraceEvent> TraceRecorder::for_node(net::NodeId node) const {
+  ensure_node_index();
   std::vector<TraceEvent> out;
-  for (const TraceEvent& e : events_) {
-    if (e.node == node || e.peer == node) out.push_back(e);
-  }
+  const auto it = node_index_.find(node);
+  if (it == node_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t i : it->second) out.push_back(events_[i]);
   return out;
 }
 
@@ -146,8 +198,18 @@ std::string TraceRecorder::timeline(std::int32_t nprocs,
   // Compute events carry their duration in `bytes`, ending at `time`.
   // Transfers span TransferStart..TransferComplete for both endpoints;
   // match completions to the most recent unmatched start per (src, dst).
-  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<util::SimTime>>
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<net::NodeId, net::NodeId>& p) const noexcept {
+      return (static_cast<std::size_t>(static_cast<std::uint32_t>(p.first))
+              << 32) ^
+             static_cast<std::uint32_t>(p.second);
+    }
+  };
+  std::unordered_map<std::pair<net::NodeId, net::NodeId>,
+                     std::vector<util::SimTime>, PairHash>
       open_transfers;
+  open_transfers.reserve(static_cast<std::size_t>(nprocs) * 2);
   for (const TraceEvent& e : events_) {
     switch (e.kind) {
       case TraceEvent::Kind::Compute:

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cm5/machine/machine.hpp"
+#include "cm5/sched/complete_exchange.hpp"
+#include "cm5/sim/metrics.hpp"
+#include "cm5/sim/trace.hpp"
+#include "cm5/sim/trace_file.hpp"
+#include "cm5/util/time.hpp"
+
+/// Streaming trace pipeline tests: recorder consumer fan-out and buffer
+/// bounding, byte-identical streaming-vs-batch analysis on hand-built
+/// traces (valid and violating), the CM5TRACE file roundtrip with
+/// truncation diagnosis, and the CM5_ANALYZE_BATCH / CM5_TRACE_STREAM
+/// dispatch knobs. Own binary: these tests mutate CM5_* environment
+/// variables and must not race other tests' getenv calls.
+
+namespace cm5::sim {
+namespace {
+
+using machine::Cm5Machine;
+using machine::MachineParams;
+using machine::Node;
+using Kind = TraceEvent::Kind;
+
+TraceEvent ev(Kind kind, util::SimTime time, net::NodeId node,
+              net::NodeId peer = -1, std::int64_t bytes = 0,
+              std::int32_t tag = 0) {
+  TraceEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.node = node;
+  e.peer = peer;
+  e.bytes = bytes;
+  e.tag = tag;
+  return e;
+}
+
+/// Consumer that simply collects the stream.
+struct Collect : TraceConsumer {
+  std::vector<TraceEvent> events;
+  void on_event(const TraceEvent& e) override { events.push_back(e); }
+};
+
+bool same_event(const TraceEvent& a, const TraceEvent& b) {
+  return a.kind == b.kind && a.time == b.time && a.node == b.node &&
+         a.peer == b.peer && a.bytes == b.bytes && a.tag == b.tag;
+}
+
+std::vector<TraceEvent> tiny_trace() {
+  return {
+      ev(Kind::RecvPosted, 0, 1, 0, 0, 5),
+      ev(Kind::Compute, 100, 0, -1, 100),
+      ev(Kind::SendPosted, 100, 0, 1, 64, 5),
+      ev(Kind::TransferStart, 200, 0, 1, 64, 5),
+      ev(Kind::TransferComplete, 300, 0, 1, 64, 5),
+      ev(Kind::NodeDone, 300, 0),
+      ev(Kind::NodeDone, 300, 1),
+  };
+}
+
+/// A faulty trace exercising the drop lookahead (TransferComplete voided
+/// by an immediately following FaultDrop) and an unmatched start.
+std::vector<TraceEvent> faulty_trace() {
+  return {
+      ev(Kind::SendPosted, 10, 0, 1, 32, 1),
+      ev(Kind::TransferStart, 20, 0, 1, 32, 1),
+      ev(Kind::TransferComplete, 90, 0, 1, 32, 1),
+      ev(Kind::FaultDrop, 90, 0, 1, 32, 1),
+      ev(Kind::SendPosted, 100, 2, 3, 48, 2),
+      ev(Kind::TransferStart, 110, 2, 3, 48, 2),
+      ev(Kind::FaultKill, 120, 3),
+      ev(Kind::NodeDone, 150, 0),
+      ev(Kind::NodeDone, 150, 1),
+      ev(Kind::NodeDone, 150, 2),
+      ev(Kind::NodeDone, 150, 3),
+  };
+}
+
+/// A deliberately broken trace: out-of-range node, negative time,
+/// completion without a start, duplicate NodeDone.
+std::vector<TraceEvent> violating_trace() {
+  return {
+      ev(Kind::SendPosted, -5, 0, 1, 16, 1),
+      ev(Kind::Compute, 10, 9, -1, 4),
+      ev(Kind::TransferComplete, 20, 0, 1, 16, 1),
+      ev(Kind::NodeDone, 30, 0),
+      ev(Kind::NodeDone, 40, 0),
+  };
+}
+
+void expect_stream_matches_batch(const std::vector<TraceEvent>& events,
+                                 std::int32_t nprocs,
+                                 const RunResult* result = nullptr) {
+  const RunMetrics batch = analyze_batch(events, nprocs, result);
+  MetricsBuilder builder(nprocs);
+  for (const TraceEvent& e : events) builder.on_event(e);
+  const RunMetrics streamed = builder.finalize(result);
+  EXPECT_EQ(streamed.to_json(true).dump(), batch.to_json(true).dump());
+
+  const auto batch_violations = validate_trace_batch(events, nprocs, result);
+  TraceValidator validator(nprocs);
+  for (const TraceEvent& e : events) validator.on_event(e);
+  EXPECT_EQ(validator.finalize(result), batch_violations);
+}
+
+// --- recorder streaming hub -------------------------------------------------
+
+TEST(TraceRecorderStream, ConsumersSeeEveryEventInOrder) {
+  TraceRecorder recorder;
+  Collect a, b;
+  recorder.add_consumer(&a);
+  recorder.add_consumer(&b);
+  auto sink = recorder.sink();
+  for (const TraceEvent& e : tiny_trace()) sink(e);
+  ASSERT_EQ(a.events.size(), tiny_trace().size());
+  ASSERT_EQ(b.events.size(), tiny_trace().size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_TRUE(same_event(a.events[i], tiny_trace()[i])) << "event " << i;
+    EXPECT_TRUE(same_event(b.events[i], tiny_trace()[i])) << "event " << i;
+  }
+}
+
+TEST(TraceRecorderStream, MaxRetainedZeroDiscardsButCountsEverything) {
+  TraceRecorder recorder;
+  Collect seen;
+  recorder.add_consumer(&seen);
+  recorder.set_max_retained(0);
+  auto sink = recorder.sink();
+  for (const TraceEvent& e : tiny_trace()) sink(e);
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(seen.events.size(), tiny_trace().size());
+  EXPECT_EQ(recorder.total_events(),
+            static_cast<std::int64_t>(tiny_trace().size()));
+  EXPECT_EQ(recorder.count(Kind::SendPosted), 1);
+  EXPECT_EQ(recorder.count(Kind::NodeDone), 2);
+  EXPECT_EQ(recorder.count(Kind::FaultDrop), 0);
+}
+
+TEST(TraceRecorderStream, MaxRetainedBoundsTruncateRetroactively) {
+  TraceRecorder recorder;
+  auto sink = recorder.sink();
+  for (const TraceEvent& e : tiny_trace()) sink(e);
+  EXPECT_EQ(recorder.events().size(), tiny_trace().size());
+  recorder.set_max_retained(3);
+  EXPECT_EQ(recorder.events().size(), 3u);
+  // Counters still describe the full stream.
+  EXPECT_EQ(recorder.total_events(),
+            static_cast<std::int64_t>(tiny_trace().size()));
+  EXPECT_EQ(recorder.count(Kind::NodeDone), 2);
+}
+
+TEST(TraceRecorderStream, ForNodeUsesIndexAndSeesActorAndPeer) {
+  TraceRecorder recorder;
+  auto sink = recorder.sink();
+  for (const TraceEvent& e : tiny_trace()) sink(e);
+  const auto node1 = recorder.for_node(1);
+  // Node 1 appears as actor (RecvPosted, NodeDone) and as peer of the
+  // send/transfer events.
+  ASSERT_EQ(node1.size(), 5u);
+  EXPECT_EQ(node1.front().kind, Kind::RecvPosted);
+  EXPECT_EQ(node1.back().kind, Kind::NodeDone);
+  EXPECT_TRUE(recorder.for_node(7).empty());
+}
+
+TEST(TraceRecorderStream, KernelSetTraceConsumerOverloadStreams) {
+  Collect streamed;
+  TraceRecorder recorder;
+  const std::int32_t nprocs = 8;
+  const auto program = [](Node& node) {
+    sched::complete_exchange(node, sched::ExchangeAlgorithm::Pairwise, 64);
+  };
+  Cm5Machine recorded(MachineParams::cm5_defaults(nprocs));
+  const RunResult a = recorded.run_traced(program, recorder.sink());
+  Cm5Machine direct(MachineParams::cm5_defaults(nprocs));
+  const RunResult b = direct.run_traced(
+      program, [&](const TraceEvent& e) { streamed.on_event(e); });
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(streamed.events.size(), recorder.events().size());
+  for (std::size_t i = 0; i < streamed.events.size(); ++i) {
+    EXPECT_TRUE(same_event(streamed.events[i], recorder.events()[i]))
+        << "event " << i;
+  }
+}
+
+// --- streaming vs batch on hand-built traces --------------------------------
+
+TEST(StreamingAnalysis, MatchesBatchOnTinyTrace) {
+  expect_stream_matches_batch(tiny_trace(), 2);
+}
+
+TEST(StreamingAnalysis, MatchesBatchOnFaultyTrace) {
+  expect_stream_matches_batch(faulty_trace(), 4);
+}
+
+TEST(StreamingAnalysis, MatchesBatchOnViolatingTrace) {
+  expect_stream_matches_batch(violating_trace(), 2);
+}
+
+TEST(StreamingAnalysis, MatchesBatchOnEmptyTrace) {
+  expect_stream_matches_batch({}, 4);
+}
+
+TEST(StreamingAnalysis, MatchesBatchOnRealRun) {
+  const std::int32_t nprocs = 16;
+  TraceRecorder recorder;
+  Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+  const RunResult result = m.run_traced(
+      [](Node& node) {
+        sched::complete_exchange(node, sched::ExchangeAlgorithm::Recursive,
+                                 256);
+      },
+      recorder.sink());
+  expect_stream_matches_batch(recorder.events(), nprocs, &result);
+}
+
+TEST(StreamingAnalysis, ConsumerOnRecorderMatchesPostHocAnalysis) {
+  // The full streaming wiring: consumers registered before the run, no
+  // retained events, finalize against the RunResult — must equal the
+  // batch analysis of a separately recorded identical run.
+  const std::int32_t nprocs = 8;
+  const auto program = [](Node& node) {
+    sched::complete_exchange(node, sched::ExchangeAlgorithm::Linear, 128);
+  };
+
+  TraceRecorder batch_recorder;
+  Cm5Machine batch_machine(MachineParams::cm5_defaults(nprocs));
+  const RunResult batch_result =
+      batch_machine.run_traced(program, batch_recorder.sink());
+  const RunMetrics want =
+      analyze_batch(batch_recorder.events(), nprocs, &batch_result);
+
+  TraceRecorder recorder;
+  MetricsBuilder builder(nprocs);
+  TraceValidator validator(nprocs);
+  recorder.add_consumer(&builder);
+  recorder.add_consumer(&validator);
+  recorder.set_max_retained(0);
+  Cm5Machine m(MachineParams::cm5_defaults(nprocs));
+  const RunResult result = m.run_traced(program, recorder.sink());
+
+  EXPECT_TRUE(recorder.events().empty());
+  const RunMetrics got = builder.finalize(&result);
+  EXPECT_EQ(got.to_json(true).dump(), want.to_json(true).dump());
+  EXPECT_TRUE(validator.finalize(&result).empty());
+}
+
+// --- dispatch knobs ---------------------------------------------------------
+
+TEST(AnalyzeDispatch, BatchEnvSelectsOracleAndMatches) {
+  ASSERT_EQ(setenv("CM5_ANALYZE_BATCH", "1", 1), 0);
+  EXPECT_TRUE(analyze_batch_requested());
+  const RunMetrics via_env = analyze(tiny_trace(), 2);
+  ASSERT_EQ(setenv("CM5_ANALYZE_BATCH", "0", 1), 0);
+  EXPECT_FALSE(analyze_batch_requested());
+  const RunMetrics via_stream = analyze(tiny_trace(), 2);
+  unsetenv("CM5_ANALYZE_BATCH");
+  EXPECT_EQ(via_env.to_json(true).dump(), via_stream.to_json(true).dump());
+}
+
+TEST(AnalyzeDispatch, TraceStreamEnvParses) {
+  unsetenv("CM5_TRACE_STREAM");
+  EXPECT_FALSE(trace_stream_requested());
+  ASSERT_EQ(setenv("CM5_TRACE_STREAM", "1", 1), 0);
+  EXPECT_TRUE(trace_stream_requested());
+  ASSERT_EQ(setenv("CM5_TRACE_STREAM", "0", 1), 0);
+  EXPECT_FALSE(trace_stream_requested());
+  unsetenv("CM5_TRACE_STREAM");
+}
+
+// --- CM5TRACE file roundtrip ------------------------------------------------
+
+std::string temp_trace_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(TraceFile, RoundtripPreservesEveryEvent) {
+  const std::string path = temp_trace_path("roundtrip.cm5trace");
+  {
+    TraceFileWriter writer(path, 4);
+    for (const TraceEvent& e : faulty_trace()) writer.on_event(e);
+    writer.finish();
+    EXPECT_EQ(writer.count(),
+              static_cast<std::int64_t>(faulty_trace().size()));
+  }
+  EXPECT_TRUE(is_trace_file(path));
+
+  Collect read;
+  const TraceFileInfo info = read_trace_file(path, &read);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_EQ(info.nprocs, 4);
+  EXPECT_EQ(info.events, static_cast<std::int64_t>(faulty_trace().size()));
+  ASSERT_EQ(read.events.size(), faulty_trace().size());
+  for (std::size_t i = 0; i < read.events.size(); ++i) {
+    EXPECT_TRUE(same_event(read.events[i], faulty_trace()[i]))
+        << "event " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, StreamedAnalysisOfFileMatchesBatch) {
+  const std::string path = temp_trace_path("analyzed.cm5trace");
+  {
+    TraceFileWriter writer(path, 2);
+    for (const TraceEvent& e : tiny_trace()) writer.on_event(e);
+  }  // destructor finishes
+  MetricsBuilder builder(2);
+  read_trace_file(path, &builder);
+  const RunMetrics streamed = builder.finalize(nullptr);
+  const RunMetrics batch = analyze_batch(tiny_trace(), 2);
+  EXPECT_EQ(streamed.to_json(true).dump(), batch.to_json(true).dump());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileIsDiagnosedAsTruncated) {
+  const std::string path = temp_trace_path("truncated.cm5trace");
+  {
+    TraceFileWriter writer(path, 2);
+    for (const TraceEvent& e : tiny_trace()) writer.on_event(e);
+    writer.finish();
+  }
+  // Chop the file mid-way: lose the trailer and part of an event line.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 25), 0);
+
+  try {
+    read_trace_file(path, nullptr);
+    FAIL() << "expected TraceFileError";
+  } catch (const TraceFileError& e) {
+    EXPECT_TRUE(e.truncated());
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "diagnosis must name the file: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingTrailerIsTruncated) {
+  const std::string path = temp_trace_path("notrailer.cm5trace");
+  {
+    // Never finish(): simulate a writer that died mid-run. Write via a
+    // plain file so the destructor cannot add the trailer.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "CM5TRACE 1 nprocs=2\n");
+    std::fprintf(f, "e 1 100 0 1 64 5\n");
+    std::fclose(f);
+  }
+  try {
+    read_trace_file(path, nullptr);
+    FAIL() << "expected TraceFileError";
+  } catch (const TraceFileError& e) {
+    EXPECT_TRUE(e.truncated());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, CountMismatchIsMalformedNotTruncated) {
+  const std::string path = temp_trace_path("miscount.cm5trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "CM5TRACE 1 nprocs=2\n");
+  std::fprintf(f, "e 1 100 0 1 64 5\n");
+  std::fprintf(f, "end 7\n");
+  std::fclose(f);
+  try {
+    read_trace_file(path, nullptr);
+    FAIL() << "expected TraceFileError";
+  } catch (const TraceFileError& e) {
+    EXPECT_FALSE(e.truncated());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, NonTraceFileIsSniffedOut) {
+  const std::string path = temp_trace_path("notatrace.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "{\"bench\": \"x\"}\n");
+  std::fclose(f);
+  EXPECT_FALSE(is_trace_file(path));
+  EXPECT_FALSE(is_trace_file(temp_trace_path("does-not-exist")));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cm5::sim

@@ -130,6 +130,52 @@ TEST(TraceAnalyzerCli, TruncatedJsonIsDiagnosedNotThrown) {
   std::remove(path.c_str());
 }
 
+TEST(TraceAnalyzerCli, TruncatedTraceFileIsDiagnosedWithExit2) {
+  // A CM5TRACE event file whose writer died mid-run: no `end` trailer,
+  // last event line cut short. show and check must exit 2 with a
+  // one-line diagnosis naming the file and saying it is truncated —
+  // not report "0 violations" on a partial stream.
+  const std::string path = temp_path("cli_robustness_truncated.cm5trace");
+  write_text(path,
+             "CM5TRACE 1 nprocs=2\n"
+             "e 1 100 0 1 64 5\n"
+             "e 4 200 0 1");
+  for (const std::string& mode : std::vector<std::string>{"show", "check"}) {
+    const RunResult r =
+        run(std::string(CM5_TRACE_ANALYZER_BIN) + " " + mode + " " + path);
+    EXPECT_EQ(r.exit_code, 2) << mode << "\n" << r.output;
+    EXPECT_NE(r.output.find(path), std::string::npos)
+        << "diagnosis must name the file:\n" << r.output;
+    EXPECT_NE(r.output.find("truncated"), std::string::npos) << r.output;
+    EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1)
+        << r.output;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceAnalyzerCli, WellFormedTraceFileShowsAndChecks) {
+  const std::string path = temp_path("cli_robustness_ok.cm5trace");
+  write_text(path,
+             "CM5TRACE 1 nprocs=2\n"
+             "e 1 100 0 1 64 5\n"
+             "e 4 200 0 1 64 5\n"
+             "e 5 300 0 1 64 5\n"
+             "e 8 300 0 -1 0 0\n"
+             "e 8 300 1 -1 0 0\n"
+             "end 5\n");
+  const RunResult shown =
+      run(std::string(CM5_TRACE_ANALYZER_BIN) + " show " + path);
+  EXPECT_EQ(shown.exit_code, 0) << shown.output;
+  EXPECT_NE(shown.output.find("CM5TRACE v1"), std::string::npos)
+      << shown.output;
+  const RunResult checked =
+      run(std::string(CM5_TRACE_ANALYZER_BIN) + " check " + path);
+  EXPECT_EQ(checked.exit_code, 0) << checked.output;
+  EXPECT_NE(checked.output.find("0 violation(s)"), std::string::npos)
+      << checked.output;
+  std::remove(path.c_str());
+}
+
 TEST(TraceAnalyzerCli, NonJsonFileIsDiagnosedNotThrown) {
   const std::string path = temp_path("cli_robustness_not_json.txt");
   write_text(path, "this is not json at all\n");

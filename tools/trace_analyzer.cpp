@@ -6,6 +6,13 @@
 ///   trace_analyzer diff OLD NEW        makespan deltas, matched by row id
 ///   trace_analyzer check FILE...       exit 1 if any invariant violation
 ///
+/// show and check also accept raw CM5TRACE event files
+/// (cm5/sim/trace_file.hpp): the file is *streamed* through the
+/// incremental MetricsBuilder / TraceValidator — constant memory in the
+/// trace length — so even a giant-N event log can be inspected. A
+/// truncated trace file (writer died mid-run) exits 2 with a one-line
+/// diagnosis naming the file, like a damaged metrics file.
+///
 /// `check` is the CI gate: every metrics file carries the
 /// sim::validate_trace() verdict for each recorded run, so a nonzero
 /// exit means a simulation produced a trace that broke an invariant
@@ -18,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "cm5/sim/metrics.hpp"
+#include "cm5/sim/trace_file.hpp"
 #include "cm5/util/json.hpp"
 #include "cm5/util/table.hpp"
 
@@ -95,8 +104,44 @@ Value load_metrics_file(const std::string& path) {
   }
 }
 
+/// Streams one CM5TRACE file through the incremental analyzer and
+/// prints its summary — memory stays O(state) however long the file is.
+void show_trace_file(const std::string& path) {
+  // First pass reads just the header (and validates structure); the
+  // second streams events into the builder sized for nprocs.
+  const cm5::sim::TraceFileInfo info =
+      cm5::sim::read_trace_file(path, nullptr);
+  cm5::sim::MetricsBuilder builder(info.nprocs);
+  cm5::sim::read_trace_file(path, &builder);
+  const cm5::sim::RunMetrics m = builder.finalize(nullptr);
+  std::printf("%s — CM5TRACE v%d, %lld node(s), %lld event(s)\n",
+              path.c_str(), info.version,
+              static_cast<long long>(info.nprocs),
+              static_cast<long long>(info.events));
+  std::printf(
+      "makespan %.3f ms; %lld message(s) posted, %lld transfer(s) "
+      "completed, %lld dropped; %lld global op(s)\n",
+      ms(m.makespan), static_cast<long long>(m.messages_posted),
+      static_cast<long long>(m.transfers_completed),
+      static_cast<long long>(m.transfers_dropped),
+      static_cast<long long>(m.global_ops));
+  std::printf(
+      "time: compute %.3f ms, send wait %.3f ms, recv wait %.3f ms, "
+      "barrier %.3f ms\n",
+      ms(m.total_compute()), ms(m.total_send_wait()), ms(m.total_recv_wait()),
+      ms(m.total_barrier_wait()));
+  std::printf("contention: max pending %lld at node %lld; %lld step(s)\n\n",
+              static_cast<long long>(m.max_pending),
+              static_cast<long long>(m.hot_node),
+              static_cast<long long>(m.observed_steps()));
+}
+
 int cmd_show(const std::vector<std::string>& files) {
   for (const std::string& path : files) {
+    if (cm5::sim::is_trace_file(path)) {
+      show_trace_file(path);
+      continue;
+    }
     const Value file = load_metrics_file(path);
     std::printf("%s — bench '%s'%s [%s backend], %lld invariant violation(s)\n",
                 path.c_str(),
@@ -201,6 +246,20 @@ int cmd_diff(const std::string& old_path, const std::string& new_path) {
 int cmd_check(const std::vector<std::string>& files) {
   std::int64_t total = 0;
   for (const std::string& path : files) {
+    if (cm5::sim::is_trace_file(path)) {
+      const cm5::sim::TraceFileInfo info =
+          cm5::sim::read_trace_file(path, nullptr);
+      cm5::sim::TraceValidator validator(info.nprocs);
+      cm5::sim::read_trace_file(path, &validator);
+      const std::vector<std::string> violations = validator.finalize(nullptr);
+      for (const std::string& v : violations) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+      }
+      std::printf("%s: %lld violation(s)\n", path.c_str(),
+                  static_cast<long long>(violations.size()));
+      total += static_cast<std::int64_t>(violations.size());
+      continue;
+    }
     const Value file = load_metrics_file(path);
     std::int64_t count =
         file.get("violations_total", Value(std::int64_t{0})).as_int();
@@ -222,7 +281,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: trace_analyzer show FILE...\n"
                "       trace_analyzer diff OLD NEW\n"
-               "       trace_analyzer check FILE...\n");
+               "       trace_analyzer check FILE...\n"
+               "FILEs are BENCH_*.json metrics files, or CM5TRACE event\n"
+               "files (streamed; show/check only).\n");
   return 2;
 }
 
